@@ -1,0 +1,50 @@
+//! Ablation: full interleaving enumeration vs converged-state pruning
+//! (DESIGN.md decision 3).
+//!
+//! Full enumeration is required for race soundness; pruning is sound for
+//! reachable-result collection only. The gap is the price of race
+//! checking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litmus::explore::{explore, explore_results, ExploreConfig};
+use litmus::{corpus, Program, Reg, Thread};
+use memory_model::Loc;
+use std::hint::black_box;
+
+fn independent_writers(threads: usize, writes: u32) -> Program {
+    let ts = (0..threads)
+        .map(|t| {
+            let mut th = Thread::new();
+            for i in 0..writes {
+                th = th.write(Loc(t as u32 * 100 + i), u64::from(i) + 1);
+            }
+            th
+        })
+        .collect();
+    Program::new(ts).expect("static program is valid")
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let cfg = ExploreConfig::default();
+    let mut group = c.benchmark_group("explore");
+    group.sample_size(10);
+
+    let cases: Vec<(&str, Program)> = vec![
+        ("dekker", corpus::fig1_dekker()),
+        ("mp_sync", corpus::message_passing_sync(2)),
+        ("indep_3x3", independent_writers(3, 3)),
+        ("spinlock_bounded", corpus::spinlock_bounded(2, 1, 2)),
+    ];
+    for (name, program) in &cases {
+        group.bench_with_input(BenchmarkId::new("full", name), program, |b, p| {
+            b.iter(|| explore(black_box(p), &cfg));
+        });
+        group.bench_with_input(BenchmarkId::new("pruned", name), program, |b, p| {
+            b.iter(|| explore_results(black_box(p), &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation: happens-before via reachability bit-matrix vs vector clocks
+//! (DESIGN.md decision 1).
+//!
+//! The matrix costs O(n²/64) to build but answers queries in O(1); vector
+//! clocks build in O(n·p) and answer queries in O(1) too (component
+//! compare). Crossover depends on execution length and processor count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memory_model::hb::HbRelation;
+use memory_model::vc::VcHb;
+use memory_model::{Execution, Loc, OpId, Operation, ProcId};
+use std::hint::black_box;
+
+/// A synthetic execution: `procs` processors, `n` ops each, data work on
+/// private locations with a lock-style sync every 8 ops.
+fn synthetic(procs: u16, per_proc: u32) -> Execution {
+    let mut ops = Vec::new();
+    for i in 0..per_proc {
+        for p in 0..procs {
+            let id = OpId::for_thread_op(ProcId(p), i);
+            let op = if i % 8 == 7 {
+                Operation::sync_rmw(id, ProcId(p), Loc(999), 0, 1)
+            } else {
+                Operation::data_write(id, ProcId(p), Loc(u32::from(p) * 64 + i % 16), 1)
+            };
+            ops.push(op);
+        }
+    }
+    Execution::new(ops).expect("synthetic ids are unique")
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hb_build");
+    group.sample_size(20);
+    for &(procs, per_proc) in &[(2u16, 64u32), (4, 64), (8, 64), (4, 256)] {
+        let exec = synthetic(procs, per_proc);
+        let label = format!("{procs}p_x{per_proc}");
+        group.bench_with_input(BenchmarkId::new("matrix", &label), &exec, |b, e| {
+            b.iter(|| HbRelation::from_execution(black_box(e)));
+        });
+        group.bench_with_input(BenchmarkId::new("vector_clock", &label), &exec, |b, e| {
+            b.iter(|| VcHb::from_execution(black_box(e)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let exec = synthetic(4, 128);
+    let matrix = HbRelation::from_execution(&exec);
+    let vc = VcHb::from_execution(&exec);
+    let ids: Vec<OpId> = exec.ops().iter().map(|o| o.id).collect();
+
+    let mut group = c.benchmark_group("hb_query_all_pairs");
+    group.sample_size(20);
+    group.bench_function("matrix", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for &a in &ids {
+                for &bid in &ids {
+                    count += usize::from(matrix.happens_before(a, bid));
+                }
+            }
+            black_box(count)
+        });
+    });
+    group.bench_function("vector_clock", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for &a in &ids {
+                for &bid in &ids {
+                    count += usize::from(vc.happens_before(a, bid));
+                }
+            }
+            black_box(count)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

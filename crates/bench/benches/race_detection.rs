@@ -1,0 +1,64 @@
+//! Ablation: streaming vector-clock race detection (DJIT⁺-style) vs the
+//! exhaustive pairwise happens-before check.
+//!
+//! Both decide DRF0 for one execution; the streaming detector is
+//! O(n·p + races) while the pairwise check is O(n²) pairs on top of an
+//! O(n²/64) closure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memory_model::drf0;
+use memory_model::race::RaceDetector;
+use memory_model::{Execution, Loc, OpId, Operation, ProcId};
+use std::hint::black_box;
+
+/// A race-free round-robin execution with lock-style synchronization.
+fn race_free(procs: u16, per_proc: u32) -> Execution {
+    let mut ops = Vec::new();
+    for i in 0..per_proc {
+        for p in 0..procs {
+            let id = OpId::for_thread_op(ProcId(p), i);
+            let op = if i % 4 == 3 {
+                Operation::sync_rmw(id, ProcId(p), Loc(999), 0, 1)
+            } else {
+                Operation::data_write(id, ProcId(p), Loc(1000 + u32::from(p)), 1)
+            };
+            ops.push(op);
+        }
+    }
+    Execution::new(ops).expect("unique ids")
+}
+
+/// The same shape with every data access hitting one shared location:
+/// maximally racy.
+fn racy(procs: u16, per_proc: u32) -> Execution {
+    let mut ops = Vec::new();
+    for i in 0..per_proc {
+        for p in 0..procs {
+            let id = OpId::for_thread_op(ProcId(p), i);
+            ops.push(Operation::data_write(id, ProcId(p), Loc(7), 1));
+        }
+    }
+    Execution::new(ops).expect("unique ids")
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("race_detection");
+    group.sample_size(20);
+    let cases: Vec<(String, Execution)> = vec![
+        ("race_free_4p_x64".into(), race_free(4, 64)),
+        ("race_free_8p_x64".into(), race_free(8, 64)),
+        ("racy_4p_x32".into(), racy(4, 32)),
+    ];
+    for (name, exec) in &cases {
+        group.bench_with_input(BenchmarkId::new("streaming_vc", name), exec, |b, e| {
+            b.iter(|| RaceDetector::check_execution(black_box(e)));
+        });
+        group.bench_with_input(BenchmarkId::new("pairwise_hb", name), exec, |b, e| {
+            b.iter(|| drf0::is_data_race_free(black_box(e)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablation: the sequential-consistency witness search vs the Lemma-1
+//! oracle (DESIGN.md decision 2).
+//!
+//! The witness search ([`memory_model::sc::check_sc`]) works on *any*
+//! observation but is worst-case exponential; the Lemma-1 oracle needs a
+//! happens-before relation (only available for idealized executions of
+//! DRF programs) but runs in polynomial time. This bench quantifies the
+//! gap on inputs where both apply.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memory_model::hb::HbRelation;
+use memory_model::lemma1::reads_see_last_hb_write;
+use memory_model::sc::{check_sc, ScCheckConfig};
+use memory_model::{Execution, Loc, Memory, Observation, OpId, Operation, ProcId};
+use std::hint::black_box;
+
+/// A well-synchronized producer/consumer chain: `procs` processors hand a
+/// token around `rounds` times; every read is hb-ordered.
+fn handoff_chain(procs: u16, rounds: u32) -> Execution {
+    let mut ops = Vec::new();
+    let mut seq = vec![0u32; procs as usize];
+    let mut lock_val = 0u64; // atomic-memory value of the sync location
+    let mut next_id = |p: u16, seq: &mut Vec<u32>| {
+        let id = OpId::for_thread_op(ProcId(p), seq[p as usize]);
+        seq[p as usize] += 1;
+        id
+    };
+    for round in 0..rounds {
+        for p in 0..procs {
+            let val = u64::from(round) * u64::from(procs) + u64::from(p) + 1;
+            let id = next_id(p, &mut seq);
+            ops.push(Operation::data_write(id, ProcId(p), Loc(u32::from(p)), val));
+            let id = next_id(p, &mut seq);
+            ops.push(Operation::sync_rmw(id, ProcId(p), Loc(100), lock_val, 1));
+            lock_val = 1;
+        }
+    }
+    Execution::new(ops).expect("unique ids")
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sc_check");
+    group.sample_size(15);
+    for &(procs, rounds) in &[(2u16, 4u32), (4, 4), (4, 8), (6, 6)] {
+        let exec = handoff_chain(procs, rounds);
+        let obs = Observation::from_execution(&exec);
+        let initial = Memory::new();
+        let label = format!("{procs}p_x{rounds}r");
+
+        group.bench_with_input(BenchmarkId::new("witness_search", &label), &obs, |b, o| {
+            b.iter(|| {
+                let v = check_sc(black_box(o), &initial, &ScCheckConfig::default());
+                assert!(v.is_consistent());
+                v
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("lemma1_oracle", &label), &exec, |b, e| {
+            b.iter(|| {
+                let hb = HbRelation::from_execution(black_box(e));
+                reads_see_last_hb_write(e, &hb, &initial)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inconsistent_input(c: &mut Criterion) {
+    // Dekker's impossible outcome: the search must exhaust the space.
+    let (x, y) = (Loc(0), Loc(1));
+    let obs = Observation::new(vec![
+        memory_model::ThreadTrace::new(
+            ProcId(0),
+            vec![
+                Operation::data_write(OpId::for_thread_op(ProcId(0), 0), ProcId(0), x, 1),
+                Operation::data_read(OpId::for_thread_op(ProcId(0), 1), ProcId(0), y, 0),
+            ],
+        ),
+        memory_model::ThreadTrace::new(
+            ProcId(1),
+            vec![
+                Operation::data_write(OpId::for_thread_op(ProcId(1), 0), ProcId(1), y, 1),
+                Operation::data_read(OpId::for_thread_op(ProcId(1), 1), ProcId(1), x, 0),
+            ],
+        ),
+    ])
+    .expect("valid observation");
+    c.bench_function("sc_check/inconsistent_dekker", |b| {
+        b.iter(|| check_sc(black_box(&obs), &Memory::new(), &ScCheckConfig::default()));
+    });
+}
+
+criterion_group!(benches, bench_checkers, bench_inconsistent_input);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! The **Definition 2 verification** experiment: empirical evidence that
+//! each hardware model is (or is not) weakly ordered with respect to DRF0,
+//! plus the Section 5.1 condition audit and the racy-program behavior the
+//! paper warns about.
+//!
+//! * Every DRF0 program in the corpus must appear sequentially consistent
+//!   on SC, Definition-1, Definition-2 and optimized Definition-2
+//!   machines, for every seed (Definition 2 + the Section 6 claim that
+//!   Def1 hardware is weakly ordered under the new definition too).
+//! * The Section 5.1 conditions must hold on every Definition-2 trace
+//!   (the executable Appendix B).
+//! * Racy programs may — and do — produce non-SC results on the weak
+//!   machines ("the definition allows hardware to return random values
+//!   when the synchronization model is violated").
+
+use litmus::corpus;
+use litmus::explore::ExploreConfig;
+use memsim::presets;
+use weakord::{conditions, Drf0, Drf1, SynchronizationModel};
+use wo_bench::{sc_census, table};
+
+fn main() {
+    let seeds: Vec<u64> = (0..16).collect();
+    let budget = ExploreConfig { max_ops_per_execution: 48, ..ExploreConfig::default() };
+
+    println!("Definition 2 verification — DRF0 corpus on every hardware model");
+    println!("(cells: runs appearing SC / total runs)\n");
+
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for (name, program) in corpus::drf0_suite() {
+        let verdict = Drf0.obeys(&program, &budget);
+        assert!(verdict.is_obeys(), "{name} must be DRF0: {verdict:?}");
+        let mut row = vec![name.to_string()];
+        for (_, policy) in presets::all_policies() {
+            let base = presets::network_cached(program.num_threads(), policy, 0);
+            let (sc, viol, inc) = sc_census(&program, &base, &seeds);
+            row.push(format!("{sc}/{}", seeds.len()));
+            if viol > 0 || inc > 0 {
+                all_ok = false;
+            }
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        table(&["DRF0 program", "SC", "WO-Def1", "WO-Def2", "WO-Def2-opt"], &rows)
+    );
+    println!(
+        "All DRF0 runs appear sequentially consistent: {}\n",
+        if all_ok { "YES" } else { "NO (VIOLATION!)" }
+    );
+    assert!(all_ok, "Definition 2 verification failed");
+
+    // ---- Section 5.1 condition audit on Def2 traces -------------------
+    println!("Section 5.1 condition audit (executable Appendix B), WO-Def2 traces:");
+    let mut audit_rows = Vec::new();
+    for (name, program) in corpus::drf0_suite() {
+        let mut violations = 0usize;
+        for &seed in &seeds {
+            let cfg = presets::network_cached(program.num_threads(), presets::wo_def2(), seed);
+            let result = memsim::Machine::run_program(&program, &cfg)
+                .expect("harness config is valid");
+            violations += conditions::check_all(&result, &program.initial_memory()).len();
+        }
+        audit_rows.push(vec![
+            name.to_string(),
+            seeds.len().to_string(),
+            violations.to_string(),
+        ]);
+        assert_eq!(violations, 0, "{name}: Section 5.1 conditions violated");
+    }
+    println!("{}", table(&["program", "runs", "condition violations"], &audit_rows));
+
+    // ---- Racy programs: the contract promises nothing -----------------
+    println!("Racy programs on weak machines (non-SC results are permitted):");
+    let mut racy_rows = Vec::new();
+    for (name, program) in corpus::racy_suite() {
+        let verdict = Drf0.obeys(&program, &budget);
+        assert!(verdict.is_violation(), "{name} must violate DRF0");
+        let mut row = vec![name.to_string()];
+        for (_, policy) in presets::all_policies() {
+            let base = memsim::MachineConfig {
+                interconnect: memsim::InterconnectConfig::Network {
+                    min_latency: 2,
+                    max_latency: 50,
+                    ack_extra_delay: 200,
+                },
+                ..presets::network_cached(program.num_threads(), policy, 0)
+            };
+            let (_, viol, _) = sc_census(&program, &base, &seeds);
+            row.push(format!("{viol}/{}", seeds.len()));
+        }
+        racy_rows.push(row);
+    }
+    println!(
+        "{}",
+        table(
+            &["racy program", "SC viol.", "Def1 viol.", "Def2 viol.", "Def2-opt viol."],
+            &racy_rows
+        )
+    );
+    println!("Expected shape: the SC column is all zeros (SC hardware appears SC to");
+    println!("everything); the weak machines may show violations on racy programs.");
+
+    // ---- Section 6: the refined model licenses the optimized machine ---
+    println!("
+Section 6 refined model (DRF1-style) on the corpus:");
+    let mut rows = Vec::new();
+    for (name, program) in corpus::drf0_suite() {
+        let v0 = Drf0.obeys(&program, &budget);
+        let v1 = Drf1.obeys(&program, &budget);
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", v0.is_obeys()),
+            format!("{}", v1.is_obeys()),
+        ]);
+        assert_eq!(
+            v0.is_obeys(),
+            v1.is_obeys(),
+            "{name}: the refinement must not reject DRF0 corpus programs"
+        );
+    }
+    println!("{}", table(&["program", "obeys DRF0", "obeys refined"], &rows));
+    println!("The verdicts coincide — the paper's claim that the refinement \"does");
+    println!("not compromise on the generality of the software allowed by DRF0\",");
+    println!("which is what licenses running DRF0 programs on WO-Def2-opt.");
+}

@@ -1,0 +1,160 @@
+//! Regenerates **Figure 3**: the stall analysis of the old (Definition 1)
+//! versus the new (Definition 2) implementation.
+//!
+//! Scenario (from the paper): `P0` writes `x` — a write that takes a long
+//! time to be globally performed — does other work, `Unset`s `s`, and
+//! does more work. `P1` `TestAndSet`s `s` and then reads `x`.
+//!
+//! * Definition 1 stalls **P0** at the `Unset` until `W(x)` is globally
+//!   performed, and `P1`'s `TestAndSet` also waits.
+//! * The Definition 2 implementation never stalls `P0` (it commits the
+//!   `Unset` and moves on); only **P1** waits, via the reserve bit, until
+//!   `W(x)` is globally performed.
+//!
+//! The sweep stretches the invalidation-acknowledgement delay (how long a
+//! write takes to globally perform) and reports each processor's
+//! synchronization stall cycles and finish time under both policies.
+
+use litmus::{corpus, Program, Reg, Thread};
+use memory_model::Loc;
+use memsim::{presets, InterconnectConfig, MachineConfig, Policy, StallReason};
+use wo_bench::table;
+
+/// The Figure 3 scenario with a warm sharer so `W(x)` needs a (slow)
+/// invalidation round: `P2` reads `x`, then signals `P0` through sync
+/// location `t`.
+fn fig3_program(work: u32) -> Program {
+    let mut p0 = Thread::new()
+        .sync_read(corpus::LOC_T, Reg(2))
+        .branch_ne(Reg(2), 1u64, 0)
+        .write(corpus::LOC_X, 1);
+    for i in 0..work {
+        p0 = p0.write(Loc(10 + i), 1); // "does other work"
+    }
+    p0 = p0.sync_write(corpus::LOC_S, 0); // Unset(s)
+    for i in 0..work {
+        p0 = p0.write(Loc(50 + i), 1); // "does more work"
+    }
+    let p1 = Thread::new()
+        .test_and_set(corpus::LOC_S, Reg(0))
+        .branch_ne(Reg(0), 0u64, 0)
+        .read(corpus::LOC_X, Reg(1));
+    let p2 = Thread::new()
+        .read(corpus::LOC_X, Reg(0))
+        .sync_write(corpus::LOC_T, 1);
+    Program::new(vec![p0, p1, p2])
+        .expect("static program is valid")
+        .with_init(vec![(corpus::LOC_S, 1)])
+}
+
+fn run_policy(
+    program: &Program,
+    policy: Policy,
+    ack_delay: u64,
+    seed: u64,
+) -> (u64, u64, u64, u64) {
+    let cfg = MachineConfig {
+        interconnect: InterconnectConfig::Network {
+            min_latency: 4,
+            max_latency: 8,
+            ack_extra_delay: ack_delay,
+        },
+        ..presets::network_cached(3, policy, seed)
+    };
+    let result = memsim::Machine::run_program(program, &cfg)
+        .expect("harness config is valid");
+    assert!(result.completed, "fig3 run must complete");
+    assert_eq!(result.outcome.regs[1][1], 1, "hand-off must observe x == 1");
+    let p0 = &result.stats.procs[0];
+    let p1 = &result.stats.procs[1];
+    let p0_sync_stall = p0.stall(StallReason::Def1BeforeSync)
+        + p0.stall(StallReason::Def1AfterSync)
+        + p0.stall(StallReason::SyncCommit);
+    let p1_sync_stall = p1.stall(StallReason::Def1BeforeSync)
+        + p1.stall(StallReason::Def1AfterSync)
+        + p1.stall(StallReason::SyncCommit);
+    (p0_sync_stall, p1_sync_stall, p0.finish_time, p1.finish_time)
+}
+
+fn main() {
+    let program = fig3_program(3);
+    let seeds: Vec<u64> = (0..10).collect();
+    let mut rows = Vec::new();
+
+    for ack_delay in [0u64, 100, 200, 400, 800] {
+        for (name, policy) in [("WO-Def1", presets::wo_def1()), ("WO-Def2", presets::wo_def2())]
+        {
+            let mut p0_stall = 0.0;
+            let mut p1_stall = 0.0;
+            let mut p0_finish = 0.0;
+            let mut p1_finish = 0.0;
+            for &seed in &seeds {
+                let (s0, s1, f0, f1) = run_policy(&program, policy, ack_delay, seed);
+                p0_stall += s0 as f64;
+                p1_stall += s1 as f64;
+                p0_finish += f0 as f64;
+                p1_finish += f1 as f64;
+            }
+            let n = seeds.len() as f64;
+            rows.push(vec![
+                ack_delay.to_string(),
+                name.to_string(),
+                format!("{:.0}", p0_stall / n),
+                format!("{:.0}", p1_stall / n),
+                format!("{:.0}", p0_finish / n),
+                format!("{:.0}", p1_finish / n),
+            ]);
+        }
+    }
+
+    println!("Figure 3 — stall analysis: Definition 1 vs the Definition 2 implementation");
+    println!("(ack-delay = extra cycles for invalidation acks, i.e. how long W(x) takes");
+    println!(" to be globally performed; stalls are mean sync-related stall cycles)\n");
+    println!(
+        "{}",
+        table(
+            &[
+                "ack delay",
+                "policy",
+                "P0 sync stall",
+                "P1 sync stall",
+                "P0 finish",
+                "P1 finish",
+            ],
+            &rows
+        )
+    );
+    println!("Paper's claim: as the write's global-perform time grows, Def1's P0 stall");
+    println!("grows with it while Def2's P0 stall stays flat; P1 waits under both.");
+    if let Ok(path) = wo_bench::write_csv(
+        "fig3_stall_analysis",
+        &["ack_delay", "policy", "p0_sync_stall", "p1_sync_stall", "p0_finish", "p1_finish"],
+        &rows,
+    ) {
+        println!("\n(csv: {})", path.display());
+    }
+
+    // The figure itself, as timelines (one seed, 400-cycle ack delay):
+    // '|' issue, 'C' commit, 'G' globally performed, '.' the commit→GP gap.
+    for (name, policy) in [("WO-Def1", presets::wo_def1()), ("WO-Def2", presets::wo_def2())]
+    {
+        let cfg = MachineConfig {
+            interconnect: InterconnectConfig::Network {
+                min_latency: 4,
+                max_latency: 8,
+                ack_extra_delay: 400,
+            },
+            ..presets::network_cached(3, policy, 1)
+        };
+        let result = memsim::Machine::run_program(&fig3_program(3), &cfg)
+            .expect("harness config is valid");
+        println!("\nTimeline, {name} (ack +400cy):");
+        print!(
+            "{}",
+            memsim::timeline::render(
+                &result,
+                &memsim::timeline::TimelineConfig { width: 72, max_ops: 18 }
+            )
+        );
+    }
+}

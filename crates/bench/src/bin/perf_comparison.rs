@@ -1,0 +1,158 @@
+//! The **quantitative performance comparison** the paper proposes as
+//! future work (Section 7): SC vs Definition-1 weak ordering vs the
+//! Definition-2 implementation (plain and Section-6-optimized), on
+//! synthetic data-race-free kernels.
+//!
+//! Three sweeps:
+//!
+//! 1. **Synchronization frequency** — data accesses per critical section,
+//!    at fixed processors and latency. Weak ordering's advantage grows
+//!    with the fraction of ordinary accesses it can overlap.
+//! 2. **Write global-perform latency** (invalidation-ack delay) — the
+//!    lever of Figure 3. Def1 pays it at every synchronization operation;
+//!    Def2 mostly hides it.
+//! 3. **Processor count** — contention on the shared lock.
+//!
+//! Reported numbers are total cycles to finish the kernel (mean over
+//! seeds), normalized speedup over SC.
+
+use memsim::workload::{doall_kernel, drf_kernel, pipeline_kernel, DrfKernelConfig};
+use memsim::{presets, InterconnectConfig, Machine, MachineConfig};
+use wo_bench::table;
+
+fn mean_cycles(program: &litmus::Program, base: &MachineConfig, seeds: &[u64]) -> f64 {
+    let mut total = 0.0;
+    for &seed in seeds {
+        let cfg = MachineConfig { seed, ..*base };
+        let r = Machine::run_program(program, &cfg).expect("harness config is valid");
+        assert!(r.completed, "kernel must finish");
+        total += r.cycles as f64;
+    }
+    total / seeds.len() as f64
+}
+
+fn sweep_row(
+    label: String,
+    program: &litmus::Program,
+    procs: usize,
+    ic: InterconnectConfig,
+    seeds: &[u64],
+) -> Vec<String> {
+    let mut row = vec![label];
+    let sc_base = MachineConfig {
+        interconnect: ic,
+        ..presets::network_cached(procs, presets::sc(), 0)
+    };
+    let sc_cycles = mean_cycles(program, &sc_base, seeds);
+    row.push(format!("{sc_cycles:.0}"));
+    for policy in [presets::wo_def1(), presets::wo_def2(), presets::wo_def2_optimized()] {
+        let base = MachineConfig { interconnect: ic, ..presets::network_cached(procs, policy, 0) };
+        let cycles = mean_cycles(program, &base, seeds);
+        row.push(format!("{cycles:.0} ({:.2}x)", sc_cycles / cycles));
+    }
+    row
+}
+
+fn main() {
+    let seeds: Vec<u64> = (0..5).collect();
+    let header = ["sweep point", "SC cycles", "WO-Def1", "WO-Def2", "WO-Def2-opt"];
+    let mut all_rows: Vec<Vec<String>> = Vec::new();
+
+    // ---- Sweep 1: synchronization frequency ---------------------------
+    println!("Performance comparison (Section 7's proposed study)");
+    println!("\nSweep 1: data accesses per critical section (4 procs, net 8-24cy):");
+    let mut rows = Vec::new();
+    for accesses in [4u32, 8, 16, 32, 64] {
+        let kernel = drf_kernel(&DrfKernelConfig {
+            threads: 4,
+            phases: 4,
+            accesses_per_phase: accesses,
+            ..Default::default()
+        });
+        rows.push(sweep_row(
+            format!("{accesses} accesses/sync"),
+            &kernel,
+            4,
+            InterconnectConfig::network(),
+            &seeds,
+        ));
+    }
+    println!("{}", table(&header, &rows));
+    all_rows.extend(rows.iter().cloned());
+
+    // ---- Sweep 2: write global-perform latency -------------------------
+    println!("Sweep 2: invalidation-ack delay (4 procs, 16 accesses/sync):");
+    let kernel = drf_kernel(&DrfKernelConfig { threads: 4, phases: 4, ..Default::default() });
+    let mut rows = Vec::new();
+    for ack in [0u64, 50, 100, 200, 400] {
+        let ic = InterconnectConfig::Network {
+            min_latency: 8,
+            max_latency: 24,
+            ack_extra_delay: ack,
+        };
+        rows.push(sweep_row(format!("ack +{ack}cy"), &kernel, 4, ic, &seeds));
+    }
+    println!("{}", table(&header, &rows));
+    all_rows.extend(rows.iter().cloned());
+
+    // ---- Sweep 3: processor count --------------------------------------
+    println!("Sweep 3: processor count (16 accesses/sync):");
+    let mut rows = Vec::new();
+    for procs in [2usize, 4, 8, 16] {
+        let kernel = drf_kernel(&DrfKernelConfig {
+            threads: procs,
+            phases: 4,
+            ..Default::default()
+        });
+        rows.push(sweep_row(
+            format!("{procs} procs"),
+            &kernel,
+            procs,
+            InterconnectConfig::network(),
+            &seeds,
+        ));
+    }
+    println!("{}", table(&header, &rows));
+
+    all_rows.extend(rows.iter().cloned());
+
+    // ---- Sweep 4: workload class (Section 7's paradigms) ----------------
+    println!("Sweep 4: workload class (4 procs):");
+    let classes: Vec<(&str, litmus::Program)> = vec![
+        ("lock kernel", drf_kernel(&DrfKernelConfig { threads: 4, phases: 4, ..Default::default() })),
+        ("do-all sweep", doall_kernel(4, 24, 3)),
+        ("pipeline", pipeline_kernel(4, 6)),
+    ];
+    let mut rows = Vec::new();
+    for (name, program) in &classes {
+        rows.push(sweep_row(
+            (*name).to_string(),
+            program,
+            4,
+            InterconnectConfig::network(),
+            &seeds,
+        ));
+    }
+    println!("{}", table(&header, &rows));
+    all_rows.extend(rows.iter().cloned());
+
+    if let Ok(path) = wo_bench::write_csv("perf_comparison", &header, &all_rows) {
+        println!("(csv: {})\n", path.display());
+    }
+    println!("Expected shape: the weak orderings beat SC everywhere; Def2 ≥ Def1 when");
+    println!("writes are slow to globally perform (sweep 2), because Def1 stalls the");
+    println!("issuing processor at every synchronization operation and Def2 does not.");
+
+    // ---- Latency profile at the +200cy ack point ------------------------
+    println!("\nLatency profile (ack +200cy, WO-Def2): what the levers actually move:");
+    let ic = InterconnectConfig::Network { min_latency: 8, max_latency: 24, ack_extra_delay: 200 };
+    let kernel = drf_kernel(&DrfKernelConfig { threads: 4, phases: 4, ..Default::default() });
+    for (name, policy) in [("WO-Def1", presets::wo_def1()), ("WO-Def2", presets::wo_def2())] {
+        let cfg = MachineConfig { interconnect: ic, ..presets::network_cached(4, policy, 0) };
+        let r = Machine::run_program(&kernel, &cfg).expect("harness config is valid");
+        let p = r.latency_profile();
+        println!("  {name:<8} read latency: {}", p.read_latency);
+        println!("  {name:<8} sync commit : {}", p.sync_commit_latency);
+        println!("  {name:<8} write GP lag: {}", p.write_gp_lag);
+    }
+}

@@ -1,0 +1,148 @@
+//! The **Section 6 serialization experiment**: repeated testing of a
+//! synchronization variable (test-and-`TestAndSet` spinning) on the plain
+//! Definition-2 implementation versus the read-only-synchronization
+//! optimized variant.
+//!
+//! The plain implementation treats every synchronization operation —
+//! including the read-only `Test` — as a write, so concurrent spinners
+//! ping-pong the lock line in exclusive state: "this can lead to a
+//! significant performance degradation". The optimized variant lets
+//! `Test`s share the line, restoring the point of test-and-test&set.
+
+use litmus::corpus;
+use memsim::{presets, Machine, MachineConfig};
+use wo_bench::table;
+
+fn run(
+    program: &litmus::Program,
+    procs: usize,
+    policy: memsim::Policy,
+    seeds: &[u64],
+) -> (f64, f64, f64) {
+    let mut cycles = 0.0;
+    let mut getx = 0.0;
+    let mut recalls = 0.0;
+    for &seed in seeds {
+        let cfg = MachineConfig { seed, ..presets::network_cached(procs, policy, 0) };
+        let r = Machine::run_program(program, &cfg).expect("harness config is valid");
+        assert!(r.completed);
+        let dir = r.stats.directory.as_ref().expect("cached machine");
+        cycles += r.cycles as f64;
+        getx += dir.get_exclusive as f64;
+        recalls += dir.recalls as f64;
+    }
+    let n = seeds.len() as f64;
+    (cycles / n, getx / n, recalls / n)
+}
+
+fn main() {
+    let seeds: Vec<u64> = (0..5).collect();
+    println!("Section 6 — serialization of read-only synchronization (Test) operations");
+    println!("Workload: test-and-TestAndSet spinlock, 2 increments per processor\n");
+
+    let mut rows = Vec::new();
+    for procs in [2usize, 4, 8] {
+        let program = corpus::tts_spinlock(procs, 2);
+        for (name, policy) in [
+            ("WO-Def2 (plain)", presets::wo_def2()),
+            ("WO-Def2-opt", presets::wo_def2_optimized()),
+        ] {
+            let (cycles, getx, recalls) = run(&program, procs, policy, &seeds);
+            rows.push(vec![
+                format!("{procs} procs"),
+                name.to_string(),
+                format!("{cycles:.0}"),
+                format!("{getx:.0}"),
+                format!("{recalls:.0}"),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &["contention", "policy", "cycles", "exclusive transfers", "recalls"],
+            &rows
+        )
+    );
+
+    // NACK vs queue ablation (DESIGN.md decision 4): Section 5.3 offers
+    // either a retry NACK or a queue of stalled requests serviced when the
+    // counter reads zero.
+    println!("Stalled-sync handling ablation (TAS spinlock, 4 procs, slow acks):");
+    let mut rows = Vec::new();
+    {
+        let program = corpus::spinlock(4, 2);
+        for (name, policy) in [
+            ("NACK + retry", presets::wo_def2()),
+            ("queue at owner", presets::wo_def2_queued()),
+        ] {
+            let mut cycles = 0.0;
+            let mut messages = 0.0;
+            let mut nacks = 0.0;
+            for &seed in &seeds {
+                let cfg = MachineConfig {
+                    interconnect: memsim::InterconnectConfig::Network {
+                        min_latency: 8,
+                        max_latency: 24,
+                        ack_extra_delay: 200,
+                    },
+                    seed,
+                    ..presets::network_cached(4, policy, 0)
+                };
+                let r = Machine::run_program(&program, &cfg).expect("valid config");
+                assert!(r.completed);
+                cycles += r.cycles as f64;
+                messages += r.stats.messages as f64;
+                nacks += r.stats.directory.as_ref().unwrap().nacks as f64;
+            }
+            let n = seeds.len() as f64;
+            rows.push(vec![
+                name.to_string(),
+                format!("{:.0}", cycles / n),
+                format!("{:.0}", messages / n),
+                format!("{:.0}", nacks / n),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table(&["stall handling", "cycles", "interconnect msgs", "nacks"], &rows)
+    );
+
+    println!("Plain TestAndSet spinlock (no Test), for reference:");
+    let mut rows = Vec::new();
+    for procs in [2usize, 4, 8] {
+        let program = corpus::spinlock(procs, 2);
+        for (name, policy) in [
+            ("WO-Def2 (plain)", presets::wo_def2()),
+            ("WO-Def2-opt", presets::wo_def2_optimized()),
+        ] {
+            let (cycles, getx, recalls) = run(&program, procs, policy, &seeds);
+            rows.push(vec![
+                format!("{procs} procs"),
+                name.to_string(),
+                format!("{cycles:.0}"),
+                format!("{getx:.0}"),
+                format!("{recalls:.0}"),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &["contention", "policy", "cycles", "exclusive transfers", "recalls"],
+            &rows
+        )
+    );
+    if let Ok(path) = wo_bench::write_csv(
+        "tts_serialization",
+        &["contention", "policy", "cycles", "exclusive_transfers", "recalls"],
+        &rows,
+    ) {
+        println!("(csv: {})\n", path.display());
+    }
+    println!("Expected shape: under contention, the optimized variant needs far fewer");
+    println!("exclusive transfers on the TTS workload (Tests ride shared copies), and");
+    println!("the gap grows with processor count; on the plain TAS lock the variants");
+    println!("behave alike (every operation writes).");
+}

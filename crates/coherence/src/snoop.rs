@@ -1,0 +1,314 @@
+//! A snooping (bus-broadcast) invalidation protocol — the canonical
+//! coherence design for Figure 1's *shared-bus system with caches*.
+//!
+//! The paper's Section 2.1 surveys bus-based cache-coherence protocols
+//! (Archibald & Baer's taxonomy, Rudolph & Segall's provably sequentially
+//! consistent designs); this module provides an MSI write-invalidate
+//! protocol over an **atomic bus**: one transaction at a time, observed
+//! by every cache simultaneously at the grant.
+//!
+//! The key contrast with the directory protocol of Section 5.2: on the
+//! atomic bus a write *commits and is globally performed at the same
+//! instant* (the bus grant invalidates every other copy synchronously),
+//! so there is no commit/globally-performed gap for reserve bits to
+//! exploit — which is exactly why the paper's Definition 2 implementation
+//! targets the general-interconnection machine instead. The simulator
+//! therefore supports SC, Relaxed and Definition-1 policies on snooping
+//! machines but not the Section 5.3 implementation.
+
+use memory_model::{Loc, Memory, ProcId, Value};
+
+use crate::LineState;
+
+/// A bus transaction, broadcast to all caches atomically at the grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusOp {
+    /// Read miss: fetch the line in shared state.
+    Read {
+        /// The missing line.
+        loc: Loc,
+    },
+    /// Write (or synchronization) miss/upgrade: fetch the line in
+    /// exclusive state, invalidating every other copy.
+    ReadExclusive {
+        /// The line being claimed.
+        loc: Loc,
+    },
+}
+
+impl BusOp {
+    /// The line the transaction concerns.
+    #[must_use]
+    pub fn loc(&self) -> Loc {
+        match self {
+            BusOp::Read { loc } | BusOp::ReadExclusive { loc } => *loc,
+        }
+    }
+}
+
+/// Statistics of a snooping bus.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnoopStats {
+    /// Read transactions carried.
+    pub reads: u64,
+    /// Read-exclusive transactions carried.
+    pub read_exclusives: u64,
+    /// Copies invalidated by read-exclusive transactions.
+    pub invalidations: u64,
+    /// Dirty interventions (an exclusive owner supplied the data).
+    pub interventions: u64,
+}
+
+/// The snooping bus with its attached caches and backing memory.
+///
+/// All coherence actions happen inside [`SnoopBus::transact`], which
+/// models the atomic bus grant: every cache snoops the same transaction
+/// in the same instant, so writes are globally performed the moment they
+/// commit.
+///
+/// # Examples
+///
+/// ```
+/// use coherence::snoop::{BusOp, SnoopBus};
+/// use coherence::LineState;
+/// use memory_model::{Loc, Memory, ProcId};
+///
+/// let mut bus = SnoopBus::new(2, Memory::new());
+/// // P0 claims the line exclusively and writes 7 locally.
+/// bus.transact(ProcId(0), BusOp::ReadExclusive { loc: Loc(0) });
+/// bus.write_local(ProcId(0), Loc(0), 7);
+/// // P1's read intervenes on P0's dirty copy.
+/// let v = bus.transact(ProcId(1), BusOp::Read { loc: Loc(0) });
+/// assert_eq!(v, 7);
+/// assert_eq!(bus.line_state(ProcId(0), Loc(0)), LineState::Shared);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SnoopBus {
+    /// lines[p] holds processor p's cache.
+    lines: Vec<std::collections::HashMap<Loc, (LineState, Value)>>,
+    memory: Memory,
+    stats: SnoopStats,
+}
+
+impl SnoopBus {
+    /// Creates a bus with `n` empty caches over `initial` memory.
+    #[must_use]
+    pub fn new(n: usize, initial: Memory) -> Self {
+        SnoopBus {
+            lines: vec![std::collections::HashMap::new(); n],
+            memory: initial,
+            stats: SnoopStats::default(),
+        }
+    }
+
+    /// The state of `loc` in `proc`'s cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    #[must_use]
+    pub fn line_state(&self, proc: ProcId, loc: Loc) -> LineState {
+        self.lines[proc.index()]
+            .get(&loc)
+            .map_or(LineState::Invalid, |&(s, _)| s)
+    }
+
+    /// The value of `loc` in `proc`'s cache, if resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    #[must_use]
+    pub fn cached_value(&self, proc: ProcId, loc: Loc) -> Option<Value> {
+        self.lines[proc.index()]
+            .get(&loc)
+            .filter(|&&(s, _)| s != LineState::Invalid)
+            .map(|&(_, v)| v)
+    }
+
+    /// Writes `value` into `proc`'s exclusively held line — a local cache
+    /// hit, no bus traffic. On the atomic bus this is simultaneously the
+    /// commit and the global perform: no other copy exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not held exclusively (a protocol violation).
+    pub fn write_local(&mut self, proc: ProcId, loc: Loc, value: Value) {
+        let entry = self.lines[proc.index()]
+            .get_mut(&loc)
+            .expect("local write to an absent line");
+        assert_eq!(entry.0, LineState::Exclusive, "local write needs exclusivity");
+        entry.1 = value;
+    }
+
+    /// Executes one atomic bus transaction at the grant, returning the
+    /// value of the line as granted to the requester.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn transact(&mut self, proc: ProcId, op: BusOp) -> Value {
+        let loc = op.loc();
+        let p = proc.index();
+        match op {
+            BusOp::Read { .. } => {
+                self.stats.reads += 1;
+                // A dirty owner supplies the data and downgrades.
+                let mut value = self.memory.read(loc);
+                for (q, cache) in self.lines.iter_mut().enumerate() {
+                    if q == p {
+                        continue;
+                    }
+                    if let Some(entry) = cache.get_mut(&loc) {
+                        if entry.0 == LineState::Exclusive {
+                            value = entry.1;
+                            entry.0 = LineState::Shared;
+                            self.memory.write(loc, value);
+                            self.stats.interventions += 1;
+                        }
+                    }
+                }
+                self.lines[p].insert(loc, (LineState::Shared, value));
+                value
+            }
+            BusOp::ReadExclusive { .. } => {
+                self.stats.read_exclusives += 1;
+                let mut value = self.memory.read(loc);
+                for (q, cache) in self.lines.iter_mut().enumerate() {
+                    if q == p {
+                        continue;
+                    }
+                    if let Some(entry) = cache.get_mut(&loc) {
+                        if entry.0 != LineState::Invalid {
+                            if entry.0 == LineState::Exclusive {
+                                value = entry.1;
+                                self.memory.write(loc, value);
+                                self.stats.interventions += 1;
+                            }
+                            entry.0 = LineState::Invalid;
+                            self.stats.invalidations += 1;
+                        }
+                    }
+                }
+                // Keep a previously shared copy's value if we had one; the
+                // granted value is authoritative either way.
+                self.lines[p].insert(loc, (LineState::Exclusive, value));
+                value
+            }
+        }
+    }
+
+    /// The coherent value of `loc`: a dirty owner's copy, else memory.
+    #[must_use]
+    pub fn coherent_value(&self, loc: Loc) -> Value {
+        for cache in &self.lines {
+            if let Some(&(LineState::Exclusive, v)) = cache.get(&loc) {
+                return v;
+            }
+        }
+        self.memory.read(loc)
+    }
+
+    /// Protocol counters.
+    #[must_use]
+    pub fn stats(&self) -> &SnoopStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: Loc = Loc(3);
+
+    #[test]
+    fn read_miss_fetches_from_memory() {
+        let mut init = Memory::new();
+        init.write(L, 9);
+        let mut bus = SnoopBus::new(2, init);
+        assert_eq!(bus.transact(ProcId(0), BusOp::Read { loc: L }), 9);
+        assert_eq!(bus.line_state(ProcId(0), L), LineState::Shared);
+        assert_eq!(bus.cached_value(ProcId(0), L), Some(9));
+    }
+
+    #[test]
+    fn read_exclusive_invalidates_all_sharers() {
+        let mut bus = SnoopBus::new(3, Memory::new());
+        bus.transact(ProcId(1), BusOp::Read { loc: L });
+        bus.transact(ProcId(2), BusOp::Read { loc: L });
+        bus.transact(ProcId(0), BusOp::ReadExclusive { loc: L });
+        assert_eq!(bus.line_state(ProcId(0), L), LineState::Exclusive);
+        assert_eq!(bus.line_state(ProcId(1), L), LineState::Invalid);
+        assert_eq!(bus.line_state(ProcId(2), L), LineState::Invalid);
+        assert_eq!(bus.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn dirty_intervention_on_read() {
+        let mut bus = SnoopBus::new(2, Memory::new());
+        bus.transact(ProcId(0), BusOp::ReadExclusive { loc: L });
+        bus.write_local(ProcId(0), L, 42);
+        let v = bus.transact(ProcId(1), BusOp::Read { loc: L });
+        assert_eq!(v, 42);
+        assert_eq!(bus.line_state(ProcId(0), L), LineState::Shared);
+        assert_eq!(bus.stats().interventions, 1);
+        // Memory was updated by the intervention.
+        assert_eq!(bus.coherent_value(L), 42);
+    }
+
+    #[test]
+    fn dirty_intervention_on_read_exclusive() {
+        let mut bus = SnoopBus::new(2, Memory::new());
+        bus.transact(ProcId(0), BusOp::ReadExclusive { loc: L });
+        bus.write_local(ProcId(0), L, 7);
+        let v = bus.transact(ProcId(1), BusOp::ReadExclusive { loc: L });
+        assert_eq!(v, 7, "ownership migrates with the current value");
+        assert_eq!(bus.line_state(ProcId(0), L), LineState::Invalid);
+        assert_eq!(bus.line_state(ProcId(1), L), LineState::Exclusive);
+    }
+
+    #[test]
+    fn coherent_value_prefers_dirty_owner() {
+        let mut bus = SnoopBus::new(2, Memory::new());
+        bus.transact(ProcId(0), BusOp::ReadExclusive { loc: L });
+        bus.write_local(ProcId(0), L, 5);
+        assert_eq!(bus.coherent_value(L), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs exclusivity")]
+    fn local_write_requires_exclusivity() {
+        let mut bus = SnoopBus::new(2, Memory::new());
+        bus.transact(ProcId(0), BusOp::Read { loc: L });
+        bus.write_local(ProcId(0), L, 5);
+    }
+
+    #[test]
+    fn upgrade_from_shared_keeps_latest_value() {
+        let mut init = Memory::new();
+        init.write(L, 3);
+        let mut bus = SnoopBus::new(2, init);
+        bus.transact(ProcId(0), BusOp::Read { loc: L });
+        bus.transact(ProcId(1), BusOp::Read { loc: L });
+        let v = bus.transact(ProcId(0), BusOp::ReadExclusive { loc: L });
+        assert_eq!(v, 3);
+        assert_eq!(bus.line_state(ProcId(1), L), LineState::Invalid);
+    }
+
+    #[test]
+    fn torture_interleaved_ownership_migration() {
+        let mut bus = SnoopBus::new(4, Memory::new());
+        let mut expected = 0;
+        for round in 0..20u64 {
+            let writer = ProcId((round % 4) as u16);
+            bus.transact(writer, BusOp::ReadExclusive { loc: L });
+            expected = 100 + round;
+            bus.write_local(writer, L, expected);
+            let reader = ProcId(((round + 1) % 4) as u16);
+            let v = bus.transact(reader, BusOp::Read { loc: L });
+            assert_eq!(v, expected, "round {round}");
+        }
+        assert_eq!(bus.coherent_value(L), expected);
+    }
+}

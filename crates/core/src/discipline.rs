@@ -1,0 +1,269 @@
+//! Paradigm-specific synchronization models (Section 7).
+//!
+//! The paper closes by proposing "the construction of other
+//! synchronization models optimized for particular software paradigms,
+//! such as sharing only through monitors, or parallelism only from do-all
+//! loops". This module builds both as instances of
+//! [`SynchronizationModel`], demonstrating the extensibility Definition 2
+//! was designed for:
+//!
+//! * [`DoAllDiscipline`] — do-all-loop parallelism: iterations (threads)
+//!   share **nothing**; any cross-thread conflicting pair of accesses at
+//!   all violates the model. Strictly stronger than DRF0 (nothing to
+//!   race on).
+//! * [`MonitorDiscipline`] — monitor-style sharing: every shared data
+//!   location is consistently protected by at least one lock (an
+//!   Eraser-style lockset check). A lock is acquired by a successful
+//!   `TestAndSet` (old value 0) and released by a `Set`/`Unset` writing 0
+//!   to the same location. Also stronger than DRF0 on these primitives.
+//!
+//! Both models quantify over all idealized executions, like DRF0. Since
+//! each is a *subset* of DRF0-compliant software, Definition 2 gives
+//! immediately: hardware weakly ordered with respect to DRF0 is weakly
+//! ordered with respect to either discipline.
+
+use std::collections::{HashMap, HashSet};
+
+use litmus::explore::{explore, ExploreConfig};
+use litmus::Program;
+use memory_model::{Execution, Loc, OpKind, ProcId};
+
+use crate::model::{ModelVerdict, ModelViolation, SynchronizationModel};
+
+/// Do-all-loop parallelism: threads share no location at all (no
+/// cross-thread conflicting accesses, data *or* synchronization).
+///
+/// # Examples
+///
+/// ```
+/// use litmus::{Program, Thread, Reg};
+/// use litmus::explore::ExploreConfig;
+/// use memory_model::Loc;
+/// use weakord::{DoAllDiscipline, SynchronizationModel};
+///
+/// // Disjoint partitions: a legal do-all body.
+/// let p = Program::new(vec![
+///     Thread::new().write(Loc(0), 1).read(Loc(0), Reg(0)),
+///     Thread::new().write(Loc(1), 1).read(Loc(1), Reg(0)),
+/// ]).unwrap();
+/// assert!(DoAllDiscipline.obeys(&p, &ExploreConfig::default()).is_obeys());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DoAllDiscipline;
+
+impl SynchronizationModel for DoAllDiscipline {
+    fn name(&self) -> &'static str {
+        "do-all (no sharing)"
+    }
+
+    fn obeys(&self, program: &Program, budget: &ExploreConfig) -> ModelVerdict {
+        check_per_execution(program, budget, cross_thread_conflicts)
+    }
+}
+
+fn cross_thread_conflicts(exec: &Execution) -> Vec<ModelViolation> {
+    let ops = exec.ops();
+    let mut violations = Vec::new();
+    for (i, a) in ops.iter().enumerate() {
+        for b in &ops[i + 1..] {
+            if a.proc != b.proc && a.conflicts_with(b) {
+                violations.push(ModelViolation::SharedConflict {
+                    first: a.id,
+                    second: b.id,
+                    loc: a.loc,
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Monitor-style sharing: an Eraser-style lockset discipline.
+///
+/// Lock protocol (over the paper's primitives): a successful `TestAndSet`
+/// (read component 0) on location `l` acquires lock `l`; a synchronization
+/// write of 0 to `l` releases it. Every *data* location that more than one
+/// thread accesses must have a non-empty intersection of locks held across
+/// all its accesses once it becomes shared. Accesses to synchronization
+/// locations themselves are exempt (they are so-ordered by definition).
+///
+/// Simplifications relative to full Eraser, documented here: no
+/// read-shared refinement (a location read by many threads without a lock
+/// still violates), and `FetchAdd`/`Test` are not lock operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorDiscipline;
+
+impl SynchronizationModel for MonitorDiscipline {
+    fn name(&self) -> &'static str {
+        "monitors (consistent lockset)"
+    }
+
+    fn obeys(&self, program: &Program, budget: &ExploreConfig) -> ModelVerdict {
+        check_per_execution(program, budget, lockset_violations)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum LocState {
+    Virgin,
+    Exclusive(ProcId),
+    Shared(HashSet<Loc>),
+}
+
+fn lockset_violations(exec: &Execution) -> Vec<ModelViolation> {
+    let mut held: HashMap<ProcId, HashSet<Loc>> = HashMap::new();
+    let mut state: HashMap<Loc, LocState> = HashMap::new();
+    let mut violations = Vec::new();
+
+    for op in exec.ops() {
+        if op.kind.is_sync() {
+            let locks = held.entry(op.proc).or_default();
+            match op.kind {
+                OpKind::SyncRmw if op.read_value == Some(0) => {
+                    locks.insert(op.loc); // successful TestAndSet: acquire
+                }
+                OpKind::SyncWrite if op.write_value == Some(0) => {
+                    locks.remove(&op.loc); // Unset: release
+                }
+                _ => {}
+            }
+            continue; // sync locations are not lockset-checked
+        }
+
+        let locks = held.get(&op.proc).cloned().unwrap_or_default();
+        let entry = state.entry(op.loc).or_insert(LocState::Virgin);
+        match entry {
+            LocState::Virgin => *entry = LocState::Exclusive(op.proc),
+            LocState::Exclusive(owner) if *owner == op.proc => {}
+            LocState::Exclusive(_) | LocState::Shared(_) => {
+                let candidates = match entry {
+                    // First contact by a second thread: candidate set is
+                    // what it holds right now.
+                    LocState::Exclusive(_) => locks.clone(),
+                    LocState::Shared(c) => {
+                        c.intersection(&locks).copied().collect()
+                    }
+                    LocState::Virgin => unreachable!(),
+                };
+                if candidates.is_empty() {
+                    violations.push(ModelViolation::UnlockedAccess {
+                        access: op.id,
+                        loc: op.loc,
+                    });
+                }
+                *entry = LocState::Shared(candidates);
+            }
+        }
+    }
+    violations
+}
+
+/// Explores all idealized executions and applies `check` to each.
+fn check_per_execution(
+    program: &Program,
+    budget: &ExploreConfig,
+    check: fn(&Execution) -> Vec<ModelViolation>,
+) -> ModelVerdict {
+    let cfg = ExploreConfig { keep_executions: true, ..*budget };
+    let report = explore(program, &cfg);
+    let mut violations: Vec<ModelViolation> = report
+        .executions
+        .iter()
+        .flat_map(|e| check(e))
+        .collect();
+    if !violations.is_empty() {
+        violations.sort_by_key(|v| format!("{v:?}"));
+        violations.dedup();
+        return ModelVerdict::Violates(violations);
+    }
+    if report.complete {
+        ModelVerdict::Obeys
+    } else {
+        ModelVerdict::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litmus::{corpus, Reg, Thread};
+
+    fn budget() -> ExploreConfig {
+        ExploreConfig { max_ops_per_execution: 48, ..ExploreConfig::default() }
+    }
+
+    fn disjoint_program() -> Program {
+        Program::new(vec![
+            Thread::new().write(Loc(0), 1).read(Loc(0), Reg(0)),
+            Thread::new().write(Loc(1), 1).read(Loc(1), Reg(0)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn disjoint_threads_satisfy_everything() {
+        let p = disjoint_program();
+        assert!(DoAllDiscipline.obeys(&p, &budget()).is_obeys());
+        assert!(MonitorDiscipline.obeys(&p, &budget()).is_obeys());
+        assert!(crate::Drf0.obeys(&p, &budget()).is_obeys());
+    }
+
+    #[test]
+    fn do_all_rejects_any_sharing_even_synchronized() {
+        // Properly synchronized message passing is DRF0 but not do-all.
+        let p = corpus::message_passing_sync(2);
+        assert!(crate::Drf0.obeys(&p, &budget()).is_obeys());
+        let verdict = DoAllDiscipline.obeys(&p, &budget());
+        assert!(verdict.is_violation(), "{verdict:?}");
+    }
+
+    #[test]
+    fn monitors_accept_the_lock_protected_kernel() {
+        let p = corpus::spinlock_bounded(2, 1, 3);
+        let verdict = MonitorDiscipline.obeys(&p, &budget());
+        assert!(verdict.is_obeys(), "{verdict:?}");
+    }
+
+    #[test]
+    fn monitors_reject_flag_based_handoff() {
+        // message_passing_sync is DRF0 (flag synchronization) but does not
+        // share through a monitor: x is touched with no lock held.
+        let p = corpus::message_passing_sync(2);
+        let verdict = MonitorDiscipline.obeys(&p, &budget());
+        let ModelVerdict::Violates(vs) = verdict else {
+            panic!("flag hand-off should violate the monitor discipline");
+        };
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, ModelViolation::UnlockedAccess { .. })));
+    }
+
+    #[test]
+    fn monitors_reject_racy_counter() {
+        let p = corpus::racy_counter(2);
+        assert!(MonitorDiscipline.obeys(&p, &budget()).is_violation());
+        assert!(DoAllDiscipline.obeys(&p, &budget()).is_violation());
+    }
+
+    #[test]
+    fn discipline_obeying_programs_are_drf0() {
+        // The model lattice: do-all ⊂ DRF0 and monitors ⊂ DRF0 on the
+        // examples — hardware weakly ordered w.r.t. DRF0 serves both.
+        for p in [disjoint_program(), corpus::spinlock_bounded(2, 1, 3)] {
+            assert!(crate::Drf0.obeys(&p, &budget()).is_obeys());
+        }
+    }
+
+    #[test]
+    fn violation_displays() {
+        use memory_model::OpId;
+        let v = ModelViolation::UnlockedAccess { access: OpId(3), loc: Loc(1) };
+        assert!(v.to_string().contains("without a consistent lock"));
+        let v = ModelViolation::SharedConflict {
+            first: OpId(1),
+            second: OpId(2),
+            loc: Loc(0),
+        };
+        assert!(v.to_string().contains("do-all"));
+    }
+}

@@ -1,0 +1,287 @@
+//! The hardware side of Definition 2: does a machine appear sequentially
+//! consistent to model-obeying software?
+//!
+//! Definition 2 quantifies over all executions of all obeying programs;
+//! simulation can only sample, so [`check_appears_sc`] runs a program
+//! across many interconnect-timing seeds and checks each resulting
+//! observation with the witness-order search of [`memory_model::sc`]. A
+//! single failing seed *refutes* weak ordering; passing seeds accumulate
+//! evidence for it (the accompanying Appendix-B-style trace checks in
+//! [`crate::conditions`] cover the mechanism itself).
+
+use litmus::Program;
+use memory_model::sc::{check_sc, ScCheckConfig, ScVerdict};
+use memsim::{Machine, MachineConfig, RunError, RunResult};
+
+/// The SC check result of one seeded run.
+#[derive(Debug, Clone)]
+pub struct RunCheck {
+    /// The interconnect-timing seed.
+    pub seed: u64,
+    /// The SC verdict of the run's observation.
+    pub verdict: ScVerdict,
+    /// Cycles the run took.
+    pub cycles: u64,
+    /// Whether the run finished before the watchdog.
+    pub completed: bool,
+}
+
+/// Aggregated Definition 2 evidence for one program on one machine.
+#[derive(Debug, Clone)]
+pub struct Definition2Report {
+    /// The machine's policy name.
+    pub policy: &'static str,
+    /// Per-seed checks.
+    pub runs: Vec<RunCheck>,
+}
+
+impl Definition2Report {
+    /// Whether every completed run appeared sequentially consistent.
+    #[must_use]
+    pub fn all_sc(&self) -> bool {
+        self.runs
+            .iter()
+            .all(|r| r.completed && r.verdict.is_consistent())
+    }
+
+    /// Seeds whose runs were *not* sequentially consistent — witnesses
+    /// against weak ordering.
+    #[must_use]
+    pub fn violating_seeds(&self) -> Vec<u64> {
+        self.runs
+            .iter()
+            .filter(|r| matches!(r.verdict, ScVerdict::Inconsistent))
+            .map(|r| r.seed)
+            .collect()
+    }
+}
+
+/// Runs `program` on `base` (re-seeded per entry of `seeds`) and checks
+/// each run's observation for sequential consistency.
+///
+/// # Panics
+///
+/// Panics if a run fails to start (configuration/thread-count errors are
+/// caller bugs at this level).
+#[must_use]
+pub fn check_appears_sc(
+    program: &Program,
+    base: &MachineConfig,
+    seeds: &[u64],
+) -> Definition2Report {
+    let runs = seeds
+        .iter()
+        .map(|&seed| {
+            let cfg = MachineConfig { seed, ..*base };
+            let result = Machine::run_program(program, &cfg)
+                .expect("verification machine must start");
+            run_check(seed, &result, program)
+        })
+        .collect();
+    Definition2Report { policy: base.policy.name(), runs }
+}
+
+/// Like [`check_appears_sc`] but surfaces run errors instead of panicking.
+///
+/// # Errors
+///
+/// Returns the first [`RunError`] encountered.
+pub fn try_check_appears_sc(
+    program: &Program,
+    base: &MachineConfig,
+    seeds: &[u64],
+) -> Result<Definition2Report, RunError> {
+    let mut runs = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let cfg = MachineConfig { seed, ..*base };
+        let result = Machine::run_program(program, &cfg)?;
+        runs.push(run_check(seed, &result, program));
+    }
+    Ok(Definition2Report { policy: base.policy.name(), runs })
+}
+
+fn run_check(seed: u64, result: &RunResult, program: &Program) -> RunCheck {
+    let verdict = if result.completed {
+        check_sc(
+            &result.observation(),
+            &program.initial_memory(),
+            &ScCheckConfig::default(),
+        )
+    } else {
+        ScVerdict::BudgetExhausted
+    };
+    RunCheck { seed, verdict, cycles: result.cycles, completed: result.completed }
+}
+
+/// One cell of a [`VerificationMatrix`]: a program on a machine.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Program name.
+    pub program: String,
+    /// Policy name.
+    pub policy: &'static str,
+    /// The per-seed report.
+    pub report: Definition2Report,
+}
+
+/// The full Definition 2 verification matrix: every program on every
+/// machine, across seeds — the one-call version of the workflow in the
+/// `def2_verification` harness and the `verify_hardware` example.
+#[derive(Debug, Clone)]
+pub struct VerificationMatrix {
+    /// All cells, programs × machines.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl VerificationMatrix {
+    /// Runs the matrix: each `(name, program)` on each machine produced by
+    /// `machine_for(num_threads, policy)` over `seeds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a machine configuration cannot run its program (the
+    /// closure controls both, so a mismatch is a caller bug).
+    #[must_use]
+    pub fn run(
+        programs: &[(&str, Program)],
+        policies: &[(&'static str, memsim::Policy)],
+        machine_for: impl Fn(usize, memsim::Policy) -> MachineConfig,
+        seeds: &[u64],
+    ) -> Self {
+        let mut cells = Vec::new();
+        for (name, program) in programs {
+            for &(policy_name, policy) in policies {
+                let base = machine_for(program.num_threads(), policy);
+                let report = check_appears_sc(program, &base, seeds);
+                cells.push(MatrixCell {
+                    program: (*name).to_string(),
+                    policy: policy_name,
+                    report,
+                });
+            }
+        }
+        VerificationMatrix { cells }
+    }
+
+    /// Whether every cell appeared sequentially consistent on every seed.
+    #[must_use]
+    pub fn all_sc(&self) -> bool {
+        self.cells.iter().all(|c| c.report.all_sc())
+    }
+
+    /// Cells with at least one violating seed.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&MatrixCell> {
+        self.cells.iter().filter(|c| !c.report.all_sc()).collect()
+    }
+}
+
+impl std::fmt::Display for VerificationMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for cell in &self.cells {
+            let ok = cell.report.all_sc();
+            writeln!(
+                f,
+                "{:<24} {:<12} {}",
+                cell.program,
+                cell.policy,
+                if ok { "appears SC" } else { "VIOLATES SC" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litmus::corpus;
+    use memsim::presets;
+
+    const SEEDS: [u64; 4] = [0, 1, 2, 3];
+
+    #[test]
+    fn def2_machine_appears_sc_to_drf0_corpus() {
+        for (name, program) in corpus::drf0_suite() {
+            let base = presets::network_cached(program.num_threads(), presets::wo_def2(), 0);
+            let report = check_appears_sc(&program, &base, &SEEDS);
+            assert!(report.all_sc(), "{name}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn def1_machine_appears_sc_to_drf0_corpus() {
+        // Section 6's claim: Definition 1 hardware is weakly ordered by
+        // Definition 2 with respect to DRF0.
+        for (name, program) in corpus::drf0_suite() {
+            let base = presets::network_cached(program.num_threads(), presets::wo_def1(), 0);
+            let report = check_appears_sc(&program, &base, &SEEDS);
+            assert!(report.all_sc(), "{name}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn relaxed_machine_fails_definition_2_on_racy_dekker() {
+        let program = corpus::fig1_dekker();
+        let base = MachineConfig {
+            interconnect: memsim::InterconnectConfig::Bus { latency: 4 },
+            ..presets::bus_no_cache(2, memsim::Policy::Relaxed { write_delay: 40 }, 0)
+        };
+        let report = check_appears_sc(&program, &base, &SEEDS);
+        assert!(!report.all_sc());
+        assert!(!report.violating_seeds().is_empty());
+    }
+
+    #[test]
+    fn report_accessors() {
+        let program = corpus::sync_only_tas();
+        let base = presets::network_cached(2, presets::wo_def2(), 0);
+        let report = try_check_appears_sc(&program, &base, &[5]).unwrap();
+        assert_eq!(report.policy, "WO-Def2");
+        assert_eq!(report.runs.len(), 1);
+        assert_eq!(report.runs[0].seed, 5);
+        assert!(report.runs[0].cycles > 0);
+    }
+
+    #[test]
+    fn verification_matrix_over_a_small_corpus() {
+        let programs = vec![
+            ("sync_only_tas", corpus::sync_only_tas()),
+            ("mp_sync", corpus::message_passing_sync(2)),
+        ];
+        let matrix = VerificationMatrix::run(
+            &programs,
+            &presets::all_policies(),
+            |procs, policy| presets::network_cached(procs, policy, 0),
+            &[0, 1],
+        );
+        assert_eq!(matrix.cells.len(), 8);
+        assert!(matrix.all_sc(), "{matrix}");
+        assert!(matrix.failures().is_empty());
+        assert!(matrix.to_string().contains("appears SC"));
+    }
+
+    #[test]
+    fn verification_matrix_reports_failures() {
+        let programs = vec![("dekker", corpus::fig1_dekker())];
+        let matrix = VerificationMatrix::run(
+            &programs,
+            &[("relaxed", memsim::Policy::Relaxed { write_delay: 40 })],
+            |procs, policy| MachineConfig {
+                interconnect: memsim::InterconnectConfig::Bus { latency: 4 },
+                ..presets::bus_no_cache(procs, policy, 0)
+            },
+            &[0, 1, 2],
+        );
+        assert!(!matrix.all_sc());
+        assert_eq!(matrix.failures().len(), 1);
+        assert!(matrix.to_string().contains("VIOLATES"));
+    }
+
+    #[test]
+    fn try_check_surfaces_run_errors() {
+        let program = corpus::fig1_dekker();
+        let base = presets::network_cached(7, presets::wo_def2(), 0); // wrong proc count
+        assert!(try_check_appears_sc(&program, &base, &[0]).is_err());
+    }
+}

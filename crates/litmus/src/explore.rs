@@ -1,0 +1,516 @@
+//! Exhaustive exploration of idealized executions.
+//!
+//! DRF0 (Definition 3) and Definition 2 both quantify over **all**
+//! executions of a program. [`explore`] enumerates every interleaving of
+//! memory operations on the idealized architecture up to a budget,
+//! aggregating:
+//!
+//! * the set of distinct [`ExecutionResult`]s (what software can tell
+//!   apart),
+//! * every data race found (so a program-level DRF0 verdict can be made),
+//! * optionally, the executions themselves.
+//!
+//! Two exploration strategies are provided and compared in the
+//! `explore_ablation` benchmark:
+//!
+//! * [`explore`] — full DFS over interleavings, **no state pruning**. This
+//!   is the strategy race checking requires: merging converged states is
+//!   unsound for race detection, because a pruned history can race with a
+//!   future that its surviving twin does not (they may have synchronized
+//!   differently on the way in).
+//! * [`explore_results`] — DFS **with** converged-state pruning. Sound for
+//!   collecting the set of reachable results and final states (identical
+//!   architectural states have identical futures), and far faster; unsound
+//!   for race detection, so it reports no races.
+
+use std::collections::HashSet;
+
+use memory_model::drf0::Race;
+use memory_model::race::RaceDetector;
+use memory_model::{ExecutionResult, Memory, SyncMode};
+
+use crate::ideal::{IdealState, StepOutcome};
+use crate::Program;
+
+/// Budgets for exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Maximum memory operations per execution; executions that would
+    /// exceed it are truncated and counted in
+    /// [`ExploreReport::truncated_executions`].
+    pub max_ops_per_execution: usize,
+    /// Maximum number of completed executions to enumerate; when the limit
+    /// is hit, [`ExploreReport::complete`] is `false`.
+    pub max_executions: usize,
+    /// Whether to retain each completed execution in
+    /// [`ExploreReport::executions`] (memory-hungry for large explorations).
+    pub keep_executions: bool,
+    /// The happens-before mode used for race detection: DRF0's (any
+    /// synchronization operation releases) or the Section 6 refinement
+    /// (only writing synchronization operations release).
+    pub sync_mode: SyncMode,
+    /// Global budget on DFS steps (states visited), bounding even the
+    /// truncated-path combinatorics of spin loops. When exhausted,
+    /// [`ExploreReport::complete`] is `false`.
+    pub max_total_steps: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_ops_per_execution: 64,
+            max_executions: 200_000,
+            keep_executions: false,
+            sync_mode: SyncMode::Drf0,
+            max_total_steps: 50_000_000,
+        }
+    }
+}
+
+/// The software-visible outcome of one completed execution: every thread's
+/// final register file plus the final memory — the "what did the litmus
+/// test print" view, comparable across interleavings and hardware models
+/// regardless of how many times loops iterated.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Outcome {
+    /// Final register file of each thread, in thread order.
+    pub regs: Vec<[memory_model::Value; crate::NUM_REGS]>,
+    /// Final memory cells differing from zero.
+    pub final_memory: Vec<(memory_model::Loc, memory_model::Value)>,
+}
+
+/// The aggregate outcome of an exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Distinct results (read values + final memory) over all completed
+    /// executions.
+    pub results: HashSet<ExecutionResult>,
+    /// Distinct register-level outcomes over all completed executions.
+    pub outcomes: HashSet<Outcome>,
+    /// Distinct races observed across all executions (first, second, loc).
+    pub races: HashSet<Race>,
+    /// Completed executions, when requested via
+    /// [`ExploreConfig::keep_executions`].
+    pub executions: Vec<memory_model::Execution>,
+    /// Number of completed executions enumerated.
+    pub execution_count: usize,
+    /// Executions cut short by [`ExploreConfig::max_ops_per_execution`] or
+    /// a local step limit.
+    pub truncated_executions: usize,
+    /// Whether the exploration covered every interleaving to completion
+    /// (no execution cap hit, no truncated executions).
+    pub complete: bool,
+    /// DFS steps (states) visited.
+    pub steps: usize,
+}
+
+impl ExploreReport {
+    /// Whether every explored execution was free of data races — the
+    /// program-level DRF0 condition (2), provided `complete` is `true`.
+    #[must_use]
+    pub fn race_free(&self) -> bool {
+        self.races.is_empty()
+    }
+}
+
+/// Fully enumerates the interleavings of `program` (no state pruning) and
+/// aggregates results and races.
+///
+/// # Examples
+///
+/// ```
+/// use litmus::{explore::{explore, ExploreConfig}, Program, Thread, Reg};
+/// use memory_model::Loc;
+///
+/// // Unsynchronized message passing: racy.
+/// let p = Program::new(vec![
+///     Thread::new().write(Loc(0), 1),
+///     Thread::new().read(Loc(0), Reg(0)),
+/// ])?;
+/// let report = explore(&p, &ExploreConfig::default());
+/// assert!(report.complete);
+/// assert!(!report.race_free());
+/// assert_eq!(report.results.len(), 2); // r0 may be 0 or 1
+/// # Ok::<(), litmus::ProgramError>(())
+/// ```
+#[must_use]
+pub fn explore(program: &Program, cfg: &ExploreConfig) -> ExploreReport {
+    let mut report = ExploreReport {
+        results: HashSet::new(),
+        outcomes: HashSet::new(),
+        races: HashSet::new(),
+        executions: Vec::new(),
+        execution_count: 0,
+        truncated_executions: 0,
+        complete: true,
+        steps: 0,
+    };
+    let state = IdealState::new(program);
+    let detector = RaceDetector::with_mode(program.num_threads(), cfg.sync_mode);
+    dfs(program, state, detector, cfg, &mut report);
+    report
+}
+
+fn dfs(
+    program: &Program,
+    state: IdealState<'_>,
+    detector: RaceDetector,
+    cfg: &ExploreConfig,
+    report: &mut ExploreReport,
+) {
+    report.steps += 1;
+    if report.execution_count >= cfg.max_executions || report.steps >= cfg.max_total_steps
+    {
+        report.complete = false;
+        return;
+    }
+    let runnable = state.runnable_threads();
+    if runnable.is_empty() {
+        report.execution_count += 1;
+        for race in detector.races() {
+            report.races.insert(*race);
+        }
+        report.outcomes.insert(outcome_of(&state, program));
+        let exec = state.into_execution();
+        report.results.insert(exec.result(&program.initial_memory()));
+        if cfg.keep_executions {
+            report.executions.push(exec);
+        }
+        return;
+    }
+    if state.ops().len() >= cfg.max_ops_per_execution {
+        report.truncated_executions += 1;
+        report.complete = false;
+        // Truncated executions still contribute their races: a race in a
+        // prefix is a race of the program.
+        for race in detector.races() {
+            report.races.insert(*race);
+        }
+        return;
+    }
+    for &t in &runnable {
+        let mut next = state.clone();
+        let mut det = detector.clone();
+        match next.step(t) {
+            StepOutcome::Performed(op) => {
+                det.observe(&op);
+                dfs(program, next, det, cfg, report);
+            }
+            StepOutcome::Halted => {
+                // The thread ran local-only instructions to completion:
+                // invisible to memory, so it commutes with every other
+                // thread's ops. Exploring this one order covers all
+                // interleavings; trying other threads from the parent state
+                // would only double-count.
+                dfs(program, next, det, cfg, report);
+                return;
+            }
+            StepOutcome::StepLimit => {
+                report.truncated_executions += 1;
+                report.complete = false;
+            }
+        }
+    }
+}
+
+fn outcome_of(state: &IdealState<'_>, program: &Program) -> Outcome {
+    Outcome {
+        regs: (0..program.num_threads())
+            .map(|t| state.thread(t).regs)
+            .collect(),
+        final_memory: state.memory().snapshot(),
+    }
+}
+
+/// Enumerates reachable *results* with converged-state pruning. Much faster
+/// than [`explore`], but performs no race detection (see module docs for
+/// why pruning is unsound for races).
+#[must_use]
+pub fn explore_results(program: &Program, cfg: &ExploreConfig) -> ExploreReport {
+    let mut report = ExploreReport {
+        results: HashSet::new(),
+        outcomes: HashSet::new(),
+        races: HashSet::new(),
+        executions: Vec::new(),
+        execution_count: 0,
+        truncated_executions: 0,
+        complete: true,
+        steps: 0,
+    };
+    let mut visited = HashSet::new();
+    dfs_pruned(program, IdealState::new(program), cfg, &mut visited, &mut report);
+    report
+}
+
+type StateKey = (
+    Vec<(usize, [memory_model::Value; crate::NUM_REGS])>,
+    Vec<(memory_model::Loc, memory_model::Value)>,
+);
+
+fn dfs_pruned(
+    program: &Program,
+    state: IdealState<'_>,
+    cfg: &ExploreConfig,
+    visited: &mut HashSet<StateKey>,
+    report: &mut ExploreReport,
+) {
+    report.steps += 1;
+    if report.execution_count >= cfg.max_executions || report.steps >= cfg.max_total_steps
+    {
+        report.complete = false;
+        return;
+    }
+    if !visited.insert(state.state_key()) {
+        return;
+    }
+    let runnable = state.runnable_threads();
+    if runnable.is_empty() {
+        report.execution_count += 1;
+        report.outcomes.insert(outcome_of(&state, program));
+        let exec = state.into_execution();
+        report.results.insert(exec.result(&program.initial_memory()));
+        if cfg.keep_executions {
+            report.executions.push(exec);
+        }
+        return;
+    }
+    if state.ops().len() >= cfg.max_ops_per_execution {
+        report.truncated_executions += 1;
+        report.complete = false;
+        return;
+    }
+    for &t in &runnable {
+        let mut next = state.clone();
+        match next.step(t) {
+            StepOutcome::Performed(_) => {
+                dfs_pruned(program, next, cfg, visited, report);
+            }
+            StepOutcome::Halted => {
+                dfs_pruned(program, next, cfg, visited, report);
+                return;
+            }
+            StepOutcome::StepLimit => {
+                report.truncated_executions += 1;
+                report.complete = false;
+            }
+        }
+    }
+}
+
+/// Convenience: whether every idealized execution of `program` is free of
+/// data races — the program-level DRF0 verdict (Definition 3, condition 2).
+///
+/// # Panics
+///
+/// Panics if the exploration budget is exhausted before the answer is
+/// known; raise the limits in [`ExploreConfig`] and use [`explore`]
+/// directly for large programs.
+#[must_use]
+pub fn program_is_drf0(program: &Program, cfg: &ExploreConfig) -> bool {
+    let report = explore(program, cfg);
+    assert!(
+        report.complete,
+        "exploration budget exhausted before a DRF0 verdict was reached"
+    );
+    report.race_free()
+}
+
+/// Convenience: the set of reachable results, using the pruned strategy.
+#[must_use]
+pub fn reachable_results(program: &Program, cfg: &ExploreConfig) -> HashSet<ExecutionResult> {
+    explore_results(program, cfg).results
+}
+
+/// All results of a program together with the initial memory used — the
+/// reference "sequentially consistent outcomes" that hardware runs are
+/// compared against.
+#[derive(Debug, Clone)]
+pub struct ScOutcomes {
+    /// The distinct results reachable on the idealized architecture.
+    pub results: HashSet<ExecutionResult>,
+    /// The initial memory of the program.
+    pub initial: Memory,
+    /// Whether enumeration was complete.
+    pub complete: bool,
+}
+
+/// Computes the reference SC outcome set of `program`.
+#[must_use]
+pub fn sc_outcomes(program: &Program, cfg: &ExploreConfig) -> ScOutcomes {
+    let report = explore_results(program, cfg);
+    ScOutcomes {
+        results: report.results,
+        initial: program.initial_memory(),
+        complete: report.complete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Reg, Thread};
+    use memory_model::Loc;
+
+    fn cfg() -> ExploreConfig {
+        ExploreConfig::default()
+    }
+
+    #[test]
+    fn dekker_has_three_sc_outcomes_for_the_read_pair() {
+        let (x, y) = (Loc(0), Loc(1));
+        let p = Program::new(vec![
+            Thread::new().write(x, 1).read(y, Reg(0)),
+            Thread::new().write(y, 1).read(x, Reg(0)),
+        ])
+        .unwrap();
+        let report = explore(&p, &cfg());
+        assert!(report.complete);
+        // (r0, r1) in {(0,1), (1,0), (1,1)} — never (0,0) under SC.
+        let pairs: HashSet<(u64, u64)> = report
+            .outcomes
+            .iter()
+            .map(|o| (o.regs[0][0], o.regs[1][0]))
+            .collect();
+        assert_eq!(pairs.len(), 3);
+        assert!(!pairs.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn pruned_and_full_agree_on_results() {
+        let (x, y) = (Loc(0), Loc(1));
+        let p = Program::new(vec![
+            Thread::new().write(x, 1).read(y, Reg(0)),
+            Thread::new().write(y, 1).read(x, Reg(0)),
+        ])
+        .unwrap();
+        let full = explore(&p, &cfg());
+        let pruned = explore_results(&p, &cfg());
+        assert_eq!(full.results, pruned.results);
+        assert!(pruned.execution_count <= full.execution_count);
+    }
+
+    #[test]
+    fn synchronized_handoff_is_drf0() {
+        // Bounded spin (2 attempts, give up and skip the read) so the
+        // exploration covers every interleaving to completion.
+        let (x, s) = (Loc(0), Loc(9));
+        let consumer = Thread::new()
+            .mov(Reg(2), 0)
+            .sync_read(s, Reg(0))
+            .branch_eq(Reg(0), 1u64, 6)
+            .add(Reg(2), Reg(2), 1u64)
+            .branch_ne(Reg(2), 2u64, 1)
+            .jump(7)
+            .read(x, Reg(1));
+        let p = Program::new(vec![
+            Thread::new().write(x, 1).sync_write(s, 1),
+            consumer,
+        ])
+        .unwrap();
+        assert!(program_is_drf0(&p, &cfg()));
+    }
+
+    #[test]
+    fn unsynchronized_handoff_is_not_drf0() {
+        let (x, f) = (Loc(0), Loc(1));
+        let p = Program::new(vec![
+            Thread::new().write(x, 1).write(f, 1), // data flag: racy
+            Thread::new().read(f, Reg(0)).read(x, Reg(1)),
+        ])
+        .unwrap();
+        assert!(!program_is_drf0(&p, &cfg()));
+    }
+
+    #[test]
+    fn sync_only_program_is_drf0() {
+        let s = Loc(0);
+        let p = Program::new(vec![
+            Thread::new().test_and_set(s, Reg(0)),
+            Thread::new().test_and_set(s, Reg(0)),
+        ])
+        .unwrap();
+        assert!(program_is_drf0(&p, &cfg()));
+    }
+
+    #[test]
+    fn spin_loop_truncates_not_hangs() {
+        // P0 spins on a flag nobody ever sets: every interleaving that
+        // keeps spinning truncates at the op budget.
+        let p = Program::new(vec![Thread::new()
+            .sync_read(Loc(0), Reg(0))
+            .branch_ne(Reg(0), 1u64, 0)])
+        .unwrap();
+        let small = ExploreConfig { max_ops_per_execution: 8, ..cfg() };
+        let report = explore(&p, &small);
+        assert_eq!(report.execution_count, 0);
+        assert!(report.truncated_executions > 0);
+    }
+
+    #[test]
+    fn bounded_spin_completes() {
+        // Spin at most twice, then give up.
+        let s = Loc(0);
+        let t1 = Thread::new()
+            .mov(Reg(2), 0)
+            .sync_read(s, Reg(0))
+            .branch_eq(Reg(0), 1u64, 6)
+            .add(Reg(2), Reg(2), 1u64)
+            .branch_ne(Reg(2), 2u64, 1)
+            .jump(6);
+        let p = Program::new(vec![Thread::new().sync_write(s, 1), t1]).unwrap();
+        let report = explore(&p, &cfg());
+        assert!(report.complete);
+        assert!(report.execution_count > 0);
+        assert_eq!(report.truncated_executions, 0);
+        assert!(report.race_free());
+    }
+
+    #[test]
+    fn max_executions_marks_incomplete() {
+        let p = Program::new(vec![
+            Thread::new().write(Loc(0), 1).write(Loc(1), 1),
+            Thread::new().write(Loc(2), 1).write(Loc(3), 1),
+        ])
+        .unwrap();
+        let tiny = ExploreConfig { max_executions: 2, ..cfg() };
+        let report = explore(&p, &tiny);
+        assert!(!report.complete);
+        assert!(report.execution_count <= 2);
+    }
+
+    #[test]
+    fn keep_executions_retains_them() {
+        let p = Program::new(vec![Thread::new().write(Loc(0), 1)]).unwrap();
+        let keep = ExploreConfig { keep_executions: true, ..cfg() };
+        let report = explore(&p, &keep);
+        assert_eq!(report.executions.len(), 1);
+        assert_eq!(report.executions[0].len(), 1);
+    }
+
+    #[test]
+    fn sc_outcomes_collects_reference_set() {
+        let p = Program::new(vec![Thread::new().write(Loc(0), 1)]).unwrap();
+        let out = sc_outcomes(&p, &cfg());
+        assert!(out.complete);
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.initial.read(Loc(0)), 0);
+    }
+
+    #[test]
+    fn racy_write_write_detected() {
+        let p = Program::new(vec![
+            Thread::new().write(Loc(0), 1),
+            Thread::new().write(Loc(0), 2),
+        ])
+        .unwrap();
+        let report = explore(&p, &cfg());
+        assert!(!report.race_free());
+        assert_eq!(report.results.len(), 2, "final memory differs by order");
+    }
+
+    #[test]
+    fn reachable_results_shortcut() {
+        let p = Program::new(vec![Thread::new().read(Loc(0), Reg(0))]).unwrap();
+        assert_eq!(reachable_results(&p, &cfg()).len(), 1);
+    }
+}

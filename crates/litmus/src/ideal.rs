@@ -1,0 +1,454 @@
+//! The idealized architecture: atomic memory, program order.
+//!
+//! [`IdealState`] interprets a [`Program`] one memory operation at a time.
+//! Local instructions (moves, arithmetic, branches) are invisible to memory
+//! and execute for free as part of the next memory step — this keeps the
+//! exploration branching factor equal to the number of runnable threads per
+//! *memory* operation, the only granularity that matters for the memory
+//! model.
+
+use memory_model::{Execution, Memory, OpId, Operation, ProcId, Value};
+
+use crate::{Instr, Operand, Program, NUM_REGS};
+
+/// The outcome of stepping one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The thread performed the given memory operation.
+    Performed(Operation),
+    /// The thread ran to completion without another memory operation.
+    Halted,
+    /// The thread exceeded the per-thread step budget (a runaway loop).
+    StepLimit,
+}
+
+/// A snapshot of one thread's architectural state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ThreadState {
+    /// Program counter: index of the next instruction.
+    pub pc: usize,
+    /// Register file.
+    pub regs: [Value; NUM_REGS],
+    /// Local (non-memory) instructions executed so far.
+    pub local_steps: u64,
+}
+
+impl ThreadState {
+    fn new() -> Self {
+        ThreadState { pc: 0, regs: [0; NUM_REGS], local_steps: 0 }
+    }
+}
+
+/// The full state of a program executing on the idealized architecture.
+///
+/// # Examples
+///
+/// ```
+/// use litmus::ideal::IdealState;
+/// use litmus::{Program, Thread, Reg};
+/// use memory_model::Loc;
+///
+/// let program = Program::new(vec![
+///     Thread::new().write(Loc(0), 7),
+///     Thread::new().read(Loc(0), Reg(0)),
+/// ])?;
+/// let mut state = IdealState::new(&program);
+/// state.step(0); // thread 0 writes
+/// state.step(1); // thread 1 reads 7
+/// assert_eq!(state.thread(1).regs[0], 7);
+/// let exec = state.into_execution();
+/// assert_eq!(exec.len(), 2);
+/// # Ok::<(), litmus::ProgramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdealState<'p> {
+    program: &'p Program,
+    threads: Vec<ThreadState>,
+    memory: Memory,
+    ops: Vec<Operation>,
+    next_seq: Vec<u32>,
+    /// Per-thread budget of local instructions, guarding against loops
+    /// that never touch memory.
+    local_step_limit: u64,
+}
+
+impl<'p> IdealState<'p> {
+    /// Default per-thread local-instruction budget.
+    pub const DEFAULT_LOCAL_STEP_LIMIT: u64 = 10_000;
+
+    /// Creates the initial state of `program`.
+    #[must_use]
+    pub fn new(program: &'p Program) -> Self {
+        IdealState {
+            program,
+            threads: vec![ThreadState::new(); program.num_threads()],
+            memory: program.initial_memory(),
+            ops: Vec::new(),
+            next_seq: vec![0; program.num_threads()],
+            local_step_limit: Self::DEFAULT_LOCAL_STEP_LIMIT,
+        }
+    }
+
+    /// Whether thread `t` can still execute (its pc is inside the thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn runnable(&self, t: usize) -> bool {
+        self.threads[t].pc < self.program.threads()[t].len()
+    }
+
+    /// Indices of all runnable threads.
+    #[must_use]
+    pub fn runnable_threads(&self) -> Vec<usize> {
+        (0..self.threads.len()).filter(|&t| self.runnable(t)).collect()
+    }
+
+    /// Whether every thread has halted.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.runnable_threads().is_empty()
+    }
+
+    /// Runs thread `t` until it performs one memory operation (atomically,
+    /// against the shared memory) or halts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn step(&mut self, t: usize) -> StepOutcome {
+        let thread = &self.program.threads()[t];
+        loop {
+            let state = &mut self.threads[t];
+            if state.pc >= thread.len() {
+                return StepOutcome::Halted;
+            }
+            let instr = thread.instrs()[state.pc];
+            if instr.is_memory_op() {
+                let op = self.perform_memory(t, instr);
+                self.threads[t].pc += 1;
+                self.ops.push(op);
+                return StepOutcome::Performed(op);
+            }
+            if state.local_steps >= self.local_step_limit {
+                return StepOutcome::StepLimit;
+            }
+            state.local_steps += 1;
+            match instr {
+                Instr::Move { dst, src } => {
+                    let v = eval(&state.regs, src);
+                    state.regs[dst.index()] = v;
+                    state.pc += 1;
+                }
+                Instr::Add { dst, a, b } => {
+                    let v = eval(&state.regs, a).wrapping_add(eval(&state.regs, b));
+                    state.regs[dst.index()] = v;
+                    state.pc += 1;
+                }
+                Instr::BranchEq { a, b, target } => {
+                    state.pc = if eval(&state.regs, a) == eval(&state.regs, b) {
+                        target
+                    } else {
+                        state.pc + 1
+                    };
+                }
+                Instr::BranchNe { a, b, target } => {
+                    state.pc = if eval(&state.regs, a) != eval(&state.regs, b) {
+                        target
+                    } else {
+                        state.pc + 1
+                    };
+                }
+                Instr::Jump { target } => state.pc = target,
+                // The idealized architecture is already sequentially
+                // consistent: fences are no-ops.
+                Instr::Fence => state.pc += 1,
+                _ => unreachable!("memory ops handled above"),
+            }
+        }
+    }
+
+    fn perform_memory(&mut self, t: usize, instr: Instr) -> Operation {
+        let proc = ProcId(t as u16);
+        let id = OpId::for_thread_op(proc, self.next_seq[t]);
+        self.next_seq[t] += 1;
+        let regs = self.threads[t].regs;
+        match instr {
+            Instr::Read { loc, dst } => {
+                let v = self.memory.read(loc);
+                self.threads[t].regs[dst.index()] = v;
+                Operation::data_read(id, proc, loc, v)
+            }
+            Instr::Write { loc, src } => {
+                let v = eval(&regs, src);
+                self.memory.write(loc, v);
+                Operation::data_write(id, proc, loc, v)
+            }
+            Instr::SyncRead { loc, dst } => {
+                let v = self.memory.read(loc);
+                self.threads[t].regs[dst.index()] = v;
+                Operation::sync_read(id, proc, loc, v)
+            }
+            Instr::SyncWrite { loc, src } => {
+                let v = eval(&regs, src);
+                self.memory.write(loc, v);
+                Operation::sync_write(id, proc, loc, v)
+            }
+            Instr::TestAndSet { loc, dst } => {
+                let old = self.memory.read(loc);
+                self.memory.write(loc, 1);
+                self.threads[t].regs[dst.index()] = old;
+                Operation::sync_rmw(id, proc, loc, old, 1)
+            }
+            Instr::FetchAdd { loc, dst, add } => {
+                let old = self.memory.read(loc);
+                let new = old.wrapping_add(eval(&regs, add));
+                self.memory.write(loc, new);
+                self.threads[t].regs[dst.index()] = old;
+                Operation::sync_rmw(id, proc, loc, old, new)
+            }
+            _ => unreachable!("caller checked is_memory_op"),
+        }
+    }
+
+    /// The state of thread `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn thread(&self, t: usize) -> &ThreadState {
+        &self.threads[t]
+    }
+
+    /// The current memory.
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Operations performed so far, in completion order.
+    #[must_use]
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Consumes the state, yielding the [`Execution`] performed so far.
+    #[must_use]
+    pub fn into_execution(self) -> Execution {
+        Execution::new(self.ops).expect("interpreter assigns unique ids")
+    }
+
+    /// A hashable key identifying the architectural state (pcs, registers,
+    /// memory) — used by result-set exploration to prune converged states.
+    #[must_use]
+    pub fn state_key(&self) -> (Vec<(usize, [Value; NUM_REGS])>, Vec<(memory_model::Loc, Value)>) {
+        (
+            self.threads.iter().map(|t| (t.pc, t.regs)).collect(),
+            self.memory.snapshot(),
+        )
+    }
+
+    /// Runs the whole program under a fixed round-robin schedule; useful
+    /// for quick sanity runs and doc examples.
+    ///
+    /// Returns the completed execution, or `None` if a step limit was hit.
+    #[must_use]
+    pub fn run_round_robin(program: &'p Program) -> Option<Execution> {
+        let mut state = IdealState::new(program);
+        let n = program.num_threads();
+        let mut idle_rounds = 0;
+        let mut t = 0;
+        while !state.finished() {
+            if state.runnable(t) {
+                match state.step(t) {
+                    StepOutcome::StepLimit => return None,
+                    StepOutcome::Performed(_) | StepOutcome::Halted => {}
+                }
+                idle_rounds = 0;
+            } else {
+                idle_rounds += 1;
+                if idle_rounds > n {
+                    break;
+                }
+            }
+            t = (t + 1) % n.max(1);
+        }
+        Some(state.into_execution())
+    }
+}
+
+fn eval(regs: &[Value; NUM_REGS], op: Operand) -> Value {
+    match op {
+        Operand::Const(v) => v,
+        Operand::Reg(r) => regs[r.index()],
+    }
+}
+
+/// Evaluates an operand against a register file — exposed for simulators
+/// that reuse the DSL with their own execution engines.
+#[must_use]
+pub fn eval_operand(regs: &[Value; NUM_REGS], op: Operand) -> Value {
+    eval(regs, op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memory_model::Loc;
+    use crate::{Reg, Thread};
+
+    fn two_thread_handoff() -> Program {
+        // P0: W(x)=1; S.w(s)=1      P1: S.r(s)->r0; R(x)->r1
+        Program::new(vec![
+            Thread::new().write(Loc(0), 1).sync_write(Loc(9), 1),
+            Thread::new().sync_read(Loc(9), Reg(0)).read(Loc(0), Reg(1)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn step_performs_memory_ops_in_program_order() {
+        let p = two_thread_handoff();
+        let mut s = IdealState::new(&p);
+        assert!(s.runnable(0) && s.runnable(1));
+        let StepOutcome::Performed(op) = s.step(0) else { panic!() };
+        assert_eq!(op.loc, Loc(0));
+        let StepOutcome::Performed(op) = s.step(0) else { panic!() };
+        assert!(op.kind.is_sync());
+        assert_eq!(s.step(0), StepOutcome::Halted);
+        assert!(!s.runnable(0));
+    }
+
+    #[test]
+    fn reads_observe_atomic_memory() {
+        let p = two_thread_handoff();
+        let mut s = IdealState::new(&p);
+        s.step(1); // P1 syncs first: sees 0
+        assert_eq!(s.thread(1).regs[0], 0);
+        s.step(0);
+        s.step(0);
+        s.step(1); // P1 reads x after P0 wrote it
+        assert_eq!(s.thread(1).regs[1], 1);
+        let exec = s.into_execution();
+        assert!(exec.validate_atomic_semantics(&Memory::new()).is_ok());
+    }
+
+    #[test]
+    fn test_and_set_is_atomic() {
+        let lock = Loc(0);
+        let p = Program::new(vec![
+            Thread::new().test_and_set(lock, Reg(0)),
+            Thread::new().test_and_set(lock, Reg(0)),
+        ])
+        .unwrap();
+        let mut s = IdealState::new(&p);
+        s.step(0);
+        s.step(1);
+        // Exactly one thread won the lock (read 0).
+        let zeros = (0..2).filter(|&t| s.thread(t).regs[0] == 0).count();
+        assert_eq!(zeros, 1);
+        assert_eq!(s.memory().read(lock), 1);
+    }
+
+    #[test]
+    fn fetch_add_accumulates() {
+        let c = Loc(0);
+        let p = Program::new(vec![
+            Thread::new().fetch_add(c, Reg(0), 2),
+            Thread::new().fetch_add(c, Reg(0), 3),
+        ])
+        .unwrap();
+        let mut s = IdealState::new(&p);
+        s.step(0);
+        s.step(1);
+        assert_eq!(s.memory().read(c), 5);
+        assert_eq!(s.thread(1).regs[0], 2);
+    }
+
+    #[test]
+    fn locals_execute_with_next_memory_op() {
+        let p = Program::new(vec![Thread::new()
+            .mov(Reg(0), 4)
+            .add(Reg(0), Reg(0), 3)
+            .write(Loc(0), Reg(0))])
+        .unwrap();
+        let mut s = IdealState::new(&p);
+        let StepOutcome::Performed(op) = s.step(0) else { panic!() };
+        assert_eq!(op.write_value, Some(7));
+    }
+
+    #[test]
+    fn branches_control_flow() {
+        // if r0 == 0 goto 3 (skip the write)
+        let p = Program::new(vec![Thread::new()
+            .mov(Reg(0), 0)
+            .branch_eq(Reg(0), 0u64, 3)
+            .write(Loc(0), 1)])
+        .unwrap();
+        let mut s = IdealState::new(&p);
+        assert_eq!(s.step(0), StepOutcome::Halted);
+        assert_eq!(s.memory().read(Loc(0)), 0);
+    }
+
+    #[test]
+    fn spin_loop_hits_step_limit() {
+        // while true { }  — a loop of pure local instructions.
+        let p = Program::new(vec![Thread::new().jump(0)]).unwrap();
+        let mut s = IdealState::new(&p);
+        assert_eq!(s.step(0), StepOutcome::StepLimit);
+    }
+
+    #[test]
+    fn spin_on_memory_makes_progress_per_step() {
+        // P0 spins on Test(s) != 1; each step performs one sync read.
+        let p = Program::new(vec![Thread::new()
+            .sync_read(Loc(9), Reg(0))
+            .branch_ne(Reg(0), 1u64, 0)])
+        .unwrap();
+        let mut s = IdealState::new(&p);
+        for _ in 0..5 {
+            assert!(matches!(s.step(0), StepOutcome::Performed(_)));
+        }
+        assert_eq!(s.ops().len(), 5);
+    }
+
+    #[test]
+    fn fence_is_invisible_on_the_idealized_architecture() {
+        let p = Program::new(vec![Thread::new()
+            .write(Loc(0), 1)
+            .fence()
+            .read(Loc(0), Reg(0))])
+        .unwrap();
+        let exec = IdealState::run_round_robin(&p).unwrap();
+        assert_eq!(exec.len(), 2, "the fence performs no memory operation");
+    }
+
+    #[test]
+    fn initial_memory_applies() {
+        let p = Program::new(vec![Thread::new().read(Loc(3), Reg(0))])
+            .unwrap()
+            .with_init(vec![(Loc(3), 42)]);
+        let mut s = IdealState::new(&p);
+        s.step(0);
+        assert_eq!(s.thread(0).regs[0], 42);
+    }
+
+    #[test]
+    fn round_robin_runs_to_completion() {
+        let exec = IdealState::run_round_robin(&two_thread_handoff()).unwrap();
+        assert_eq!(exec.len(), 4);
+        assert!(exec.validate_atomic_semantics(&Memory::new()).is_ok());
+    }
+
+    #[test]
+    fn state_key_distinguishes_states() {
+        let p = two_thread_handoff();
+        let mut a = IdealState::new(&p);
+        let b = IdealState::new(&p);
+        assert_eq!(a.state_key(), b.state_key());
+        a.step(0);
+        assert_ne!(a.state_key(), b.state_key());
+    }
+}

@@ -1,0 +1,303 @@
+//! Executions on the idealized architecture.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use crate::{Loc, Memory, OpId, Operation, ProcId, Value};
+
+/// A totally ordered execution on the paper's *idealized architecture*:
+/// all memory accesses execute atomically, and the accesses of each
+/// processor appear in program order.
+///
+/// The `Vec` order **is** the execution (completion) order; the program
+/// order of processor `P` is the subsequence of `P`'s operations.
+/// Synchronization order `so` relates synchronization operations on the
+/// same location by this completion order.
+///
+/// # Examples
+///
+/// ```
+/// use memory_model::{Execution, Loc, Operation, OpId, ProcId};
+///
+/// let exec = Execution::new(vec![
+///     Operation::data_write(OpId(0), ProcId(0), Loc(0), 1),
+///     Operation::data_read(OpId(1), ProcId(1), Loc(0), 1),
+/// ])?;
+/// assert_eq!(exec.len(), 2);
+/// assert_eq!(exec.procs(), vec![ProcId(0), ProcId(1)]);
+/// # Ok::<(), memory_model::ExecutionError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution {
+    ops: Vec<Operation>,
+    index: HashMap<OpId, usize>,
+}
+
+impl Execution {
+    /// Creates an execution from operations in completion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecutionError::DuplicateOpId`] if two operations share an
+    /// id.
+    pub fn new(ops: Vec<Operation>) -> Result<Self, ExecutionError> {
+        let mut index = HashMap::with_capacity(ops.len());
+        for (i, op) in ops.iter().enumerate() {
+            if index.insert(op.id, i).is_some() {
+                return Err(ExecutionError::DuplicateOpId(op.id));
+            }
+        }
+        Ok(Execution { ops, index })
+    }
+
+    /// The operations in completion order.
+    #[must_use]
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the execution contains no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The position of `id` in completion order, if present.
+    #[must_use]
+    pub fn position(&self, id: OpId) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    /// The operation with the given id, if present.
+    #[must_use]
+    pub fn op(&self, id: OpId) -> Option<&Operation> {
+        self.position(id).map(|i| &self.ops[i])
+    }
+
+    /// The distinct processors appearing in the execution, ascending.
+    #[must_use]
+    pub fn procs(&self) -> Vec<ProcId> {
+        let set: BTreeSet<ProcId> = self.ops.iter().map(|op| op.proc).collect();
+        set.into_iter().collect()
+    }
+
+    /// The distinct locations accessed, ascending.
+    #[must_use]
+    pub fn locations(&self) -> Vec<Loc> {
+        let set: BTreeSet<Loc> = self.ops.iter().map(|op| op.loc).collect();
+        set.into_iter().collect()
+    }
+
+    /// Checks that the execution respects atomic-memory semantics starting
+    /// from `initial`: every read component returns the most recent
+    /// preceding write to its location (or the initial value), in the
+    /// completion order.
+    ///
+    /// Executions produced by the idealized interpreter satisfy this by
+    /// construction; the check exists to validate executions assembled by
+    /// hand or decoded from simulator traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SemanticsViolation`] found.
+    pub fn validate_atomic_semantics(
+        &self,
+        initial: &Memory,
+    ) -> Result<(), SemanticsViolation> {
+        let mut mem = initial.clone();
+        for op in &self.ops {
+            if let Some(got) = op.read_value {
+                let expected = mem.read(op.loc);
+                if got != expected {
+                    return Err(SemanticsViolation {
+                        op: op.id,
+                        loc: op.loc,
+                        expected,
+                        got,
+                    });
+                }
+            }
+            if let Some(v) = op.write_value {
+                mem.write(op.loc, v);
+            }
+        }
+        Ok(())
+    }
+
+    /// The *result* of the execution, per Lamport as interpreted by the
+    /// paper: the union of the values returned by all read operations and
+    /// the final state of memory.
+    #[must_use]
+    pub fn result(&self, initial: &Memory) -> ExecutionResult {
+        let mut mem = initial.clone();
+        let mut reads = BTreeMap::new();
+        for op in &self.ops {
+            if let Some(v) = op.read_value {
+                reads.insert(op.id, v);
+            }
+            if let Some(v) = op.write_value {
+                mem.write(op.loc, v);
+            }
+        }
+        ExecutionResult { reads, final_memory: mem.snapshot() }
+    }
+}
+
+impl<'a> IntoIterator for &'a Execution {
+    type Item = &'a Operation;
+    type IntoIter = std::slice::Iter<'a, Operation>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+/// The observable outcome of an execution: read values plus final memory.
+///
+/// Two executions of the same program are indistinguishable to software
+/// precisely when their `ExecutionResult`s are equal — this is the "result"
+/// in both Lamport's definition of sequential consistency and the paper's
+/// Definition 2.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ExecutionResult {
+    /// Value returned by each read operation, keyed by operation id.
+    pub reads: BTreeMap<OpId, Value>,
+    /// Final memory cells that differ from the initial default.
+    pub final_memory: Vec<(Loc, Value)>,
+}
+
+/// An error constructing an [`Execution`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionError {
+    /// Two operations carried the same [`OpId`].
+    DuplicateOpId(OpId),
+}
+
+impl fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionError::DuplicateOpId(id) => {
+                write!(f, "duplicate operation id {id}")
+            }
+        }
+    }
+}
+
+impl Error for ExecutionError {}
+
+/// A read that did not return the most recent preceding write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SemanticsViolation {
+    /// The offending read operation.
+    pub op: OpId,
+    /// The location it accessed.
+    pub loc: Loc,
+    /// The value atomic memory would have returned.
+    pub expected: Value,
+    /// The value the operation actually recorded.
+    pub got: Value,
+}
+
+impl fmt::Display for SemanticsViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read {op} at {loc} returned {got} but atomic memory held {expected}",
+            op = self.op,
+            loc = self.loc,
+            got = self.got,
+            expected = self.expected
+        )
+    }
+}
+
+impl Error for SemanticsViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wrx() -> Vec<Operation> {
+        vec![
+            Operation::data_write(OpId(0), ProcId(0), Loc(0), 5),
+            Operation::data_read(OpId(1), ProcId(1), Loc(0), 5),
+            Operation::data_read(OpId(2), ProcId(1), Loc(1), 0),
+        ]
+    }
+
+    #[test]
+    fn new_rejects_duplicate_ids() {
+        let mut ops = wrx();
+        ops[2].id = OpId(0);
+        assert_eq!(
+            Execution::new(ops).unwrap_err(),
+            ExecutionError::DuplicateOpId(OpId(0))
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let exec = Execution::new(wrx()).unwrap();
+        assert_eq!(exec.len(), 3);
+        assert!(!exec.is_empty());
+        assert_eq!(exec.position(OpId(1)), Some(1));
+        assert_eq!(exec.op(OpId(2)).unwrap().loc, Loc(1));
+        assert_eq!(exec.procs(), vec![ProcId(0), ProcId(1)]);
+        assert_eq!(exec.locations(), vec![Loc(0), Loc(1)]);
+        assert_eq!(exec.into_iter().count(), 3);
+    }
+
+    #[test]
+    fn atomic_semantics_accepts_valid() {
+        let exec = Execution::new(wrx()).unwrap();
+        assert!(exec.validate_atomic_semantics(&Memory::new()).is_ok());
+    }
+
+    #[test]
+    fn atomic_semantics_rejects_stale_read() {
+        let ops = vec![
+            Operation::data_write(OpId(0), ProcId(0), Loc(0), 5),
+            Operation::data_read(OpId(1), ProcId(1), Loc(0), 0), // stale
+        ];
+        let exec = Execution::new(ops).unwrap();
+        let err = exec.validate_atomic_semantics(&Memory::new()).unwrap_err();
+        assert_eq!(err.op, OpId(1));
+        assert_eq!(err.expected, 5);
+        assert_eq!(err.got, 0);
+        assert!(err.to_string().contains("returned 0"));
+    }
+
+    #[test]
+    fn rmw_reads_then_writes() {
+        // TestAndSet on a held location must read the held value.
+        let ops = vec![
+            Operation::sync_rmw(OpId(0), ProcId(0), Loc(0), 0, 1),
+            Operation::sync_rmw(OpId(1), ProcId(1), Loc(0), 1, 1),
+        ];
+        let exec = Execution::new(ops).unwrap();
+        assert!(exec.validate_atomic_semantics(&Memory::new()).is_ok());
+    }
+
+    #[test]
+    fn result_collects_reads_and_final_memory() {
+        let exec = Execution::new(wrx()).unwrap();
+        let result = exec.result(&Memory::new());
+        assert_eq!(result.reads[&OpId(1)], 5);
+        assert_eq!(result.reads[&OpId(2)], 0);
+        assert_eq!(result.final_memory, vec![(Loc(0), 5)]);
+    }
+
+    #[test]
+    fn results_compare_by_value() {
+        let a = Execution::new(wrx()).unwrap().result(&Memory::new());
+        let b = Execution::new(wrx()).unwrap().result(&Memory::new());
+        assert_eq!(a, b);
+    }
+}

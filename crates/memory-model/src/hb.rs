@@ -1,0 +1,328 @@
+//! The happens-before relation `hb = (po ∪ so)⁺`.
+//!
+//! For an execution on the idealized architecture the paper defines
+//! (Section 4):
+//!
+//! * `op1 po op2` iff `op1` occurs before `op2` in program order of some
+//!   process;
+//! * `op1 so op2` iff both are synchronization operations accessing the
+//!   same location and `op1` completes before `op2`;
+//! * `hb` is the irreflexive transitive closure of `po ∪ so`.
+//!
+//! [`HbRelation`] materializes `hb` as a reachability bit-matrix so that
+//! [`HbRelation::happens_before`] is O(1). Because both `po` and `so` edges
+//! always point forward in completion order, the completion order is a
+//! topological order and the closure is computed in a single backward scan.
+
+use std::collections::HashMap;
+
+use crate::{Execution, OpId};
+
+/// A materialized happens-before relation for one idealized execution.
+///
+/// # Examples
+///
+/// ```
+/// use memory_model::{Execution, Loc, Operation, OpId, ProcId};
+/// use memory_model::hb::HbRelation;
+///
+/// // P1: W(x) ; S(s)        P2: S(s) ; R(x)   — the paper's ordering chain.
+/// let exec = Execution::new(vec![
+///     Operation::data_write(OpId(0), ProcId(1), Loc(0), 1),
+///     Operation::sync_write(OpId(1), ProcId(1), Loc(9), 1),
+///     Operation::sync_rmw(OpId(2), ProcId(2), Loc(9), 1, 1),
+///     Operation::data_read(OpId(3), ProcId(2), Loc(0), 1),
+/// ])?;
+/// let hb = HbRelation::from_execution(&exec);
+/// assert!(hb.happens_before(OpId(0), OpId(3))); // W(x) hb R(x) via S(s)
+/// assert!(!hb.happens_before(OpId(3), OpId(0)));
+/// # Ok::<(), memory_model::ExecutionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HbRelation {
+    /// `reach[i]` holds a bitset over operation positions strictly
+    /// hb-after operation `i`.
+    reach: Vec<BitRow>,
+    index: HashMap<OpId, usize>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BitRow(Vec<u64>);
+
+impl BitRow {
+    fn new(n: usize) -> Self {
+        BitRow(vec![0; n.div_ceil(64)])
+    }
+
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+
+    fn get(&self, i: usize) -> bool {
+        self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    fn union_with(&mut self, other: &BitRow) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a |= b;
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Which synchronization operations *release* — carry their processor's
+/// earlier accesses across a synchronization-order edge.
+///
+/// [`SyncMode::Drf0`] is Definition 3: every synchronization operation on
+/// a location releases to every later one. [`SyncMode::ReleaseWrites`]
+/// is the Section 6 refinement: "a processor cannot use a read-only
+/// synchronization operation to order its previous accesses with respect
+/// to subsequent synchronization operations of other processors" — only
+/// operations with a write component release. (The synchronization
+/// operations *themselves* stay totally ordered per location in both
+/// modes; the mode only changes what their edges carry.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SyncMode {
+    /// Definition 3's DRF0: any synchronization operation releases.
+    #[default]
+    Drf0,
+    /// Section 6's refinement (DRF1-style): only writing synchronization
+    /// operations release.
+    ReleaseWrites,
+}
+
+impl HbRelation {
+    /// Computes `hb = (po ∪ so)⁺` for an idealized execution, under
+    /// [`SyncMode::Drf0`].
+    ///
+    /// Direct edges are the *covering* edges of `po` (each operation to the
+    /// next operation of the same processor) and of `so` (each
+    /// synchronization operation to the next synchronization operation on
+    /// the same location); transitivity recovers the full relations.
+    #[must_use]
+    pub fn from_execution(exec: &Execution) -> Self {
+        Self::with_mode(exec, SyncMode::Drf0)
+    }
+
+    /// Computes happens-before under the given [`SyncMode`].
+    ///
+    /// Under [`SyncMode::ReleaseWrites`], an edge runs from the last
+    /// *writing* synchronization operation on a location to each later
+    /// synchronization operation on it; read-only synchronization
+    /// operations acquire but do not relay.
+    #[must_use]
+    pub fn with_mode(exec: &Execution, mode: SyncMode) -> Self {
+        let n = exec.len();
+        let ops = exec.ops();
+        let mut index = HashMap::with_capacity(n);
+        for (i, op) in ops.iter().enumerate() {
+            index.insert(op.id, i);
+        }
+
+        // successors[i]: the covering po/so successors of position i.
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut last_of_proc: HashMap<crate::ProcId, usize> = HashMap::new();
+        // Drf0: the last sync op per location (the chain covers so).
+        // ReleaseWrites: the last *writing* sync op per location; it must
+        // edge to every later sync until the next writing one, because
+        // read-only ops do not relay.
+        let mut last_release_on: HashMap<crate::Loc, usize> = HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            if let Some(&prev) = last_of_proc.get(&op.proc) {
+                successors[prev].push(i);
+            }
+            last_of_proc.insert(op.proc, i);
+            if op.kind.is_sync() {
+                if let Some(&prev) = last_release_on.get(&op.loc) {
+                    if ops[prev].proc != op.proc {
+                        // Same-processor so edges are subsumed by po.
+                        successors[prev].push(i);
+                    }
+                }
+                let releases = match mode {
+                    SyncMode::Drf0 => true,
+                    SyncMode::ReleaseWrites => op.kind.is_write(),
+                };
+                if releases {
+                    last_release_on.insert(op.loc, i);
+                }
+            }
+        }
+
+        // Completion order is topological (all edges go forward), so one
+        // backward pass computes reachability.
+        let mut reach = vec![BitRow::new(n); n];
+        for i in (0..n).rev() {
+            // Split the slice so we can borrow reach[j] while mutating
+            // reach[i] (j > i always holds).
+            let (head, tail) = reach.split_at_mut(i + 1);
+            let row = &mut head[i];
+            for &j in &successors[i] {
+                row.set(j);
+                row.union_with(&tail[j - i - 1]);
+            }
+        }
+
+        HbRelation { reach, index }
+    }
+
+    /// Whether `a` happens-before `b`.
+    ///
+    /// Returns `false` if either id is absent (an unknown operation is
+    /// unordered with everything) or if `a == b` (`hb` is irreflexive).
+    #[must_use]
+    pub fn happens_before(&self, a: OpId, b: OpId) -> bool {
+        match (self.index.get(&a), self.index.get(&b)) {
+            (Some(&i), Some(&j)) => self.reach[i].get(j),
+            _ => false,
+        }
+    }
+
+    /// Whether `a` and `b` are ordered by `hb` in either direction.
+    #[must_use]
+    pub fn ordered(&self, a: OpId, b: OpId) -> bool {
+        self.happens_before(a, b) || self.happens_before(b, a)
+    }
+
+    /// Number of operations in the underlying execution.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.reach.len()
+    }
+
+    /// Whether the relation covers no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.reach.is_empty()
+    }
+
+    /// Total number of ordered pairs — useful for ablation comparisons.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.reach.iter().map(BitRow::count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Loc, Operation, ProcId};
+
+    fn exec(ops: Vec<Operation>) -> Execution {
+        Execution::new(ops).unwrap()
+    }
+
+    #[test]
+    fn program_order_is_hb() {
+        let e = exec(vec![
+            Operation::data_write(OpId(0), ProcId(0), Loc(0), 1),
+            Operation::data_write(OpId(1), ProcId(0), Loc(1), 2),
+            Operation::data_write(OpId(2), ProcId(0), Loc(2), 3),
+        ]);
+        let hb = HbRelation::from_execution(&e);
+        assert!(hb.happens_before(OpId(0), OpId(1)));
+        assert!(hb.happens_before(OpId(0), OpId(2)), "po is transitive");
+        assert!(!hb.happens_before(OpId(1), OpId(0)));
+        assert!(!hb.happens_before(OpId(0), OpId(0)), "hb is irreflexive");
+    }
+
+    #[test]
+    fn unsynchronized_cross_processor_ops_are_unordered() {
+        let e = exec(vec![
+            Operation::data_write(OpId(0), ProcId(0), Loc(0), 1),
+            Operation::data_write(OpId(1), ProcId(1), Loc(0), 2),
+        ]);
+        let hb = HbRelation::from_execution(&e);
+        assert!(!hb.ordered(OpId(0), OpId(1)));
+    }
+
+    #[test]
+    fn sync_chain_orders_across_processors() {
+        // The paper's example chain:
+        // op(P1,x) po S(P1,s) so S(P2,s) po S(P2,t) so S(P3,t) po op(P3,x)
+        let x = Loc(0);
+        let s = Loc(1);
+        let t = Loc(2);
+        let e = exec(vec![
+            Operation::data_write(OpId(0), ProcId(1), x, 1),
+            Operation::sync_write(OpId(1), ProcId(1), s, 1),
+            Operation::sync_rmw(OpId(2), ProcId(2), s, 1, 2),
+            Operation::sync_write(OpId(3), ProcId(2), t, 1),
+            Operation::sync_rmw(OpId(4), ProcId(3), t, 1, 2),
+            Operation::data_read(OpId(5), ProcId(3), x, 1),
+        ]);
+        let hb = HbRelation::from_execution(&e);
+        assert!(hb.happens_before(OpId(0), OpId(5)), "paper's chain example");
+        assert!(hb.happens_before(OpId(1), OpId(4)));
+        assert!(!hb.happens_before(OpId(5), OpId(0)));
+    }
+
+    #[test]
+    fn sync_on_different_locations_does_not_order() {
+        let e = exec(vec![
+            Operation::data_write(OpId(0), ProcId(0), Loc(0), 1),
+            Operation::sync_write(OpId(1), ProcId(0), Loc(1), 1),
+            Operation::sync_rmw(OpId(2), ProcId(1), Loc(2), 0, 1), // different sync loc
+            Operation::data_read(OpId(3), ProcId(1), Loc(0), 0),
+        ]);
+        let hb = HbRelation::from_execution(&e);
+        assert!(!hb.ordered(OpId(0), OpId(3)));
+    }
+
+    #[test]
+    fn so_orders_only_sync_ops() {
+        // Data accesses to the same location do NOT create so edges.
+        let e = exec(vec![
+            Operation::data_write(OpId(0), ProcId(0), Loc(0), 1),
+            Operation::data_read(OpId(1), ProcId(1), Loc(0), 1),
+        ]);
+        let hb = HbRelation::from_execution(&e);
+        assert!(!hb.ordered(OpId(0), OpId(1)));
+    }
+
+    #[test]
+    fn unknown_ids_are_unordered() {
+        let e = exec(vec![Operation::data_write(OpId(0), ProcId(0), Loc(0), 1)]);
+        let hb = HbRelation::from_execution(&e);
+        assert!(!hb.happens_before(OpId(0), OpId(99)));
+        assert!(!hb.happens_before(OpId(99), OpId(0)));
+    }
+
+    #[test]
+    fn empty_execution() {
+        let hb = HbRelation::from_execution(&exec(vec![]));
+        assert!(hb.is_empty());
+        assert_eq!(hb.len(), 0);
+        assert_eq!(hb.edge_count(), 0);
+    }
+
+    #[test]
+    fn edge_count_counts_ordered_pairs() {
+        let e = exec(vec![
+            Operation::data_write(OpId(0), ProcId(0), Loc(0), 1),
+            Operation::data_write(OpId(1), ProcId(0), Loc(1), 2),
+            Operation::data_write(OpId(2), ProcId(0), Loc(2), 3),
+        ]);
+        let hb = HbRelation::from_execution(&e);
+        assert_eq!(hb.edge_count(), 3); // (0,1), (0,2), (1,2)
+    }
+
+    #[test]
+    fn three_processor_transitivity_through_two_sync_locations() {
+        // P0 syncs with P1 on s; P1 syncs with P2 on t; P0's write is
+        // ordered before P2's read even though they never share a sync loc.
+        let e = exec(vec![
+            Operation::data_write(OpId(0), ProcId(0), Loc(0), 7),
+            Operation::sync_write(OpId(1), ProcId(0), Loc(10), 1),
+            Operation::sync_read(OpId(2), ProcId(1), Loc(10), 1),
+            Operation::sync_write(OpId(3), ProcId(1), Loc(11), 1),
+            Operation::sync_read(OpId(4), ProcId(2), Loc(11), 1),
+            Operation::data_read(OpId(5), ProcId(2), Loc(0), 7),
+        ]);
+        let hb = HbRelation::from_execution(&e);
+        assert!(hb.happens_before(OpId(0), OpId(5)));
+    }
+}

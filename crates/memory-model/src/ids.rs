@@ -1,0 +1,139 @@
+//! Identifier newtypes shared across the workspace.
+
+use std::fmt;
+
+/// The value domain of the simulated memory: 64-bit words.
+pub type Value = u64;
+
+/// Identifies a processor (the paper's `P_i`).
+///
+/// # Examples
+///
+/// ```
+/// use memory_model::ProcId;
+/// assert_eq!(ProcId(3).to_string(), "P3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcId(pub u16);
+
+impl ProcId {
+    /// Returns the processor number as a `usize`, for indexing.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies a memory location.
+///
+/// The paper's DRF0 requires each synchronization operation to access
+/// exactly one location; a `Loc` is that unit of access (one word — the
+/// simulators use one-word cache lines, see DESIGN.md).
+///
+/// # Examples
+///
+/// ```
+/// use memory_model::Loc;
+/// assert_eq!(Loc(7).to_string(), "m7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Loc(pub u32);
+
+impl Loc {
+    /// Returns the location number as a `usize`, for indexing.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Identifies one memory operation within an execution.
+///
+/// Ids are unique within an [`crate::Execution`] or
+/// [`crate::Observation`] but carry no ordering meaning of their own.
+///
+/// Interpreters and simulators in this workspace assign ids with
+/// [`OpId::for_thread_op`], which encodes `(processor, program-order
+/// sequence)`. That makes the id of a given program-order access identical
+/// across different interleavings and different hardware models, so their
+/// results can be compared directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct OpId(pub u64);
+
+impl OpId {
+    /// The id of processor `proc`'s `seq`-th memory operation (0-based,
+    /// program order).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use memory_model::{OpId, ProcId};
+    /// let id = OpId::for_thread_op(ProcId(2), 5);
+    /// assert_eq!(id.proc_part(), ProcId(2));
+    /// assert_eq!(id.seq_part(), 5);
+    /// ```
+    #[must_use]
+    pub const fn for_thread_op(proc: ProcId, seq: u32) -> OpId {
+        OpId(((proc.0 as u64) << 32) | seq as u64)
+    }
+
+    /// The processor encoded by [`OpId::for_thread_op`].
+    #[must_use]
+    pub const fn proc_part(self) -> ProcId {
+        ProcId((self.0 >> 32) as u16)
+    }
+
+    /// The program-order sequence number encoded by
+    /// [`OpId::for_thread_op`].
+    #[must_use]
+    pub const fn seq_part(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >> 32 != 0 {
+            write!(f, "#{}.{}", self.proc_part().0, self.seq_part())
+        } else {
+            write!(f, "#{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProcId(0).to_string(), "P0");
+        assert_eq!(Loc(12).to_string(), "m12");
+        assert_eq!(OpId(5).to_string(), "#5");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(ProcId(9).index(), 9);
+        assert_eq!(Loc(9).index(), 9);
+    }
+
+    #[test]
+    fn ids_order_numerically() {
+        assert!(ProcId(1) < ProcId(2));
+        assert!(Loc(1) < Loc(2));
+        assert!(OpId(1) < OpId(2));
+    }
+}

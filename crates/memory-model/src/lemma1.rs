@@ -1,0 +1,277 @@
+//! The Lemma 1 oracle (Appendix A).
+//!
+//! Lemma 1 states that a system is weakly ordered with respect to DRF0 iff
+//! for any execution `E` of a DRF0 program there is a happens-before
+//! relation (from some idealized execution) such that `E` and the
+//! happens-before agree on reads and **every read returns the value written
+//! by the last write on the same variable ordered before it by
+//! happens-before**.
+//!
+//! [`reads_see_last_hb_write`] checks the read-value condition for one
+//! execution and one happens-before relation. For DRF0 executions the
+//! hb-last write is unique (conflicting writes are totally ordered along
+//! every hb chain), so the check is well-defined; if an ambiguous
+//! hb-maximal set is found the input was racy and
+//! [`Lemma1Violation::AmbiguousLastWrite`] is reported.
+//!
+//! The paper accounts for the initial state of memory with hypothetical
+//! initializing writes ordered hb-before everything; this module realizes
+//! them with the `initial` [`Memory`] argument.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::hb::HbRelation;
+use crate::{Execution, Loc, Memory, OpId, Value};
+
+/// A violation of Lemma 1's read-value condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lemma1Violation {
+    /// A read returned a value different from the hb-last write's value.
+    WrongValue {
+        /// The offending read.
+        read: OpId,
+        /// The hb-last write to the same location, if any (otherwise the
+        /// initial value applied).
+        last_write: Option<OpId>,
+        /// The value the read should have returned.
+        expected: Value,
+        /// The value it actually returned.
+        got: Value,
+    },
+    /// Two hb-maximal writes precede the read — impossible for DRF0
+    /// executions, so the input must contain a race involving this read's
+    /// location.
+    AmbiguousLastWrite {
+        /// The read whose hb-last write is ambiguous.
+        read: OpId,
+        /// Two incomparable hb-maximal writes.
+        candidates: (OpId, OpId),
+        /// The contested location.
+        loc: Loc,
+    },
+}
+
+impl fmt::Display for Lemma1Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lemma1Violation::WrongValue { read, last_write, expected, got } => {
+                match last_write {
+                    Some(w) => write!(
+                        f,
+                        "read {read} returned {got}, but hb-last write {w} stored {expected}"
+                    ),
+                    None => write!(
+                        f,
+                        "read {read} returned {got}, but no write precedes it and the initial value is {expected}"
+                    ),
+                }
+            }
+            Lemma1Violation::AmbiguousLastWrite { read, candidates, loc } => write!(
+                f,
+                "read {read} at {loc} has incomparable hb-maximal writes {} and {} — the execution is racy",
+                candidates.0, candidates.1
+            ),
+        }
+    }
+}
+
+impl Error for Lemma1Violation {}
+
+/// Checks that every read in `exec` returns the value of the hb-last write
+/// to its location (or the initial value when no write precedes it).
+///
+/// For a read-modify-write synchronization operation only the read
+/// component is checked, and per the paper's Appendix A footnote its own
+/// write component is not a candidate "last write" for itself.
+///
+/// # Errors
+///
+/// Returns the first violation found, scanning in completion order.
+///
+/// # Examples
+///
+/// ```
+/// use memory_model::hb::HbRelation;
+/// use memory_model::lemma1::reads_see_last_hb_write;
+/// use memory_model::{Execution, Loc, Memory, Operation, OpId, ProcId};
+///
+/// let exec = Execution::new(vec![
+///     Operation::data_write(OpId(0), ProcId(0), Loc(0), 1),
+///     Operation::sync_write(OpId(1), ProcId(0), Loc(9), 1),
+///     Operation::sync_read(OpId(2), ProcId(1), Loc(9), 1),
+///     Operation::data_read(OpId(3), ProcId(1), Loc(0), 1),
+/// ])?;
+/// let hb = HbRelation::from_execution(&exec);
+/// assert!(reads_see_last_hb_write(&exec, &hb, &Memory::new()).is_ok());
+/// # Ok::<(), memory_model::ExecutionError>(())
+/// ```
+pub fn reads_see_last_hb_write(
+    exec: &Execution,
+    hb: &HbRelation,
+    initial: &Memory,
+) -> Result<(), Lemma1Violation> {
+    for op in exec.ops() {
+        let Some(got) = op.read_value else { continue };
+
+        // Collect writes to the same location ordered hb-before this read.
+        let before: Vec<_> = exec
+            .ops()
+            .iter()
+            .filter(|w| {
+                w.kind.is_write()
+                    && w.loc == op.loc
+                    && w.id != op.id
+                    && hb.happens_before(w.id, op.id)
+            })
+            .collect();
+
+        // Find the hb-maximal ones.
+        let maximal: Vec<_> = before
+            .iter()
+            .filter(|w| {
+                !before
+                    .iter()
+                    .any(|later| hb.happens_before(w.id, later.id))
+            })
+            .collect();
+
+        match maximal.as_slice() {
+            [] => {
+                let expected = initial.read(op.loc);
+                if got != expected {
+                    return Err(Lemma1Violation::WrongValue {
+                        read: op.id,
+                        last_write: None,
+                        expected,
+                        got,
+                    });
+                }
+            }
+            [only] => {
+                let expected = only
+                    .write_value
+                    .expect("is_write() implies a write value");
+                if got != expected {
+                    return Err(Lemma1Violation::WrongValue {
+                        read: op.id,
+                        last_write: Some(only.id),
+                        expected,
+                        got,
+                    });
+                }
+            }
+            [a, b, ..] => {
+                return Err(Lemma1Violation::AmbiguousLastWrite {
+                    read: op.id,
+                    candidates: (a.id, b.id),
+                    loc: op.loc,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Operation, ProcId};
+
+    #[test]
+    fn accepts_synchronized_handoff() {
+        let exec = Execution::new(vec![
+            Operation::data_write(OpId(0), ProcId(0), Loc(0), 5),
+            Operation::sync_write(OpId(1), ProcId(0), Loc(9), 1),
+            Operation::sync_read(OpId(2), ProcId(1), Loc(9), 1),
+            Operation::data_read(OpId(3), ProcId(1), Loc(0), 5),
+        ])
+        .unwrap();
+        let hb = HbRelation::from_execution(&exec);
+        assert!(reads_see_last_hb_write(&exec, &hb, &Memory::new()).is_ok());
+    }
+
+    #[test]
+    fn rejects_stale_read() {
+        let exec = Execution::new(vec![
+            Operation::data_write(OpId(0), ProcId(0), Loc(0), 5),
+            Operation::sync_write(OpId(1), ProcId(0), Loc(9), 1),
+            Operation::sync_read(OpId(2), ProcId(1), Loc(9), 1),
+            Operation::data_read(OpId(3), ProcId(1), Loc(0), 0), // stale!
+        ])
+        .unwrap();
+        let hb = HbRelation::from_execution(&exec);
+        let err = reads_see_last_hb_write(&exec, &hb, &Memory::new()).unwrap_err();
+        assert_eq!(
+            err,
+            Lemma1Violation::WrongValue {
+                read: OpId(3),
+                last_write: Some(OpId(0)),
+                expected: 5,
+                got: 0
+            }
+        );
+        assert!(err.to_string().contains("hb-last write"));
+    }
+
+    #[test]
+    fn initial_value_applies_when_no_write_precedes() {
+        let exec = Execution::new(vec![Operation::data_read(
+            OpId(0),
+            ProcId(0),
+            Loc(0),
+            7,
+        )])
+        .unwrap();
+        let hb = HbRelation::from_execution(&exec);
+        assert!(reads_see_last_hb_write(&exec, &hb, &Memory::new()).is_err());
+        let mut init = Memory::new();
+        init.write(Loc(0), 7);
+        assert!(reads_see_last_hb_write(&exec, &hb, &init).is_ok());
+    }
+
+    #[test]
+    fn racy_execution_yields_ambiguity() {
+        // Two unordered writes both hb-before the read? They can't both be
+        // hb-before a read without being ordered with each other... unless
+        // the read's processor synchronized with both writers separately.
+        let exec = Execution::new(vec![
+            Operation::data_write(OpId(0), ProcId(0), Loc(0), 1),
+            Operation::sync_write(OpId(1), ProcId(0), Loc(8), 1),
+            Operation::data_write(OpId(2), ProcId(1), Loc(0), 2),
+            Operation::sync_write(OpId(3), ProcId(1), Loc(9), 1),
+            Operation::sync_read(OpId(4), ProcId(2), Loc(8), 1),
+            Operation::sync_read(OpId(5), ProcId(2), Loc(9), 1),
+            Operation::data_read(OpId(6), ProcId(2), Loc(0), 2),
+        ])
+        .unwrap();
+        let hb = HbRelation::from_execution(&exec);
+        let err = reads_see_last_hb_write(&exec, &hb, &Memory::new()).unwrap_err();
+        assert!(matches!(err, Lemma1Violation::AmbiguousLastWrite { read: OpId(6), .. }));
+        assert!(err.to_string().contains("racy"));
+    }
+
+    #[test]
+    fn rmw_read_component_sees_previous_sync_write() {
+        // Unset then TestAndSet: the TestAndSet's read must see the Unset.
+        let exec = Execution::new(vec![
+            Operation::sync_write(OpId(0), ProcId(0), Loc(0), 0), // Unset
+            Operation::sync_rmw(OpId(1), ProcId(1), Loc(0), 0, 1), // TestAndSet
+        ])
+        .unwrap();
+        let hb = HbRelation::from_execution(&exec);
+        assert!(reads_see_last_hb_write(&exec, &hb, &Memory::new()).is_ok());
+    }
+
+    #[test]
+    fn program_order_alone_suffices_within_a_processor() {
+        let exec = Execution::new(vec![
+            Operation::data_write(OpId(0), ProcId(0), Loc(0), 1),
+            Operation::data_write(OpId(1), ProcId(0), Loc(0), 2),
+            Operation::data_read(OpId(2), ProcId(0), Loc(0), 2),
+        ])
+        .unwrap();
+        let hb = HbRelation::from_execution(&exec);
+        assert!(reads_see_last_hb_write(&exec, &hb, &Memory::new()).is_ok());
+    }
+}

@@ -1,0 +1,124 @@
+//! The memory state of the idealized architecture.
+
+use std::collections::BTreeMap;
+
+use crate::{Loc, Value};
+
+/// A total map from locations to values, defaulting to zero.
+///
+/// The paper accounts for the initial state of memory with hypothetical
+/// initializing writes; `Memory` realizes the same effect by making every
+/// location initially hold [`Memory::default_value`] (zero unless
+/// configured otherwise).
+///
+/// # Examples
+///
+/// ```
+/// use memory_model::{Loc, Memory};
+///
+/// let mut mem = Memory::new();
+/// assert_eq!(mem.read(Loc(3)), 0); // untouched locations read as zero
+/// mem.write(Loc(3), 7);
+/// assert_eq!(mem.read(Loc(3)), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Memory {
+    cells: BTreeMap<Loc, Value>,
+    default: Value,
+}
+
+impl Memory {
+    /// Creates a memory where every location holds zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Creates a memory where untouched locations hold `default`.
+    #[must_use]
+    pub fn with_default(default: Value) -> Self {
+        Memory { cells: BTreeMap::new(), default }
+    }
+
+    /// The value untouched locations hold.
+    #[must_use]
+    pub fn default_value(&self) -> Value {
+        self.default
+    }
+
+    /// Reads the value at `loc`.
+    #[must_use]
+    pub fn read(&self, loc: Loc) -> Value {
+        self.cells.get(&loc).copied().unwrap_or(self.default)
+    }
+
+    /// Writes `value` at `loc`.
+    pub fn write(&mut self, loc: Loc, value: Value) {
+        self.cells.insert(loc, value);
+    }
+
+    /// The set of locations that have ever been written, with their values,
+    /// in increasing location order.
+    pub fn written(&self) -> impl Iterator<Item = (Loc, Value)> + '_ {
+        self.cells.iter().map(|(&l, &v)| (l, v))
+    }
+
+    /// A canonical snapshot usable as a hash/eq key: written cells that
+    /// differ from the default, in location order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(Loc, Value)> {
+        self.cells
+            .iter()
+            .filter(|&(_, &v)| v != self.default)
+            .map(|(&l, &v)| (l, v))
+            .collect()
+    }
+}
+
+impl FromIterator<(Loc, Value)> for Memory {
+    fn from_iter<I: IntoIterator<Item = (Loc, Value)>>(iter: I) -> Self {
+        Memory { cells: iter.into_iter().collect(), default: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read(Loc(99)), 0);
+        assert_eq!(mem.default_value(), 0);
+    }
+
+    #[test]
+    fn custom_default() {
+        let mem = Memory::with_default(7);
+        assert_eq!(mem.read(Loc(0)), 7);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut mem = Memory::new();
+        mem.write(Loc(1), 10);
+        mem.write(Loc(1), 20);
+        assert_eq!(mem.read(Loc(1)), 20);
+    }
+
+    #[test]
+    fn snapshot_elides_default_values() {
+        let mut mem = Memory::new();
+        mem.write(Loc(1), 5);
+        mem.write(Loc(2), 0); // same as default: elided
+        assert_eq!(mem.snapshot(), vec![(Loc(1), 5)]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let mem: Memory = [(Loc(0), 1), (Loc(1), 2)].into_iter().collect();
+        assert_eq!(mem.read(Loc(0)), 1);
+        assert_eq!(mem.read(Loc(1)), 2);
+        assert_eq!(mem.written().count(), 2);
+    }
+}

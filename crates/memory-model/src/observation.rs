@@ -1,0 +1,270 @@
+//! Per-processor observations of a hardware execution.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::{Execution, Loc, OpId, Operation, ProcId, Value};
+
+/// The program-ordered operations one processor performed, with the values
+/// its reads returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadTrace {
+    /// The observing processor.
+    pub proc: ProcId,
+    /// Its operations, in program order.
+    pub ops: Vec<Operation>,
+}
+
+impl ThreadTrace {
+    /// Creates a trace for `proc` from program-ordered operations.
+    #[must_use]
+    pub fn new(proc: ProcId, ops: Vec<Operation>) -> Self {
+        ThreadTrace { proc, ops }
+    }
+}
+
+/// What software can observe of a (possibly weakly ordered) hardware
+/// execution: each processor's program-ordered accesses with the values its
+/// reads returned, and optionally the final memory state.
+///
+/// Unlike [`Execution`], an `Observation` carries **no global order** —
+/// whether one exists (i.e. whether the observation *appears sequentially
+/// consistent*) is exactly the question [`crate::sc::check_sc`] answers.
+///
+/// # Examples
+///
+/// ```
+/// use memory_model::{Loc, Observation, Operation, OpId, ProcId, ThreadTrace};
+///
+/// let obs = Observation::new(vec![
+///     ThreadTrace::new(ProcId(0), vec![
+///         Operation::data_write(OpId(0), ProcId(0), Loc(0), 1),
+///     ]),
+///     ThreadTrace::new(ProcId(1), vec![
+///         Operation::data_read(OpId(1), ProcId(1), Loc(0), 1),
+///     ]),
+/// ])?;
+/// assert_eq!(obs.total_ops(), 2);
+/// # Ok::<(), memory_model::ObservationError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    threads: Vec<ThreadTrace>,
+    final_memory: Option<Vec<(Loc, Value)>>,
+}
+
+impl Observation {
+    /// Creates an observation from per-processor traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if two traces claim the same processor, if an
+    /// operation id repeats, or if an operation inside a trace names a
+    /// different processor than the trace.
+    pub fn new(threads: Vec<ThreadTrace>) -> Result<Self, ObservationError> {
+        let mut procs = HashSet::new();
+        let mut ids = HashSet::new();
+        for t in &threads {
+            if !procs.insert(t.proc) {
+                return Err(ObservationError::DuplicateProc(t.proc));
+            }
+            for op in &t.ops {
+                if op.proc != t.proc {
+                    return Err(ObservationError::ProcMismatch {
+                        op: op.id,
+                        trace: t.proc,
+                        op_proc: op.proc,
+                    });
+                }
+                if !ids.insert(op.id) {
+                    return Err(ObservationError::DuplicateOpId(op.id));
+                }
+            }
+        }
+        Ok(Observation { threads, final_memory: None })
+    }
+
+    /// Attaches the observed final memory state (cells differing from the
+    /// initial default). When present, [`crate::sc::check_sc`] additionally
+    /// requires the witness total order to leave memory in this state —
+    /// Lamport's "result" includes the final state of memory.
+    #[must_use]
+    pub fn with_final_memory(mut self, cells: Vec<(Loc, Value)>) -> Self {
+        self.final_memory = Some(cells);
+        self
+    }
+
+    /// Derives the observation of an idealized [`Execution`] — its
+    /// per-processor program-order projections.
+    #[must_use]
+    pub fn from_execution(exec: &Execution) -> Self {
+        let mut threads: Vec<ThreadTrace> = exec
+            .procs()
+            .into_iter()
+            .map(|p| ThreadTrace::new(p, Vec::new()))
+            .collect();
+        for op in exec.ops() {
+            let t = threads
+                .iter_mut()
+                .find(|t| t.proc == op.proc)
+                .expect("procs() covers every operation's processor");
+            t.ops.push(*op);
+        }
+        Observation { threads, final_memory: None }
+    }
+
+    /// The per-processor traces.
+    #[must_use]
+    pub fn threads(&self) -> &[ThreadTrace] {
+        &self.threads
+    }
+
+    /// The observed final memory, if recorded.
+    #[must_use]
+    pub fn final_memory(&self) -> Option<&[(Loc, Value)]> {
+        self.final_memory.as_deref()
+    }
+
+    /// Total operation count across all processors.
+    #[must_use]
+    pub fn total_ops(&self) -> usize {
+        self.threads.iter().map(|t| t.ops.len()).sum()
+    }
+
+    /// Iterates over all operations (program order within each processor,
+    /// processors in trace order).
+    pub fn iter_ops(&self) -> impl Iterator<Item = &Operation> {
+        self.threads.iter().flat_map(|t| t.ops.iter())
+    }
+
+    /// Looks up an operation by id.
+    #[must_use]
+    pub fn op(&self, id: OpId) -> Option<&Operation> {
+        self.iter_ops().find(|op| op.id == id)
+    }
+}
+
+/// An error constructing an [`Observation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservationError {
+    /// Two traces named the same processor.
+    DuplicateProc(ProcId),
+    /// Two operations carried the same id.
+    DuplicateOpId(OpId),
+    /// An operation's processor differs from its containing trace.
+    ProcMismatch {
+        /// The offending operation.
+        op: OpId,
+        /// The processor the trace belongs to.
+        trace: ProcId,
+        /// The processor the operation names.
+        op_proc: ProcId,
+    },
+}
+
+impl fmt::Display for ObservationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObservationError::DuplicateProc(p) => {
+                write!(f, "duplicate trace for processor {p}")
+            }
+            ObservationError::DuplicateOpId(id) => {
+                write!(f, "duplicate operation id {id}")
+            }
+            ObservationError::ProcMismatch { op, trace, op_proc } => write!(
+                f,
+                "operation {op} names {op_proc} but appears in trace of {trace}"
+            ),
+        }
+    }
+}
+
+impl Error for ObservationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Memory;
+
+    fn simple() -> Observation {
+        Observation::new(vec![
+            ThreadTrace::new(
+                ProcId(0),
+                vec![Operation::data_write(OpId(0), ProcId(0), Loc(0), 1)],
+            ),
+            ThreadTrace::new(
+                ProcId(1),
+                vec![Operation::data_read(OpId(1), ProcId(1), Loc(0), 1)],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicate_proc() {
+        let err = Observation::new(vec![
+            ThreadTrace::new(ProcId(0), vec![]),
+            ThreadTrace::new(ProcId(0), vec![]),
+        ])
+        .unwrap_err();
+        assert_eq!(err, ObservationError::DuplicateProc(ProcId(0)));
+    }
+
+    #[test]
+    fn rejects_duplicate_op_id() {
+        let err = Observation::new(vec![
+            ThreadTrace::new(
+                ProcId(0),
+                vec![
+                    Operation::data_write(OpId(0), ProcId(0), Loc(0), 1),
+                    Operation::data_write(OpId(0), ProcId(0), Loc(1), 2),
+                ],
+            ),
+        ])
+        .unwrap_err();
+        assert_eq!(err, ObservationError::DuplicateOpId(OpId(0)));
+    }
+
+    #[test]
+    fn rejects_proc_mismatch() {
+        let err = Observation::new(vec![ThreadTrace::new(
+            ProcId(0),
+            vec![Operation::data_write(OpId(0), ProcId(1), Loc(0), 1)],
+        )])
+        .unwrap_err();
+        assert!(matches!(err, ObservationError::ProcMismatch { .. }));
+        assert!(err.to_string().contains("P1"));
+    }
+
+    #[test]
+    fn accessors() {
+        let obs = simple();
+        assert_eq!(obs.total_ops(), 2);
+        assert_eq!(obs.threads().len(), 2);
+        assert_eq!(obs.op(OpId(1)).unwrap().proc, ProcId(1));
+        assert_eq!(obs.final_memory(), None);
+        let obs = obs.with_final_memory(vec![(Loc(0), 1)]);
+        assert_eq!(obs.final_memory(), Some(&[(Loc(0), 1)][..]));
+    }
+
+    #[test]
+    fn from_execution_projects_program_order() {
+        let exec = Execution::new(vec![
+            Operation::data_write(OpId(0), ProcId(1), Loc(0), 1),
+            Operation::data_write(OpId(1), ProcId(0), Loc(1), 2),
+            Operation::data_write(OpId(2), ProcId(1), Loc(2), 3),
+        ])
+        .unwrap();
+        let obs = Observation::from_execution(&exec);
+        assert_eq!(obs.threads().len(), 2);
+        let p1 = obs.threads().iter().find(|t| t.proc == ProcId(1)).unwrap();
+        assert_eq!(
+            p1.ops.iter().map(|o| o.id).collect::<Vec<_>>(),
+            vec![OpId(0), OpId(2)]
+        );
+        // Round-trip sanity: execution result reads match observation ops.
+        let result = exec.result(&Memory::new());
+        assert!(result.reads.is_empty());
+    }
+}

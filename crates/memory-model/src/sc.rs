@@ -1,0 +1,370 @@
+//! Sequential-consistency checking (Lamport's definition).
+//!
+//! Hardware "appears sequentially consistent" (the paper's Definition 2)
+//! when the result of its execution — the values returned by reads plus the
+//! final memory state — equals the result of *some* execution in which all
+//! accesses happen atomically, in a single total order consistent with each
+//! processor's program order.
+//!
+//! [`check_sc`] decides this for an [`Observation`] by searching for a
+//! witness total order. The search executes operations against an atomic
+//! memory, admitting a read only when memory currently holds the value the
+//! read observed, and memoizes visited `(per-processor position, memory)`
+//! states. The general problem is NP-hard (Gibbons & Korach), so the search
+//! carries an explicit state budget and reports [`ScVerdict::BudgetExhausted`]
+//! instead of running away on adversarial inputs; litmus-scale observations
+//! finish in microseconds.
+
+use std::collections::HashSet;
+
+use crate::{Memory, Observation, OpId, Value};
+
+/// Configuration for the SC search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScCheckConfig {
+    /// Maximum number of distinct search states to visit before giving up.
+    pub max_states: usize,
+}
+
+impl Default for ScCheckConfig {
+    fn default() -> Self {
+        ScCheckConfig { max_states: 1_000_000 }
+    }
+}
+
+/// The outcome of an SC check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScVerdict {
+    /// The observation appears sequentially consistent; the payload is a
+    /// witness: operation ids in a legal total order.
+    Consistent(Vec<OpId>),
+    /// No total order consistent with program order explains the
+    /// observation.
+    Inconsistent,
+    /// The state budget ran out before the search completed; the
+    /// observation may or may not be SC.
+    BudgetExhausted,
+}
+
+impl ScVerdict {
+    /// Whether the verdict affirms sequential consistency.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, ScVerdict::Consistent(_))
+    }
+}
+
+/// Decides whether `obs` appears sequentially consistent starting from
+/// `initial` memory.
+///
+/// If the observation records a final memory state
+/// ([`Observation::with_final_memory`]), the witness order must also leave
+/// memory in that state — Lamport's "result" includes the final state of
+/// memory.
+///
+/// # Examples
+///
+/// Figure 1 of the paper: the outcome in which both processors read 0 has
+/// no sequentially consistent explanation.
+///
+/// ```
+/// use memory_model::sc::{check_sc, ScCheckConfig};
+/// use memory_model::{Loc, Memory, Observation, Operation, OpId, ProcId, ThreadTrace};
+///
+/// let (x, y) = (Loc(0), Loc(1));
+/// let obs = Observation::new(vec![
+///     ThreadTrace::new(ProcId(0), vec![
+///         Operation::data_write(OpId(0), ProcId(0), x, 1),
+///         Operation::data_read(OpId(1), ProcId(0), y, 0), // Y == 0
+///     ]),
+///     ThreadTrace::new(ProcId(1), vec![
+///         Operation::data_write(OpId(2), ProcId(1), y, 1),
+///         Operation::data_read(OpId(3), ProcId(1), x, 0), // X == 0
+///     ]),
+/// ]).unwrap();
+///
+/// let verdict = check_sc(&obs, &Memory::new(), &ScCheckConfig::default());
+/// assert!(!verdict.is_consistent()); // P1 and P2 cannot both be killed
+/// ```
+#[must_use]
+pub fn check_sc(obs: &Observation, initial: &Memory, cfg: &ScCheckConfig) -> ScVerdict {
+    let threads = obs.threads();
+    let mut search = Search {
+        obs,
+        cfg,
+        visited: HashSet::new(),
+        witness: Vec::with_capacity(obs.total_ops()),
+        budget_hit: false,
+    };
+    let positions = vec![0usize; threads.len()];
+    if search.dfs(&positions, &mut initial.clone()) {
+        ScVerdict::Consistent(search.witness)
+    } else if search.budget_hit {
+        ScVerdict::BudgetExhausted
+    } else {
+        ScVerdict::Inconsistent
+    }
+}
+
+struct Search<'a> {
+    obs: &'a Observation,
+    cfg: &'a ScCheckConfig,
+    visited: HashSet<(Vec<usize>, Vec<(crate::Loc, Value)>)>,
+    witness: Vec<OpId>,
+    budget_hit: bool,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, positions: &[usize], mem: &mut Memory) -> bool {
+        let threads = self.obs.threads();
+        if positions
+            .iter()
+            .zip(threads)
+            .all(|(&i, t)| i == t.ops.len())
+        {
+            // All operations placed; check final memory if observed.
+            return match self.obs.final_memory() {
+                Some(want) => mem.snapshot() == want,
+                None => true,
+            };
+        }
+
+        let key = (positions.to_vec(), mem.snapshot());
+        if !self.visited.insert(key) {
+            return false;
+        }
+        if self.visited.len() > self.cfg.max_states {
+            self.budget_hit = true;
+            return false;
+        }
+
+        for (ti, trace) in threads.iter().enumerate() {
+            let i = positions[ti];
+            if i == trace.ops.len() {
+                continue;
+            }
+            let op = &trace.ops[i];
+
+            // A read (or the read component of an RMW) can only execute
+            // when atomic memory holds the value it observed.
+            if let Some(want) = op.read_value {
+                if mem.read(op.loc) != want {
+                    continue;
+                }
+            }
+
+            let saved = op.write_value.map(|_| mem.read(op.loc));
+            if let Some(v) = op.write_value {
+                mem.write(op.loc, v);
+            }
+            let mut next = positions.to_vec();
+            next[ti] += 1;
+            self.witness.push(op.id);
+
+            if self.dfs(&next, mem) {
+                return true;
+            }
+
+            self.witness.pop();
+            if let Some(old) = saved {
+                mem.write(op.loc, old);
+            }
+        }
+        false
+    }
+}
+
+/// Convenience wrapper: checks SC with the default configuration and
+/// panics on budget exhaustion (appropriate for litmus-scale inputs in
+/// tests and examples).
+///
+/// # Panics
+///
+/// Panics if the default state budget is exhausted.
+#[must_use]
+pub fn appears_sc(obs: &Observation, initial: &Memory) -> bool {
+    match check_sc(obs, initial, &ScCheckConfig::default()) {
+        ScVerdict::Consistent(_) => true,
+        ScVerdict::Inconsistent => false,
+        ScVerdict::BudgetExhausted => {
+            panic!("SC check exhausted its state budget; use check_sc directly")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Execution, Loc, Operation, ProcId, ThreadTrace};
+
+    fn dekker(r0: Value, r1: Value) -> Observation {
+        let (x, y) = (Loc(0), Loc(1));
+        Observation::new(vec![
+            ThreadTrace::new(
+                ProcId(0),
+                vec![
+                    Operation::data_write(OpId(0), ProcId(0), x, 1),
+                    Operation::data_read(OpId(1), ProcId(0), y, r0),
+                ],
+            ),
+            ThreadTrace::new(
+                ProcId(1),
+                vec![
+                    Operation::data_write(OpId(2), ProcId(1), y, 1),
+                    Operation::data_read(OpId(3), ProcId(1), x, r1),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dekker_00_is_not_sc() {
+        assert_eq!(
+            check_sc(&dekker(0, 0), &Memory::new(), &ScCheckConfig::default()),
+            ScVerdict::Inconsistent
+        );
+        assert!(!appears_sc(&dekker(0, 0), &Memory::new()));
+    }
+
+    #[test]
+    fn dekker_other_outcomes_are_sc() {
+        for (a, b) in [(0, 1), (1, 0), (1, 1)] {
+            assert!(
+                appears_sc(&dekker(a, b), &Memory::new()),
+                "({a},{b}) should be SC"
+            );
+        }
+    }
+
+    #[test]
+    fn witness_is_a_legal_total_order() {
+        let obs = dekker(1, 0);
+        let ScVerdict::Consistent(witness) =
+            check_sc(&obs, &Memory::new(), &ScCheckConfig::default())
+        else {
+            panic!("expected consistent");
+        };
+        assert_eq!(witness.len(), 4);
+        // Replaying the witness must satisfy atomic semantics.
+        let ordered: Vec<Operation> = witness
+            .iter()
+            .map(|&id| *obs.op(id).expect("witness ids come from obs"))
+            .collect();
+        let exec = Execution::new(ordered).unwrap();
+        assert!(exec.validate_atomic_semantics(&Memory::new()).is_ok());
+        // Program order must be respected.
+        let pos0 = witness.iter().position(|&i| i == OpId(0)).unwrap();
+        let pos1 = witness.iter().position(|&i| i == OpId(1)).unwrap();
+        assert!(pos0 < pos1);
+    }
+
+    #[test]
+    fn empty_observation_is_sc() {
+        let obs = Observation::new(vec![]).unwrap();
+        assert!(appears_sc(&obs, &Memory::new()));
+    }
+
+    #[test]
+    fn final_memory_constrains_witness() {
+        // Two writes to the same location; final memory decides the order.
+        let obs = Observation::new(vec![
+            ThreadTrace::new(
+                ProcId(0),
+                vec![Operation::data_write(OpId(0), ProcId(0), Loc(0), 1)],
+            ),
+            ThreadTrace::new(
+                ProcId(1),
+                vec![Operation::data_write(OpId(1), ProcId(1), Loc(0), 2)],
+            ),
+        ])
+        .unwrap();
+        let with_1 = obs.clone().with_final_memory(vec![(Loc(0), 1)]);
+        let with_2 = obs.clone().with_final_memory(vec![(Loc(0), 2)]);
+        let with_3 = obs.with_final_memory(vec![(Loc(0), 3)]);
+        assert!(appears_sc(&with_1, &Memory::new()));
+        assert!(appears_sc(&with_2, &Memory::new()));
+        assert!(!appears_sc(&with_3, &Memory::new()));
+    }
+
+    #[test]
+    fn rmw_atomicity_is_enforced() {
+        // Two TestAndSets on a free lock cannot both read 0.
+        let obs = Observation::new(vec![
+            ThreadTrace::new(
+                ProcId(0),
+                vec![Operation::sync_rmw(OpId(0), ProcId(0), Loc(0), 0, 1)],
+            ),
+            ThreadTrace::new(
+                ProcId(1),
+                vec![Operation::sync_rmw(OpId(1), ProcId(1), Loc(0), 0, 1)],
+            ),
+        ])
+        .unwrap();
+        assert!(!appears_sc(&obs, &Memory::new()));
+    }
+
+    #[test]
+    fn initial_memory_is_respected() {
+        let obs = Observation::new(vec![ThreadTrace::new(
+            ProcId(0),
+            vec![Operation::data_read(OpId(0), ProcId(0), Loc(0), 7)],
+        )])
+        .unwrap();
+        let mut init = Memory::new();
+        assert!(!appears_sc(&obs, &init));
+        init.write(Loc(0), 7);
+        assert!(appears_sc(&obs, &init));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        // Many independent writes to distinct locations: the state space is
+        // the product of thread positions; a budget of 1 must trip.
+        let threads: Vec<ThreadTrace> = (0..4u16)
+            .map(|p| {
+                ThreadTrace::new(
+                    ProcId(p),
+                    (0..4u32)
+                        .map(|i| {
+                            Operation::data_write(
+                                OpId(u64::from(p) * 4 + u64::from(i)),
+                                ProcId(p),
+                                Loc(u32::from(p) * 4 + i),
+                                1,
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let obs = Observation::new(threads).unwrap();
+        let verdict = check_sc(&obs, &Memory::new(), &ScCheckConfig { max_states: 1 });
+        assert_eq!(verdict, ScVerdict::BudgetExhausted);
+        assert!(!verdict.is_consistent());
+    }
+
+    #[test]
+    fn coherence_violation_is_not_sc() {
+        // P0 writes x twice (1 then 2); P1 reads 2 then 1 — no total order
+        // can explain reading the older value after the newer one.
+        let obs = Observation::new(vec![
+            ThreadTrace::new(
+                ProcId(0),
+                vec![
+                    Operation::data_write(OpId(0), ProcId(0), Loc(0), 1),
+                    Operation::data_write(OpId(1), ProcId(0), Loc(0), 2),
+                ],
+            ),
+            ThreadTrace::new(
+                ProcId(1),
+                vec![
+                    Operation::data_read(OpId(2), ProcId(1), Loc(0), 2),
+                    Operation::data_read(OpId(3), ProcId(1), Loc(0), 1),
+                ],
+            ),
+        ])
+        .unwrap();
+        assert!(!appears_sc(&obs, &Memory::new()));
+    }
+}

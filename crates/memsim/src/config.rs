@@ -1,0 +1,331 @@
+//! Machine configuration: interconnect, caches, ordering policy.
+
+use std::error::Error;
+use std::fmt;
+
+/// The interconnect joining processors to memory (or to the directory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterconnectConfig {
+    /// A shared bus: one message at a time, FIFO, fixed latency. The bus
+    /// is the serialization point of bus-based machines.
+    Bus {
+        /// Cycles each message occupies the bus.
+        latency: u64,
+    },
+    /// A general interconnection network: messages to different
+    /// destinations travel independently with per-message latencies drawn
+    /// uniformly from `[min_latency, max_latency]`; messages between the
+    /// same (source, destination) pair stay FIFO (virtual-channel
+    /// ordering, which directory protocols assume), but messages from one
+    /// source to *different* modules may arrive out of order — exactly the
+    /// reordering Figure 1's network case turns on.
+    Network {
+        /// Minimum per-hop latency in cycles.
+        min_latency: u64,
+        /// Maximum per-hop latency in cycles (inclusive).
+        max_latency: u64,
+        /// Extra cycles added to invalidation acknowledgements, modeling a
+        /// congested ack path; raising this stretches the gap between a
+        /// write's *commit* and its *global perform* (the lever behind the
+        /// Figure 3 analysis).
+        ack_extra_delay: u64,
+    },
+}
+
+impl InterconnectConfig {
+    /// A default bus.
+    #[must_use]
+    pub fn bus() -> Self {
+        InterconnectConfig::Bus { latency: 4 }
+    }
+
+    /// A default network.
+    #[must_use]
+    pub fn network() -> Self {
+        InterconnectConfig::Network { min_latency: 8, max_latency: 24, ack_extra_delay: 0 }
+    }
+}
+
+/// Which coherence mechanism cached machines use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoherenceKind {
+    /// The directory-based protocol of Section 5.2 (works on any
+    /// interconnect; required by the Definition 2 implementation).
+    #[default]
+    Directory,
+    /// A snooping MSI protocol over an atomic bus (the classic design for
+    /// Figure 1's bus+cache class). Writes commit and globally perform at
+    /// the bus grant, so the Section 5.3 reserve-bit implementation does
+    /// not apply; supported policies: SC, Relaxed, WO-Def1.
+    Snooping,
+}
+
+/// Options for the Definition 2 example implementation (Section 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Def2Config {
+    /// Apply the Section 6 optimization: read-only synchronization
+    /// operations (`Test`) are not treated as writes by the coherence
+    /// protocol, are not serialized, and do not set reserve bits.
+    pub read_only_sync_optimization: bool,
+    /// "Allowing only a limited number of cache misses to be sent to
+    /// memory while any line is reserved in the cache" (Section 5.3) —
+    /// bounds how long a stalled synchronization request can wait.
+    /// `None` means unlimited.
+    pub max_misses_while_reserved: Option<u32>,
+    /// Section 5.3 offers two ways to stall a synchronization request on a
+    /// reserved line: "maintaining a queue of stalled requests to be
+    /// serviced when the counter reads zero" (`true`) "or a negative ack
+    /// may be sent to the processor that sent the request, asking it to
+    /// try again" (`false`, the default).
+    pub queue_stalled_syncs: bool,
+}
+
+/// The memory-ordering policy the processors enforce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Sequential consistency by brute force: a processor issues its
+    /// accesses in program order and stalls until each is globally
+    /// performed before issuing the next (Scheurich & Dubois's sufficient
+    /// condition).
+    Sc,
+    /// The Figure 1 relaxations: stores are non-blocking (fire-and-forget)
+    /// and may additionally sit in a write buffer for `write_delay` cycles
+    /// before issuing, with reads bypassing them (store-to-load forwarding
+    /// keeps intra-processor dependences intact). Loads still block their
+    /// own processor until the value returns.
+    Relaxed {
+        /// Cycles a data write lingers in the write buffer before issuing.
+        write_delay: u64,
+    },
+    /// Weak ordering per Dubois–Scheurich–Briggs (Definition 1): stall
+    /// *before* a synchronization operation until all previous accesses
+    /// are globally performed, and after it until the synchronization
+    /// operation itself is globally performed.
+    WoDef1,
+    /// The paper's Definition 2 example implementation (Section 5.3):
+    /// counters + reserve bits; the issuing processor never stalls for its
+    /// previous accesses — the *next* processor to synchronize on the same
+    /// location does.
+    WoDef2(Def2Config),
+}
+
+impl Policy {
+    /// Short human-readable name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Sc => "SC",
+            Policy::Relaxed { .. } => "Relaxed",
+            Policy::WoDef1 => "WO-Def1",
+            Policy::WoDef2(cfg) if cfg.read_only_sync_optimization => "WO-Def2-opt",
+            Policy::WoDef2(_) => "WO-Def2",
+        }
+    }
+}
+
+/// A complete machine description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of processors.
+    pub num_procs: usize,
+    /// Whether processors have (coherent) caches.
+    pub caches: bool,
+    /// Number of memory modules (cacheless machines) or directory shards
+    /// (cached machines); locations map to modules round-robin.
+    pub num_modules: u32,
+    /// The interconnect.
+    pub interconnect: InterconnectConfig,
+    /// The ordering policy.
+    pub policy: Policy,
+    /// Coherence mechanism for cached machines.
+    pub coherence: CoherenceKind,
+    /// Cache capacity in lines (`None`: unbounded). Bounded caches evict
+    /// LRU lines with write-backs; reserved lines are never flushed
+    /// (Section 5.3) — the processor stalls instead.
+    pub cache_capacity: Option<usize>,
+    /// RNG seed for network latencies.
+    pub seed: u64,
+    /// Watchdog: abort the run after this many cycles.
+    pub max_cycles: u64,
+}
+
+impl MachineConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`MachineConfigError::Def2NeedsCaches`] — the Section 5.3
+    ///   implementation is defined in terms of cache lines and reserve
+    ///   bits; it cannot run on a cacheless machine.
+    /// * [`MachineConfigError::NoProcessors`] / other structural problems.
+    pub fn validate(&self) -> Result<(), MachineConfigError> {
+        if self.num_procs == 0 {
+            return Err(MachineConfigError::NoProcessors);
+        }
+        if self.num_modules == 0 {
+            return Err(MachineConfigError::NoModules);
+        }
+        if matches!(self.policy, Policy::WoDef2(_)) && !self.caches {
+            return Err(MachineConfigError::Def2NeedsCaches);
+        }
+        if self.cache_capacity == Some(0) {
+            return Err(MachineConfigError::ZeroCacheCapacity);
+        }
+        if self.coherence == CoherenceKind::Snooping {
+            if !self.caches {
+                return Err(MachineConfigError::SnoopingNeedsCaches);
+            }
+            if !matches!(self.interconnect, InterconnectConfig::Bus { .. }) {
+                return Err(MachineConfigError::SnoopingNeedsBus);
+            }
+            if matches!(self.policy, Policy::WoDef2(_)) {
+                return Err(MachineConfigError::SnoopingExcludesDef2);
+            }
+            if self.cache_capacity.is_some() {
+                return Err(MachineConfigError::SnoopingUnboundedOnly);
+            }
+        }
+        if let InterconnectConfig::Network { min_latency, max_latency, .. } =
+            self.interconnect
+        {
+            if min_latency > max_latency {
+                return Err(MachineConfigError::BadLatencyRange {
+                    min: min_latency,
+                    max: max_latency,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            num_procs: 2,
+            caches: true,
+            num_modules: 4,
+            interconnect: InterconnectConfig::network(),
+            policy: Policy::Sc,
+            coherence: CoherenceKind::Directory,
+            cache_capacity: None,
+            seed: 1,
+            max_cycles: 10_000_000,
+        }
+    }
+}
+
+/// A structural problem with a [`MachineConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineConfigError {
+    /// `num_procs == 0`.
+    NoProcessors,
+    /// `num_modules == 0`.
+    NoModules,
+    /// The Definition 2 implementation requires caches.
+    Def2NeedsCaches,
+    /// `cache_capacity` was `Some(0)`.
+    ZeroCacheCapacity,
+    /// Snooping coherence on a cacheless machine.
+    SnoopingNeedsCaches,
+    /// Snooping coherence requires the atomic bus (it broadcasts).
+    SnoopingNeedsBus,
+    /// The Definition 2 implementation is directory-specific: on the
+    /// atomic bus writes globally perform at commit, leaving nothing for
+    /// reserve bits to track.
+    SnoopingExcludesDef2,
+    /// Capacity-bounded snooping caches are not modeled.
+    SnoopingUnboundedOnly,
+    /// `min_latency > max_latency`.
+    BadLatencyRange {
+        /// Configured minimum.
+        min: u64,
+        /// Configured maximum.
+        max: u64,
+    },
+}
+
+impl fmt::Display for MachineConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineConfigError::NoProcessors => write!(f, "machine has no processors"),
+            MachineConfigError::NoModules => write!(f, "machine has no memory modules"),
+            MachineConfigError::Def2NeedsCaches => write!(
+                f,
+                "the Definition 2 implementation (Section 5.3) is defined in terms of cache lines and reserve bits; enable caches"
+            ),
+            MachineConfigError::BadLatencyRange { min, max } => {
+                write!(f, "network latency range is empty: min {min} > max {max}")
+            }
+            MachineConfigError::ZeroCacheCapacity => {
+                write!(f, "cache capacity must be at least one line")
+            }
+            MachineConfigError::SnoopingNeedsCaches => {
+                write!(f, "snooping coherence requires caches")
+            }
+            MachineConfigError::SnoopingNeedsBus => {
+                write!(f, "snooping coherence requires the atomic bus interconnect")
+            }
+            MachineConfigError::SnoopingExcludesDef2 => write!(
+                f,
+                "the Definition 2 implementation is directory-specific; snooping buses have no commit/globally-performed gap for reserve bits to exploit"
+            ),
+            MachineConfigError::SnoopingUnboundedOnly => {
+                write!(f, "capacity-bounded snooping caches are not modeled")
+            }
+        }
+    }
+}
+
+impl Error for MachineConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(MachineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn def2_requires_caches() {
+        let cfg = MachineConfig {
+            caches: false,
+            policy: Policy::WoDef2(Def2Config::default()),
+            ..MachineConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(MachineConfigError::Def2NeedsCaches));
+        assert!(cfg.validate().unwrap_err().to_string().contains("reserve bits"));
+    }
+
+    #[test]
+    fn structural_errors() {
+        let cfg = MachineConfig { num_procs: 0, ..MachineConfig::default() };
+        assert_eq!(cfg.validate(), Err(MachineConfigError::NoProcessors));
+        let cfg = MachineConfig { num_modules: 0, ..MachineConfig::default() };
+        assert_eq!(cfg.validate(), Err(MachineConfigError::NoModules));
+        let cfg = MachineConfig {
+            interconnect: InterconnectConfig::Network {
+                min_latency: 9,
+                max_latency: 3,
+                ack_extra_delay: 0,
+            },
+            ..MachineConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(MachineConfigError::BadLatencyRange { min: 9, max: 3 })
+        ));
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(Policy::Sc.name(), "SC");
+        assert_eq!(Policy::Relaxed { write_delay: 0 }.name(), "Relaxed");
+        assert_eq!(Policy::WoDef1.name(), "WO-Def1");
+        assert_eq!(Policy::WoDef2(Def2Config::default()).name(), "WO-Def2");
+        let opt = Def2Config { read_only_sync_optimization: true, ..Default::default() };
+        assert_eq!(Policy::WoDef2(opt).name(), "WO-Def2-opt");
+    }
+}

@@ -1,0 +1,201 @@
+//! Interconnect timing models.
+
+use std::collections::HashMap;
+
+use simx::rng::Xoshiro256;
+use simx::SimTime;
+
+use crate::config::InterconnectConfig;
+
+/// A node on the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// Processor (cache) `p`.
+    Proc(u16),
+    /// Memory module / directory shard `m`.
+    Module(u32),
+}
+
+/// What a message is, for timing purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgClass {
+    /// Ordinary request/response traffic.
+    Normal,
+    /// An invalidation acknowledgement — the network config may delay
+    /// these extra to stretch the commit → globally-performed gap.
+    InvAck,
+}
+
+/// Computes delivery times for messages, maintaining bus occupancy and
+/// per-pair FIFO ordering.
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    config: InterconnectConfig,
+    rng: Xoshiro256,
+    bus_free_at: SimTime,
+    last_delivery: HashMap<(Node, Node), SimTime>,
+    /// Total messages carried, for stats.
+    pub messages: u64,
+}
+
+impl Interconnect {
+    /// Creates an interconnect with the given timing model and seed.
+    #[must_use]
+    pub fn new(config: InterconnectConfig, seed: u64) -> Self {
+        Interconnect {
+            config,
+            rng: Xoshiro256::seed_from(seed),
+            bus_free_at: SimTime::ZERO,
+            last_delivery: HashMap::new(),
+            messages: 0,
+        }
+    }
+
+    /// The delivery time of a message sent now from `src` to `dst`.
+    ///
+    /// Bus: messages serialize through the single shared bus in FIFO
+    /// order. Network: an independent uniform latency per message, kept
+    /// FIFO per (src, dst) pair.
+    pub fn delivery_time(
+        &mut self,
+        now: SimTime,
+        src: Node,
+        dst: Node,
+        class: MsgClass,
+    ) -> SimTime {
+        self.messages += 1;
+        match self.config {
+            InterconnectConfig::Bus { latency } => {
+                let start = now.max(self.bus_free_at);
+                let arrival = start + latency;
+                self.bus_free_at = arrival;
+                arrival
+            }
+            InterconnectConfig::Network { min_latency, max_latency, ack_extra_delay } => {
+                let base = if min_latency == max_latency {
+                    min_latency
+                } else {
+                    self.rng.range_u64(min_latency, max_latency + 1)
+                };
+                let extra = match class {
+                    MsgClass::InvAck => ack_extra_delay,
+                    MsgClass::Normal => 0,
+                };
+                let mut arrival = now + base + extra;
+                let key = (src, dst);
+                if let Some(&last) = self.last_delivery.get(&key) {
+                    arrival = arrival.max(last + 1);
+                }
+                self.last_delivery.insert(key, arrival);
+                arrival
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_serializes_messages() {
+        let mut ic = Interconnect::new(InterconnectConfig::Bus { latency: 10 }, 0);
+        let t1 = ic.delivery_time(SimTime(0), Node::Proc(0), Node::Module(0), MsgClass::Normal);
+        let t2 = ic.delivery_time(SimTime(0), Node::Proc(1), Node::Module(1), MsgClass::Normal);
+        assert_eq!(t1, SimTime(10));
+        assert_eq!(t2, SimTime(20), "second message waits for the bus");
+        assert_eq!(ic.messages, 2);
+    }
+
+    #[test]
+    fn bus_idles_between_bursts() {
+        let mut ic = Interconnect::new(InterconnectConfig::Bus { latency: 5 }, 0);
+        ic.delivery_time(SimTime(0), Node::Proc(0), Node::Module(0), MsgClass::Normal);
+        let t = ic.delivery_time(SimTime(100), Node::Proc(0), Node::Module(0), MsgClass::Normal);
+        assert_eq!(t, SimTime(105));
+    }
+
+    #[test]
+    fn network_latency_stays_in_range() {
+        let cfg = InterconnectConfig::Network {
+            min_latency: 5,
+            max_latency: 9,
+            ack_extra_delay: 0,
+        };
+        let mut ic = Interconnect::new(cfg, 7);
+        for i in 0..100u32 {
+            // Distinct destinations so per-pair FIFO does not inflate.
+            let t = ic.delivery_time(SimTime(0), Node::Proc(0), Node::Module(i), MsgClass::Normal);
+            assert!((5..=9).contains(&t.cycles()), "latency {t} out of range");
+        }
+    }
+
+    #[test]
+    fn network_keeps_per_pair_fifo() {
+        let cfg = InterconnectConfig::Network {
+            min_latency: 1,
+            max_latency: 50,
+            ack_extra_delay: 0,
+        };
+        let mut ic = Interconnect::new(cfg, 3);
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            let t = ic.delivery_time(SimTime(0), Node::Proc(0), Node::Module(0), MsgClass::Normal);
+            assert!(t > last, "same-pair messages must stay FIFO");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn network_can_reorder_across_modules() {
+        // A later message to a near module may beat an earlier one to a far
+        // module — the Figure 1 network reordering.
+        let cfg = InterconnectConfig::Network {
+            min_latency: 1,
+            max_latency: 100,
+            ack_extra_delay: 0,
+        };
+        let mut ic = Interconnect::new(cfg, 11);
+        let mut reordered = false;
+        for i in 0..50u32 {
+            let a = ic.delivery_time(SimTime(0), Node::Proc(0), Node::Module(2 * i), MsgClass::Normal);
+            let b = ic.delivery_time(SimTime(0), Node::Proc(0), Node::Module(2 * i + 1), MsgClass::Normal);
+            if b < a {
+                reordered = true;
+            }
+        }
+        assert!(reordered, "cross-module reordering should occur");
+    }
+
+    #[test]
+    fn ack_extra_delay_applies_to_acks_only() {
+        let cfg = InterconnectConfig::Network {
+            min_latency: 10,
+            max_latency: 10,
+            ack_extra_delay: 90,
+        };
+        let mut ic = Interconnect::new(cfg, 0);
+        let normal =
+            ic.delivery_time(SimTime(0), Node::Proc(0), Node::Module(0), MsgClass::Normal);
+        let ack = ic.delivery_time(SimTime(0), Node::Proc(1), Node::Module(0), MsgClass::InvAck);
+        assert_eq!(normal, SimTime(10));
+        assert_eq!(ack, SimTime(100));
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = InterconnectConfig::Network {
+            min_latency: 1,
+            max_latency: 100,
+            ack_extra_delay: 0,
+        };
+        let mut a = Interconnect::new(cfg, 5);
+        let mut b = Interconnect::new(cfg, 5);
+        for i in 0..20u32 {
+            assert_eq!(
+                a.delivery_time(SimTime(i as u64), Node::Proc(0), Node::Module(i), MsgClass::Normal),
+                b.delivery_time(SimTime(i as u64), Node::Proc(0), Node::Module(i), MsgClass::Normal)
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # memsim — event-driven shared-memory multiprocessor simulators
+//!
+//! This crate builds every machine the paper discusses:
+//!
+//! * the **four machine classes of Figure 1** — shared-bus and
+//!   general-interconnection-network systems, each with and without
+//!   caches ([`InterconnectConfig`], [`MachineConfig::caches`]);
+//! * the **ordering policies** layered on them ([`Policy`]):
+//!   - [`Policy::Sc`] — the Scheurich–Dubois sufficient condition for
+//!     sequential consistency: issue in program order, stall until the
+//!     previous access is globally performed;
+//!   - [`Policy::Relaxed`] — the performance-enhancing relaxations of
+//!     Figure 1 (non-blocking stores, write buffers with store-to-load
+//!     forwarding, out-of-order completion across memory modules);
+//!   - [`Policy::WoDef1`] — Dubois–Scheurich–Briggs weak ordering
+//!     (Definition 1): a processor stalls *itself* on a synchronization
+//!     operation until all its previous accesses are globally performed,
+//!     and issues nothing past a synchronization operation until that
+//!     operation is globally performed;
+//!   - [`Policy::WoDef2`] — the paper's example implementation
+//!     (Section 5.3): per-processor outstanding-access **counters**,
+//!     per-line **reserve bits**, and stall-the-*subsequent*-synchronizer
+//!     semantics, with the Section 6 read-only-synchronization
+//!     optimization as an option.
+//!
+//! Cache-based machines run the directory protocol from the `coherence`
+//! crate; cacheless machines issue directly to per-location memory
+//! modules. Every run produces a [`RunResult`] carrying per-operation
+//! timestamps (issue / commit / globally-performed), a
+//! [`memory_model::Observation`] for sequential-consistency checking, the
+//! software-visible [`Outcome`], and stall breakdowns for the Figure 3
+//! analysis.
+//!
+//! # Examples
+//!
+//! Run the Figure 3 hand-off on the Definition 2 implementation:
+//!
+//! ```
+//! use litmus::corpus;
+//! use memsim::{presets, Machine};
+//!
+//! let program = corpus::fig3_handoff(2);
+//! let config = presets::network_cached(2, presets::wo_def2(), 42);
+//! let result = Machine::run_program(&program, &config).unwrap();
+//! assert!(result.completed);
+//! // P1's TestAndSet succeeded and then observed P0's write of x.
+//! assert_eq!(result.outcome.regs[1][1], 1);
+//! ```
+
+#![deny(missing_docs)]
+
+mod config;
+mod interconnect;
+mod machine;
+mod trace;
+
+pub mod presets;
+pub mod timeline;
+pub mod workload;
+
+pub use config::{CoherenceKind, Def2Config, InterconnectConfig, MachineConfig, MachineConfigError, Policy};
+pub use machine::{Machine, RunError};
+pub use trace::{LatencyProfile, MachineStats, OpRecord, Outcome, ProcStats, RunResult, StallReason};

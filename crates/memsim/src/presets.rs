@@ -1,0 +1,177 @@
+//! Named machine configurations: the four Figure 1 classes and the
+//! hardware models compared throughout the paper.
+
+use crate::config::{CoherenceKind, Def2Config, InterconnectConfig, MachineConfig, Policy};
+
+/// Figure 1, class 1: shared-bus system without caches.
+#[must_use]
+pub fn bus_no_cache(num_procs: usize, policy: Policy, seed: u64) -> MachineConfig {
+    MachineConfig {
+        num_procs,
+        caches: false,
+        num_modules: 1,
+        interconnect: InterconnectConfig::bus(),
+        policy,
+        seed,
+        ..MachineConfig::default()
+    }
+}
+
+/// Figure 1, class 2: general interconnection network without caches.
+#[must_use]
+pub fn network_no_cache(num_procs: usize, policy: Policy, seed: u64) -> MachineConfig {
+    MachineConfig {
+        num_procs,
+        caches: false,
+        num_modules: 8,
+        interconnect: InterconnectConfig::network(),
+        policy,
+        seed,
+        ..MachineConfig::default()
+    }
+}
+
+/// Figure 1, class 3: shared-bus system with caches.
+#[must_use]
+pub fn bus_cached(num_procs: usize, policy: Policy, seed: u64) -> MachineConfig {
+    MachineConfig {
+        num_procs,
+        caches: true,
+        num_modules: 1,
+        interconnect: InterconnectConfig::bus(),
+        policy,
+        seed,
+        ..MachineConfig::default()
+    }
+}
+
+/// Figure 1, class 3 with the classic snooping MSI protocol instead of a
+/// directory: coherence by atomic-bus broadcast. Supports SC, Relaxed and
+/// WO-Def1 (the Definition 2 implementation is directory-specific).
+#[must_use]
+pub fn bus_cached_snooping(num_procs: usize, policy: Policy, seed: u64) -> MachineConfig {
+    MachineConfig {
+        num_procs,
+        caches: true,
+        num_modules: 1,
+        interconnect: InterconnectConfig::bus(),
+        policy,
+        coherence: CoherenceKind::Snooping,
+        seed,
+        ..MachineConfig::default()
+    }
+}
+
+/// Figure 1, class 4 (and the Section 5.2 implementation model): general
+/// interconnection network with caches and a directory protocol.
+#[must_use]
+pub fn network_cached(num_procs: usize, policy: Policy, seed: u64) -> MachineConfig {
+    MachineConfig {
+        num_procs,
+        caches: true,
+        num_modules: 8,
+        interconnect: InterconnectConfig::network(),
+        policy,
+        seed,
+        ..MachineConfig::default()
+    }
+}
+
+/// The sequentially consistent baseline policy.
+#[must_use]
+pub fn sc() -> Policy {
+    Policy::Sc
+}
+
+/// The Figure 1 relaxed policy with a write buffer.
+#[must_use]
+pub fn relaxed() -> Policy {
+    Policy::Relaxed { write_delay: 16 }
+}
+
+/// Weak ordering per Definition 1 (Dubois–Scheurich–Briggs).
+#[must_use]
+pub fn wo_def1() -> Policy {
+    Policy::WoDef1
+}
+
+/// The paper's Definition 2 example implementation (Section 5.3).
+#[must_use]
+pub fn wo_def2() -> Policy {
+    Policy::WoDef2(Def2Config::default())
+}
+
+/// The Section 5.3 queue variant: synchronization requests to a reserved
+/// line wait in a queue at the owner and are serviced when the counter
+/// reads zero, instead of being NACKed and retried over the interconnect.
+#[must_use]
+pub fn wo_def2_queued() -> Policy {
+    Policy::WoDef2(Def2Config { queue_stalled_syncs: true, ..Def2Config::default() })
+}
+
+/// The Section 6 optimized variant: read-only synchronization operations
+/// are not serialized and set no reserve bits.
+#[must_use]
+pub fn wo_def2_optimized() -> Policy {
+    Policy::WoDef2(Def2Config {
+        read_only_sync_optimization: true,
+        ..Def2Config::default()
+    })
+}
+
+/// All four hardware models compared in the benchmark harness, with names.
+#[must_use]
+pub fn all_policies() -> Vec<(&'static str, Policy)> {
+    vec![
+        ("SC", sc()),
+        ("WO-Def1", wo_def1()),
+        ("WO-Def2", wo_def2()),
+        ("WO-Def2-opt", wo_def2_optimized()),
+    ]
+}
+
+/// The four Figure 1 machine classes, with names.
+#[must_use]
+pub fn fig1_classes(
+    num_procs: usize,
+    policy: Policy,
+    seed: u64,
+) -> Vec<(&'static str, MachineConfig)> {
+    vec![
+        ("bus/no-cache", bus_no_cache(num_procs, policy, seed)),
+        ("network/no-cache", network_no_cache(num_procs, policy, seed)),
+        ("bus/cache", bus_cached(num_procs, policy, seed)),
+        ("network/cache", network_cached(num_procs, policy, seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for (_, cfg) in fig1_classes(4, sc(), 0) {
+            assert!(cfg.validate().is_ok());
+        }
+        for (_, policy) in all_policies() {
+            // Def2 variants need caches.
+            let cfg = network_cached(2, policy, 0);
+            assert!(cfg.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn snooping_preset_validates_for_supported_policies() {
+        for policy in [sc(), relaxed(), wo_def1()] {
+            assert!(bus_cached_snooping(2, policy, 0).validate().is_ok());
+        }
+        assert!(bus_cached_snooping(2, wo_def2(), 0).validate().is_err());
+    }
+
+    #[test]
+    fn policy_lists_are_complete() {
+        assert_eq!(all_policies().len(), 4);
+        assert_eq!(fig1_classes(2, sc(), 0).len(), 4);
+    }
+}

@@ -1,0 +1,198 @@
+//! ASCII timelines of simulation runs — Figure 3 as a renderer.
+//!
+//! Each memory operation becomes one row: a bar spanning simulated time
+//! from *issue* (`|`) through *commit* (`C`) to *globally performed*
+//! (`G`), grouped by processor. The gap between `C` and `G` is exactly
+//! the window the paper's analysis turns on: Definition 1 stalls
+//! processors across it, the Definition 2 implementation rides through
+//! it.
+
+use std::fmt::Write as _;
+
+use crate::trace::{OpRecord, RunResult};
+
+/// Options for [`render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineConfig {
+    /// Character columns for the time axis.
+    pub width: usize,
+    /// Maximum rows (operations) to render, in commit order.
+    pub max_ops: usize,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> Self {
+        TimelineConfig { width: 64, max_ops: 40 }
+    }
+}
+
+/// Renders the run as an ASCII timeline.
+///
+/// # Examples
+///
+/// ```
+/// use litmus::corpus;
+/// use memsim::{presets, timeline, Machine};
+///
+/// let program = corpus::fig3_handoff(1);
+/// let cfg = presets::network_cached(2, presets::wo_def2(), 3);
+/// let result = Machine::run_program(&program, &cfg).unwrap();
+/// let art = timeline::render(&result, &timeline::TimelineConfig::default());
+/// assert!(art.contains("P0"));
+/// assert!(art.contains('G'));
+/// ```
+#[must_use]
+pub fn render(result: &RunResult, config: &TimelineConfig) -> String {
+    let mut out = String::new();
+    let total = result.cycles.max(1);
+    let scale = |t: u64| -> usize {
+        ((t as f64 / total as f64) * (config.width.saturating_sub(1)) as f64).round()
+            as usize
+    };
+
+    let _ = writeln!(
+        out,
+        "{:<22} 0{:>width$}",
+        "op",
+        format!("{total}cy"),
+        width = config.width
+    );
+
+    let mut shown = 0usize;
+    let procs: Vec<u16> = {
+        let mut ps: Vec<u16> = result.records.iter().map(|r| r.op.proc.0).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        ps
+    };
+    for &p in &procs {
+        for rec in result.proc_records(p) {
+            if shown >= config.max_ops {
+                let _ = writeln!(out, "... ({} more ops)", result.records.len() - shown);
+                return out;
+            }
+            shown += 1;
+            out.push_str(&row(&rec, config.width, scale));
+        }
+    }
+    out
+}
+
+fn row(rec: &OpRecord, width: usize, scale: impl Fn(u64) -> usize) -> String {
+    let mut bar = vec![b' '; width];
+    let issue = scale(rec.issue.cycles()).min(width - 1);
+    let commit = scale(rec.commit.cycles()).min(width - 1);
+    let gp = scale(rec.globally_performed.cycles()).min(width - 1);
+    for cell in bar.iter_mut().take(commit).skip(issue) {
+        *cell = b'-';
+    }
+    for cell in bar.iter_mut().take(gp).skip(commit) {
+        *cell = b'.';
+    }
+    bar[issue] = b'|';
+    bar[commit] = b'C';
+    bar[gp] = b'G';
+    let mut label = format!("{} {}({})", rec.op.proc, rec.op.kind, rec.op.loc);
+    if let Some(v) = rec.op.read_value {
+        let _ = write!(label, "->{v}");
+    }
+    format!(
+        "{label:<22} {}  [{} {} {}]\n",
+        String::from_utf8(bar).expect("ascii bar"),
+        rec.issue.cycles(),
+        rec.commit.cycles(),
+        rec.globally_performed.cycles()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{presets, Machine};
+    use litmus::corpus;
+
+    fn sample() -> RunResult {
+        let program = corpus::fig3_handoff(1);
+        let cfg = crate::MachineConfig {
+            interconnect: crate::InterconnectConfig::Network {
+                min_latency: 4,
+                max_latency: 8,
+                ack_extra_delay: 60,
+            },
+            ..presets::network_cached(2, presets::wo_def2(), 3)
+        };
+        Machine::run_program(&program, &cfg).unwrap()
+    }
+
+    #[test]
+    fn renders_one_row_per_op_grouped_by_processor() {
+        let result = sample();
+        let art = render(&result, &TimelineConfig::default());
+        let rows = art.lines().filter(|l| l.contains('[')).count();
+        assert_eq!(rows, result.records.len().min(40));
+        // P0 rows precede P1 rows.
+        let first_p1 = art.lines().position(|l| l.starts_with("P1")).unwrap();
+        assert!(art.lines().skip(first_p1).all(|l| !l.starts_with("P0")));
+    }
+
+    #[test]
+    fn markers_appear_in_causal_order() {
+        let result = sample();
+        let art = render(&result, &TimelineConfig::default());
+        for line in art.lines().filter(|l| l.contains('[')) {
+            let bar: &str = &line[23..23 + 64];
+            let i = bar.find('|');
+            let c = bar.find('C');
+            let g = bar.find('G');
+            if let (Some(i), Some(g)) = (i, g) {
+                assert!(i <= g, "issue right of gp: {line}");
+            }
+            if let (Some(c), Some(g)) = (c, g) {
+                assert!(c <= g, "commit right of gp: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_ops_truncates_with_a_note() {
+        let result = sample();
+        let art = render(&result, &TimelineConfig { width: 40, max_ops: 2 });
+        assert!(art.contains("more ops"));
+        assert_eq!(art.lines().filter(|l| l.contains('[')).count(), 2);
+    }
+
+    #[test]
+    fn the_commit_to_gp_gap_is_visible_for_slow_writes() {
+        // Warm a sharer so W(x) needs a slow invalidation round: P0's
+        // W(x) then shows a '.' run between C and G.
+        use litmus::{Program, Reg, Thread};
+        use memory_model::Loc;
+        let program = Program::new(vec![
+            Thread::new()
+                .sync_read(corpus::LOC_T, Reg(2))
+                .branch_ne(Reg(2), 1u64, 0)
+                .write(corpus::LOC_X, 1)
+                .sync_write(corpus::LOC_S, 0),
+            Thread::new()
+                .read(corpus::LOC_X, Reg(0))
+                .sync_write(corpus::LOC_T, 1),
+        ])
+        .unwrap()
+        .with_init(vec![(Loc(100), 1)]);
+        let cfg = crate::MachineConfig {
+            interconnect: crate::InterconnectConfig::Network {
+                min_latency: 4,
+                max_latency: 8,
+                ack_extra_delay: 120,
+            },
+            ..presets::network_cached(2, presets::wo_def2(), 3)
+        };
+        let result = Machine::run_program(&program, &cfg).unwrap();
+        let art = render(&result, &TimelineConfig { width: 100, max_ops: 40 });
+        let wx = art
+            .lines()
+            .find(|l| l.starts_with("P0 W(m0)"))
+            .expect("W(x) row present");
+        assert!(wx.contains('.'), "commit→GP gap should render as dots: {wx}");
+    }
+}

@@ -1,0 +1,289 @@
+//! Run results: per-operation timestamps, outcomes, statistics.
+
+use std::collections::BTreeMap;
+
+use memory_model::{Loc, Observation, Operation, ThreadTrace, Value};
+use simx::SimTime;
+
+use litmus::NUM_REGS;
+
+/// One memory operation as the hardware performed it, with the paper's
+/// three event times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// The operation with its final values (read value bound, write value
+    /// stored).
+    pub op: Operation,
+    /// When the processor *generated* the access (Section 5.1's
+    /// terminology: "an access is generated when it first comes into
+    /// existence").
+    pub issue: SimTime,
+    /// When it *committed* (a write: modified the local copy; a read: its
+    /// return value was dispatched).
+    pub commit: SimTime,
+    /// When it was *globally performed*.
+    pub globally_performed: SimTime,
+}
+
+/// Why a processor was stalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StallReason {
+    /// Waiting for a load value (data dependence).
+    ReadValue,
+    /// SC only: waiting for the previous access to globally perform.
+    ScGlobalPerform,
+    /// Definition 1: waiting for all previous accesses to globally perform
+    /// *before issuing* a synchronization operation.
+    Def1BeforeSync,
+    /// Definition 1: waiting for the synchronization operation to globally
+    /// perform before issuing anything else.
+    Def1AfterSync,
+    /// Definition 2: waiting for a synchronization operation to commit
+    /// (condition 4) — includes time blocked by another processor's
+    /// reserve bit.
+    SyncCommit,
+    /// Definition 2: miss budget while a line is reserved exhausted;
+    /// waiting for the counter to read zero.
+    ReservedMissBudget,
+    /// Waiting for an MSHR conflict (same-line request outstanding).
+    MshrConflict,
+    /// An RP3-style fence draining outstanding accesses.
+    FenceDrain,
+}
+
+/// Per-processor statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Cycle the processor halted (0 if it never ran).
+    pub finish_time: u64,
+    /// Memory operations performed.
+    pub ops: u64,
+    /// Stall cycles by reason.
+    pub stalls: BTreeMap<StallReason, u64>,
+}
+
+impl ProcStats {
+    /// Total stall cycles across all reasons.
+    #[must_use]
+    pub fn total_stall(&self) -> u64 {
+        self.stalls.values().sum()
+    }
+
+    /// Stall cycles for one reason.
+    #[must_use]
+    pub fn stall(&self, reason: StallReason) -> u64 {
+        self.stalls.get(&reason).copied().unwrap_or(0)
+    }
+}
+
+/// Whole-machine statistics.
+#[derive(Debug, Clone, Default)]
+pub struct MachineStats {
+    /// Per-processor statistics, indexed by processor.
+    pub procs: Vec<ProcStats>,
+    /// Directory protocol counters (directory-coherent machines only).
+    pub directory: Option<coherence::DirectoryStats>,
+    /// Snooping-bus counters (snooping machines only).
+    pub snoop: Option<coherence::snoop::SnoopStats>,
+    /// Messages carried by the interconnect.
+    pub messages: u64,
+}
+
+/// Latency distributions derived from a run's records.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyProfile {
+    /// Issue → value-bound latency of reads (data and sync reads).
+    pub read_latency: simx::stats::Histogram,
+    /// Issue → commit latency of synchronization operations — what the
+    /// issuing processor waits for under the Definition 2 implementation.
+    pub sync_commit_latency: simx::stats::Histogram,
+    /// Commit → globally-performed lag of writes — the window Definition 1
+    /// stalls across and Definition 2 hides.
+    pub write_gp_lag: simx::stats::Histogram,
+}
+
+/// The software-visible outcome of a run: final registers and memory —
+/// directly comparable with `litmus::explore::Outcome`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Outcome {
+    /// Final register file of each processor.
+    pub regs: Vec<[Value; NUM_REGS]>,
+    /// Final coherent memory cells differing from zero.
+    pub final_memory: Vec<(Loc, Value)>,
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Every memory operation with its timestamps, in completion (commit)
+    /// order.
+    pub records: Vec<OpRecord>,
+    /// The software-visible outcome.
+    pub outcome: Outcome,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Statistics.
+    pub stats: MachineStats,
+    /// Whether every thread ran to completion (false: the watchdog fired).
+    pub completed: bool,
+}
+
+impl RunResult {
+    /// The per-processor program-order [`Observation`] of the run, with
+    /// the final memory attached — feed this to
+    /// [`memory_model::sc::check_sc`] to decide whether the run *appears
+    /// sequentially consistent* (Definition 2's question).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the records are malformed (duplicate ids) — a simulator
+    /// bug.
+    #[must_use]
+    pub fn observation(&self) -> Observation {
+        let mut per_proc: BTreeMap<u16, Vec<Operation>> = BTreeMap::new();
+        for rec in &self.records {
+            per_proc.entry(rec.op.proc.0).or_default().push(rec.op);
+        }
+        let threads = per_proc
+            .into_iter()
+            .map(|(p, mut ops)| {
+                // Program order = per-processor sequence number order.
+                ops.sort_by_key(|o| o.id.seq_part());
+                ThreadTrace::new(memory_model::ProcId(p), ops)
+            })
+            .collect();
+        Observation::new(threads)
+            .expect("simulator assigns unique per-processor ids")
+            .with_final_memory(self.outcome.final_memory.clone())
+    }
+
+    /// Latency distributions of this run, derived from the records.
+    #[must_use]
+    pub fn latency_profile(&self) -> LatencyProfile {
+        let mut profile = LatencyProfile::default();
+        for rec in &self.records {
+            if rec.op.kind.is_read() {
+                profile
+                    .read_latency
+                    .record(rec.commit.saturating_since(rec.issue));
+            }
+            if rec.op.kind.is_sync() {
+                profile
+                    .sync_commit_latency
+                    .record(rec.commit.saturating_since(rec.issue));
+            }
+            if rec.op.kind.is_write() {
+                profile
+                    .write_gp_lag
+                    .record(rec.globally_performed.saturating_since(rec.commit));
+            }
+        }
+        profile
+    }
+
+    /// Records of one processor, in program order.
+    #[must_use]
+    pub fn proc_records(&self, proc: u16) -> Vec<OpRecord> {
+        let mut recs: Vec<OpRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.op.proc.0 == proc)
+            .copied()
+            .collect();
+        recs.sort_by_key(|r| r.op.id.seq_part());
+        recs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memory_model::{OpId, ProcId};
+
+    fn rec(proc: u16, seq: u32, commit: u64) -> OpRecord {
+        OpRecord {
+            op: Operation::data_write(
+                OpId::for_thread_op(ProcId(proc), seq),
+                ProcId(proc),
+                Loc(seq),
+                1,
+            ),
+            issue: SimTime(commit - 1),
+            commit: SimTime(commit),
+            globally_performed: SimTime(commit),
+        }
+    }
+
+    fn result(records: Vec<OpRecord>) -> RunResult {
+        RunResult {
+            records,
+            outcome: Outcome { regs: vec![[0; NUM_REGS]; 2], final_memory: vec![] },
+            cycles: 100,
+            stats: MachineStats::default(),
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn observation_groups_by_processor_in_program_order() {
+        let r = result(vec![rec(1, 1, 30), rec(0, 0, 10), rec(1, 0, 20)]);
+        let obs = r.observation();
+        assert_eq!(obs.threads().len(), 2);
+        let p1 = &obs.threads()[1];
+        assert_eq!(p1.proc, ProcId(1));
+        assert_eq!(
+            p1.ops.iter().map(|o| o.id.seq_part()).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(obs.final_memory(), Some(&[][..]));
+    }
+
+    #[test]
+    fn proc_records_sorted_by_program_order() {
+        let r = result(vec![rec(0, 2, 50), rec(0, 0, 10), rec(0, 1, 30)]);
+        let seqs: Vec<u32> = r.proc_records(0).iter().map(|x| x.op.id.seq_part()).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert!(r.proc_records(9).is_empty());
+    }
+
+    #[test]
+    fn latency_profile_buckets_by_kind() {
+        use memory_model::Loc as L;
+        let read = OpRecord {
+            op: Operation::data_read(OpId::for_thread_op(ProcId(0), 0), ProcId(0), L(0), 1),
+            issue: SimTime(10),
+            commit: SimTime(25),
+            globally_performed: SimTime(25),
+        };
+        let write = OpRecord {
+            op: Operation::data_write(OpId::for_thread_op(ProcId(0), 1), ProcId(0), L(0), 1),
+            issue: SimTime(30),
+            commit: SimTime(40),
+            globally_performed: SimTime(140),
+        };
+        let sync = OpRecord {
+            op: Operation::sync_rmw(OpId::for_thread_op(ProcId(0), 2), ProcId(0), L(1), 0, 1),
+            issue: SimTime(150),
+            commit: SimTime(180),
+            globally_performed: SimTime(200),
+        };
+        let r = result(vec![read, write, sync]);
+        let p = r.latency_profile();
+        assert_eq!(p.read_latency.count(), 2, "data read + sync rmw read component");
+        assert_eq!(p.read_latency.min(), Some(15));
+        assert_eq!(p.write_gp_lag.count(), 2, "data write + sync rmw write component");
+        assert_eq!(p.write_gp_lag.max(), Some(100));
+        assert_eq!(p.sync_commit_latency.count(), 1);
+        assert_eq!(p.sync_commit_latency.min(), Some(30));
+    }
+
+    #[test]
+    fn proc_stats_aggregates() {
+        let mut s = ProcStats::default();
+        *s.stalls.entry(StallReason::ReadValue).or_insert(0) += 5;
+        *s.stalls.entry(StallReason::SyncCommit).or_insert(0) += 7;
+        assert_eq!(s.total_stall(), 12);
+        assert_eq!(s.stall(StallReason::SyncCommit), 7);
+        assert_eq!(s.stall(StallReason::Def1AfterSync), 0);
+    }
+}

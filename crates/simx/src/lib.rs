@@ -1,0 +1,44 @@
+//! # simx — deterministic discrete-event simulation engine
+//!
+//! `simx` is the substrate every hardware simulator in this workspace is
+//! built on. It provides:
+//!
+//! * [`SimTime`] — a newtype for simulated cycles,
+//! * [`EventQueue`] — a priority queue of timestamped events with
+//!   deterministic FIFO tie-breaking,
+//! * [`rng::SplitMix64`] / [`rng::Xoshiro256`] — small, seedable,
+//!   reproducible random number generators (no external dependency, so a
+//!   simulation is bit-for-bit reproducible from its seed alone),
+//! * [`stats`] — counters, histograms and summary statistics used by the
+//!   benchmark harness.
+//!
+//! Determinism is the central design goal: a memory-consistency simulator is
+//! only useful as evidence if the same seed always yields the same execution.
+//! Events scheduled for the same [`SimTime`] are delivered in the order they
+//! were scheduled (FIFO), never in arbitrary heap order.
+//!
+//! # Examples
+//!
+//! ```
+//! use simx::{EventQueue, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime(5), "b");
+//! q.schedule(SimTime(3), "a");
+//! q.schedule(SimTime(5), "c");
+//! assert_eq!(q.pop(), Some((SimTime(3), "a")));
+//! assert_eq!(q.pop(), Some((SimTime(5), "b"))); // FIFO among equal times
+//! assert_eq!(q.pop(), Some((SimTime(5), "c")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+#![deny(missing_docs)]
+
+mod queue;
+mod time;
+
+pub mod rng;
+pub mod stats;
+
+pub use queue::EventQueue;
+pub use time::SimTime;

@@ -1,0 +1,220 @@
+//! Deterministic event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// An entry in the heap: ordered by time, then by insertion sequence, so
+/// that equal-time events pop in FIFO order regardless of heap internals.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A future-event list for discrete-event simulation.
+///
+/// Events are delivered in nondecreasing [`SimTime`] order; events scheduled
+/// for the same time are delivered in the order they were scheduled. This
+/// FIFO tie-break is what makes simulations built on `EventQueue`
+/// deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use simx::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime(2), 'x');
+/// q.schedule(SimTime(1), 'y');
+/// assert_eq!(q.peek_time(), Some(SimTime(1)));
+/// assert_eq!(q.pop(), Some((SimTime(1), 'y')));
+/// assert_eq!(q.len(), 1);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `event` for absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time — an event
+    /// in the past indicates a simulator bug and silently reordering it would
+    /// corrupt causality.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={now}",
+            at = at,
+            now = self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time: at, seq, event });
+    }
+
+    /// Schedules `event` for `delay` cycles after the current time.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The current simulation time: the timestamp of the last popped event.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), 3);
+        q.schedule(SimTime(10), 1);
+        q.schedule(SimTime(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(5));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), "first");
+        q.pop();
+        q.schedule_in(5, "second");
+        assert_eq!(q.pop(), Some((SimTime(15), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), ());
+        q.pop();
+        q.schedule(SimTime(3), ());
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime(1), ());
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_deterministic() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(1), 'a');
+        q.schedule(SimTime(3), 'c');
+        assert_eq!(q.pop(), Some((SimTime(1), 'a')));
+        q.schedule(SimTime(2), 'b');
+        q.schedule(SimTime(3), 'd');
+        assert_eq!(q.pop(), Some((SimTime(2), 'b')));
+        assert_eq!(q.pop(), Some((SimTime(3), 'c')));
+        assert_eq!(q.pop(), Some((SimTime(3), 'd')));
+    }
+}

@@ -1,0 +1,215 @@
+//! Small, seedable, reproducible random number generators.
+//!
+//! The simulators draw network latencies and workload shapes from these
+//! generators. They are implemented here (rather than pulled from an
+//! external crate) so that a simulation seed fully determines an execution
+//! for the lifetime of this repository — external RNGs may change their
+//! streams between versions.
+
+/// SplitMix64: a tiny, high-quality 64-bit generator, used both directly and
+/// to seed [`Xoshiro256`].
+///
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+///
+/// # Examples
+///
+/// ```
+/// use simx::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** — the workhorse generator for latency draws and workload
+/// generation.
+///
+/// Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+/// generators" (2018).
+///
+/// # Examples
+///
+/// ```
+/// use simx::rng::Xoshiro256;
+///
+/// let mut rng = Xoshiro256::seed_from(7);
+/// let x = rng.range_u64(10, 20);
+/// assert!((10..20).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator whose state is expanded from `seed` via
+    /// [`SplitMix64`], per the authors' recommendation.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw from `[lo, hi)` using Lemire's nearly-divisionless
+    /// method (without the rejection refinement; the bias for simulator-sized
+    /// ranges is below 2⁻³².)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        let hi128 = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        lo + hi128
+    }
+
+    /// A uniform draw from `[0, n)` as `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.range_u64(0, n as u64) as usize
+    }
+
+    /// Returns `true` with probability `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        assert!(den > 0, "zero denominator");
+        self.range_u64(0, den) < num
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_reproducible() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_known_answer() {
+        // Reference values for seed 0 from the public-domain C implementation.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn xoshiro_is_reproducible() {
+        let mut a = Xoshiro256::seed_from(9);
+        let mut b = Xoshiro256::seed_from(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256::seed_from(1);
+        let mut b = Xoshiro256::seed_from(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should diverge");
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut rng = Xoshiro256::seed_from(5);
+        for _ in 0..10_000 {
+            let x = rng.range_u64(10, 13);
+            assert!((10..13).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = Xoshiro256::seed_from(5);
+        let mut seen = [false; 3];
+        for _ in 0..1_000 {
+            seen[(rng.range_u64(0, 3)) as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Xoshiro256::seed_from(0).range_u64(5, 5);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Xoshiro256::seed_from(11);
+        assert!(!rng.chance(0, 10));
+        assert!(rng.chance(10, 10));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256::seed_from(77);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle should move something");
+    }
+}

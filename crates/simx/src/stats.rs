@@ -1,0 +1,279 @@
+//! Counters, histograms and summary statistics.
+//!
+//! The benchmark harness aggregates simulator output with these types; they
+//! are deliberately simple (integer cycle counts, exact histograms) so
+//! results are reproducible across platforms — no floating-point
+//! accumulation order issues.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing named counter.
+///
+/// # Examples
+///
+/// ```
+/// use simx::stats::Counter;
+///
+/// let mut c = Counter::new("bus_transactions");
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter { name: name.into(), value: 0 }
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The counter's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.name, self.value)
+    }
+}
+
+/// An exact histogram over `u64` samples.
+///
+/// Stores every distinct sample value with its multiplicity, which is cheap
+/// for cycle-count distributions (a handful of distinct latencies) and makes
+/// quantiles exact.
+///
+/// # Examples
+///
+/// ```
+/// use simx::stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for x in [1, 2, 2, 3, 100] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.min(), Some(1));
+/// assert_eq!(h.max(), Some(100));
+/// assert_eq!(h.quantile(0.5), Some(2));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: BTreeMap<u64, u64>,
+    count: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        *self.buckets.entry(sample).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += u128::from(sample);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        self.buckets.keys().next().copied()
+    }
+
+    /// Largest sample, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.buckets.keys().next_back().copied()
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// The exact `q`-quantile (nearest-rank), or `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `0.0..=1.0`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (&value, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(value);
+            }
+        }
+        unreachable!("rank within count must be found")
+    }
+
+    /// Iterates over `(value, multiplicity)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&v, &n)| (v, n))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (value, n) in other.iter() {
+            *self.buckets.entry(value).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min(), self.max(), self.mean()) {
+            (Some(min), Some(max), Some(mean)) => write!(
+                f,
+                "n={} min={} p50={} mean={:.1} max={}",
+                self.count,
+                min,
+                self.quantile(0.5).expect("non-empty histogram has a median"),
+                mean,
+                max
+            ),
+            _ => write!(f, "n=0"),
+        }
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for x in iter {
+            h.record(x);
+        }
+        h
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("x");
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        assert_eq!(c.name(), "x");
+        assert_eq!(c.to_string(), "x = 10");
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let h: Histogram = [5u64, 1, 3, 3, 8].into_iter().collect();
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 20);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(8));
+        assert_eq!(h.mean(), Some(4.0));
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let h: Histogram = (1..=100u64).collect();
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.95), Some(95));
+        assert_eq!(h.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        assert_eq!(Histogram::new().quantile(0.5), None);
+        assert_eq!(Histogram::new().mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_bad_q() {
+        let h: Histogram = [1u64].into_iter().collect();
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a: Histogram = [1u64, 2].into_iter().collect();
+        let b: Histogram = [2u64, 3].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![(1, 1), (2, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn extend_records_all() {
+        let mut h = Histogram::new();
+        h.extend([7u64; 3]);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.to_string(), "n=3 min=7 p50=7 mean=7.0 max=7");
+    }
+
+    #[test]
+    fn display_empty() {
+        assert_eq!(Histogram::new().to_string(), "n=0");
+    }
+}

@@ -1,0 +1,138 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in cycles.
+///
+/// `SimTime` is a transparent newtype over `u64` so arithmetic is cheap, but
+/// it cannot be confused with other integer quantities (operation counts,
+/// latencies expressed as raw numbers, …).
+///
+/// # Examples
+///
+/// ```
+/// use simx::SimTime;
+///
+/// let t = SimTime(10) + 5;
+/// assert_eq!(t, SimTime(15));
+/// assert_eq!(t - SimTime(10), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero, the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Returns the raw cycle count.
+    ///
+    /// ```
+    /// # use simx::SimTime;
+    /// assert_eq!(SimTime(42).cycles(), 42);
+    /// ```
+    #[must_use]
+    pub const fn cycles(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the later of two times.
+    ///
+    /// ```
+    /// # use simx::SimTime;
+    /// assert_eq!(SimTime(3).max_of(SimTime(7)), SimTime(7));
+    /// ```
+    #[must_use]
+    pub fn max_of(self, other: SimTime) -> SimTime {
+        self.max(other)
+    }
+
+    /// Saturating cycle difference `self - earlier`, zero if `earlier` is
+    /// in the future.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+
+    /// Cycle count between two times.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> u64 {
+        debug_assert!(rhs.0 <= self.0, "SimTime subtraction underflow");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(value: u64) -> Self {
+        SimTime(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = SimTime(100);
+        assert_eq!((t + 20) - t, 20);
+        assert_eq!(t.cycles(), 100);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime(1) < SimTime(2));
+        assert_eq!(SimTime::ZERO, SimTime(0));
+        assert_eq!(SimTime(5).max_of(SimTime(2)), SimTime(5));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(SimTime(5).saturating_since(SimTime(9)), 0);
+        assert_eq!(SimTime(9).saturating_since(SimTime(5)), 4);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(SimTime(7).to_string(), "7cy");
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = SimTime(1);
+        t += 9;
+        assert_eq!(t, SimTime(10));
+    }
+
+    #[test]
+    fn from_u64() {
+        assert_eq!(SimTime::from(3), SimTime(3));
+    }
+}

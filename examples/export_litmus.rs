@@ -1,0 +1,42 @@
+//! Exports the built-in corpus as `.litmus` text files under
+//! `litmus-tests/`, in the format `litmus::parse` understands — the
+//! file-based workflow for the `litmus_runner` harness.
+//!
+//! Run with: `cargo run --example export_litmus`
+
+use std::fs;
+use std::path::Path;
+
+use weak_ordering::litmus::corpus;
+use weak_ordering::litmus::Program;
+
+fn main() -> std::io::Result<()> {
+    let dir = Path::new("litmus-tests");
+    fs::create_dir_all(dir)?;
+
+    let entries: Vec<(&str, &str, Program)> = corpus::drf0_suite()
+        .into_iter()
+        .map(|(name, p)| (name, "drf0", p))
+        .chain(corpus::racy_suite().into_iter().map(|(name, p)| (name, "racy", p)))
+        .chain([
+            ("fig1_dekker_fenced", "racy", corpus::fig1_dekker_fenced()),
+            ("message_passing_fenced", "racy", corpus::message_passing_fenced()),
+            ("peterson_sync", "unknown", corpus::peterson_sync()),
+            ("peterson_data", "unknown", corpus::peterson_data()),
+        ])
+        .collect();
+
+    for (name, expect, program) in &entries {
+        let path = dir.join(format!("{name}.litmus"));
+        let body = format!(
+            "# {name}\n# expect: {expect}\n{program}",
+            name = name,
+            expect = expect,
+            program = program
+        );
+        fs::write(&path, body)?;
+        println!("wrote {}", path.display());
+    }
+    println!("\n{} litmus files exported.", entries.len());
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Spinlock showdown: the same lock-based workload on all four hardware
+//! models, with stall breakdowns — a miniature of the paper's Figure 3
+//! analysis and the Section 6 discussion.
+//!
+//! Run with: `cargo run --example spinlock_showdown`
+
+use weak_ordering::litmus::corpus;
+use weak_ordering::memsim::{presets, InterconnectConfig, Machine, MachineConfig};
+
+fn main() {
+    let program = corpus::tts_spinlock(4, 2);
+    println!("Workload: 4 processors, test-and-TestAndSet spinlock, 2 increments each");
+    println!("Interconnect: network 8-24cy, invalidation acks +100cy\n");
+
+    println!(
+        "{:<14} {:>8} {:>10} {:>12} {:>10}",
+        "policy", "cycles", "stalls", "excl xfers", "counter"
+    );
+    for (name, policy) in presets::all_policies() {
+        let cfg = MachineConfig {
+            interconnect: InterconnectConfig::Network {
+                min_latency: 8,
+                max_latency: 24,
+                ack_extra_delay: 100,
+            },
+            ..presets::network_cached(4, policy, 11)
+        };
+        let result = Machine::run_program(&program, &cfg).expect("valid config");
+        assert!(result.completed);
+        let total_stall: u64 = result.stats.procs.iter().map(|p| p.total_stall()).sum();
+        let dir = result.stats.directory.as_ref().expect("cached machine");
+        let counter = result
+            .outcome
+            .final_memory
+            .iter()
+            .find(|(l, _)| *l == corpus::LOC_X)
+            .map_or(0, |&(_, v)| v);
+        println!(
+            "{name:<14} {:>8} {:>10} {:>12} {:>10}",
+            result.cycles, total_stall, dir.get_exclusive, counter
+        );
+        assert_eq!(counter, 8, "no lost updates under any model");
+    }
+
+    println!("\nEvery model preserves the lock's mutual exclusion (counter == 8);");
+    println!("they differ only in how much waiting the ordering policy inflicts.");
+    println!("Note WO-Def2-opt's drop in exclusive transfers: read-only Tests ride");
+    println!("shared copies instead of ping-ponging the lock line (Section 6).");
+}

@@ -1,0 +1,12 @@
+//! Facade crate for the *Weak Ordering — A New Definition* reproduction.
+//!
+//! Re-exports the public APIs of all member crates so the root-level
+//! `examples/` and `tests/` can exercise the whole system through one
+//! dependency.
+
+pub use coherence;
+pub use litmus;
+pub use memory_model;
+pub use memsim;
+pub use simx;
+pub use weakord;

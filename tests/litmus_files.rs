@@ -1,0 +1,60 @@
+//! The shipped `.litmus` files: every file parses, and its `# expect:`
+//! header matches the DRF0 classifier's verdict.
+
+use weak_ordering::litmus::explore::ExploreConfig;
+use weak_ordering::litmus::parse::parse_program;
+use weak_ordering::weakord::{Drf0, ModelVerdict, SynchronizationModel};
+
+#[test]
+fn shipped_litmus_files_parse_and_match_their_expectations() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus-tests");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("litmus-tests directory exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "litmus") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let expect = text
+            .lines()
+            .find_map(|l| l.strip_prefix("# expect: "))
+            .expect("every shipped file declares an expectation")
+            .trim()
+            .to_string();
+        let program = parse_program(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        if expect == "unknown" {
+            checked += 1;
+            continue; // spin-heavy programs: classification is budgeted out
+        }
+        let budget = ExploreConfig {
+            max_ops_per_execution: 40,
+            max_total_steps: 400_000,
+            ..ExploreConfig::default()
+        };
+        let verdict = match Drf0.obeys(&program, &budget) {
+            ModelVerdict::Obeys => "drf0",
+            ModelVerdict::Violates(_) => "racy",
+            ModelVerdict::Unknown => "unknown",
+        };
+        assert_eq!(verdict, expect, "{}", path.display());
+        checked += 1;
+    }
+    assert!(checked >= 15, "expected the full shipped corpus, saw {checked}");
+}
+
+#[test]
+fn export_is_current() {
+    // The shipped files must round-trip to the in-tree corpus: re-render
+    // a couple of entries and compare against disk.
+    use weak_ordering::litmus::corpus;
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus-tests");
+    for (name, program) in [
+        ("fig1_dekker", corpus::fig1_dekker()),
+        ("spinlock_2x1", corpus::spinlock_bounded(2, 1, 3)),
+    ] {
+        let text = std::fs::read_to_string(dir.join(format!("{name}.litmus"))).unwrap();
+        let parsed = parse_program(&text).unwrap();
+        assert_eq!(parsed, program, "{name}.litmus is stale; re-run export_litmus");
+    }
+}

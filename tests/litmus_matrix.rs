@@ -1,0 +1,202 @@
+//! The litmus matrix: classic memory-model shapes across every machine
+//! class and policy, documenting exactly which relaxed behaviors each
+//! hardware model can exhibit.
+
+use std::collections::HashSet;
+
+use weak_ordering::litmus::corpus;
+use weak_ordering::litmus::Program;
+use weak_ordering::memsim::{presets, InterconnectConfig, Machine, MachineConfig, Policy};
+
+/// Runs `program` across many seeds on `base`, collecting
+/// (P0.r0, P1.r0, final x, final y) tuples.
+fn observe(program: &Program, base: &MachineConfig, seeds: u64) -> HashSet<(u64, u64, u64, u64)> {
+    let mut seen = HashSet::new();
+    for seed in 0..seeds {
+        let cfg = MachineConfig { seed, ..*base };
+        let r = Machine::run_program(program, &cfg).unwrap();
+        assert!(r.completed);
+        let get = |loc| {
+            r.outcome
+                .final_memory
+                .iter()
+                .find(|(l, _)| *l == loc)
+                .map_or(0, |&(_, v)| v)
+        };
+        seen.insert((
+            r.outcome.regs[0][0],
+            r.outcome.regs[1][0],
+            get(corpus::LOC_X),
+            get(corpus::LOC_Y),
+        ));
+    }
+    seen
+}
+
+fn relaxed_bus() -> MachineConfig {
+    MachineConfig {
+        interconnect: InterconnectConfig::Bus { latency: 4 },
+        ..presets::bus_no_cache(2, Policy::Relaxed { write_delay: 40 }, 0)
+    }
+}
+
+fn relaxed_net_cached() -> MachineConfig {
+    MachineConfig {
+        interconnect: InterconnectConfig::Network {
+            min_latency: 2,
+            max_latency: 60,
+            ack_extra_delay: 0,
+        },
+        ..presets::network_cached(2, Policy::Relaxed { write_delay: 0 }, 0)
+    }
+}
+
+#[test]
+fn store_buffering_is_observable_only_on_relaxed_machines() {
+    let p = corpus::fig1_dekker();
+    // Relaxed bus machine: (0,0) observable.
+    assert!(observe(&p, &relaxed_bus(), 10).iter().any(|&(a, b, _, _)| a == 0 && b == 0));
+    // SC machines: never.
+    for (_, cfg) in presets::fig1_classes(2, presets::sc(), 0) {
+        assert!(
+            !observe(&p, &cfg, 10).iter().any(|&(a, b, _, _)| a == 0 && b == 0),
+            "SC machine showed the forbidden Dekker outcome"
+        );
+    }
+}
+
+#[test]
+fn load_buffering_is_never_observable_here() {
+    // Loads block their issuing processor in every model (condition 1 /
+    // intra-processor dependences), so no machine reorders a write above
+    // an older read: LB's forbidden outcome is unreachable.
+    let p = corpus::load_buffering();
+    for base in [relaxed_bus(), relaxed_net_cached()] {
+        assert!(
+            !observe(&p, &base, 15).iter().any(|&(a, b, _, _)| a == 1 && b == 1),
+            "no machine in this workspace reorders R -> W"
+        );
+    }
+}
+
+#[test]
+fn coherence_rr_holds_on_every_machine() {
+    // Per-location write serialization (condition 2) holds even on the
+    // relaxed machines: a processor never reads values against the commit
+    // order of writes.
+    let p = corpus::coherence_rr();
+    for base in [
+        relaxed_bus(),
+        relaxed_net_cached(),
+        presets::network_cached(2, presets::wo_def2(), 0),
+    ] {
+        for seed in 0..10 {
+            let cfg = MachineConfig { seed, ..base };
+            let r = Machine::run_program(&p, &cfg).unwrap();
+            let (r0, r1) = (r.outcome.regs[1][0], r.outcome.regs[1][1]);
+            assert!(
+                !(r0 == 2 && r1 == 1),
+                "coherence violation: read 2 then 1 (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_plus_two_w_forbidden_state_on_weak_machines() {
+    // On SC hardware the final state (x, y) == (1, 1) never appears; the
+    // relaxed cached machine can produce it (writes commit locally and
+    // propagate out of order).
+    let p = corpus::two_plus_two_w();
+    for (_, cfg) in presets::fig1_classes(2, presets::sc(), 0) {
+        assert!(
+            !observe(&p, &cfg, 10).iter().any(|&(_, _, x, y)| x == 1 && y == 1),
+            "SC machine showed 2+2W's forbidden final state"
+        );
+    }
+}
+
+#[test]
+fn fences_tame_the_relaxed_bus_machine() {
+    // Fenced Dekker and fenced MP behave sequentially consistently on the
+    // write-buffer machine that breaks their unfenced twins.
+    let dekker = corpus::fig1_dekker_fenced();
+    assert!(
+        !observe(&dekker, &relaxed_bus(), 10).iter().any(|&(a, b, _, _)| a == 0 && b == 0)
+    );
+    let mp = corpus::message_passing_fenced();
+    for seed in 0..10 {
+        let cfg = MachineConfig { seed, ..relaxed_bus() };
+        let r = Machine::run_program(&mp, &cfg).unwrap();
+        // If the consumer saw the flag, it must see the data.
+        if r.outcome.regs[1][0] == 1 {
+            assert_eq!(r.outcome.regs[1][1], 42, "fenced MP lost the hand-off");
+        }
+    }
+}
+
+#[test]
+fn unfenced_mp_survives_the_fifo_write_buffer_but_not_the_network() {
+    // A FIFO write buffer drains stores in order, so message passing
+    // survives the relaxed *bus* machine (TSO-like). The cacheless
+    // *network* machine delivers the two stores to different memory
+    // modules with independent latencies — there the hand-off breaks.
+    let mp = corpus::message_passing_data();
+    for seed in 0..10 {
+        let cfg = MachineConfig { seed, ..relaxed_bus() };
+        let r = Machine::run_program(&mp, &cfg).unwrap();
+        if r.outcome.regs[1][0] == 1 {
+            assert_eq!(r.outcome.regs[1][1], 42, "FIFO buffer preserves MP");
+        }
+    }
+    let net = MachineConfig {
+        interconnect: InterconnectConfig::Network {
+            min_latency: 2,
+            max_latency: 80,
+            ack_extra_delay: 0,
+        },
+        ..presets::network_no_cache(2, Policy::Relaxed { write_delay: 0 }, 0)
+    };
+    let mut broken = false;
+    for seed in 0..30 {
+        let cfg = MachineConfig { seed, ..net };
+        let r = Machine::run_program(&mp, &cfg).unwrap();
+        if r.outcome.regs[1][0] == 1 && r.outcome.regs[1][1] != 42 {
+            broken = true;
+            break;
+        }
+    }
+    assert!(broken, "cross-module reordering should break unfenced MP");
+}
+
+#[test]
+fn weak_machines_respect_sc_for_the_drf0_s_shape_variant() {
+    // The S shape made DRF0 (flag through a sync location) keeps its
+    // forbidden outcome impossible on the weak machines.
+    use weak_ordering::litmus::{Reg, Thread};
+    let p = Program::new(vec![
+        Thread::new()
+            .write(corpus::LOC_X, 2)
+            .sync_write(corpus::LOC_S, 1),
+        Thread::new()
+            .sync_read(corpus::LOC_S, Reg(0))
+            .branch_ne(Reg(0), 1u64, 0)
+            .write(corpus::LOC_X, 1),
+    ])
+    .unwrap();
+    for (_, policy) in presets::all_policies() {
+        for seed in 0..6 {
+            let cfg = presets::network_cached(2, policy, seed);
+            let r = Machine::run_program(&p, &cfg).unwrap();
+            assert!(r.completed);
+            let x = r
+                .outcome
+                .final_memory
+                .iter()
+                .find(|(l, _)| *l == corpus::LOC_X)
+                .map_or(0, |&(_, v)| v);
+            // P1 only writes after acquiring the flag: its write is last.
+            assert_eq!(x, 1, "{} seed {seed}", policy.name());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Peterson's algorithm across the machine models: the canonical victim
+//! of weak ordering.
+//!
+//! Peterson's mutual exclusion is *correct under sequential consistency*
+//! but relies on racy flag/turn accesses, so DRF0 offers it nothing: on
+//! weakly ordered or write-buffered hardware both threads can enter the
+//! critical section. Rewriting the flags as synchronization operations
+//! restores it everywhere — the paper's whole program(me) in one test
+//! file.
+
+use weak_ordering::litmus::corpus;
+use weak_ordering::memory_model::Loc;
+use weak_ordering::memsim::{presets, InterconnectConfig, Machine, MachineConfig, Policy};
+
+fn violated(r: &weak_ordering::memsim::RunResult) -> bool {
+    r.outcome
+        .final_memory
+        .iter()
+        .any(|&(l, v)| (l == Loc(20) || l == Loc(21)) && v == 1)
+}
+
+#[test]
+fn peterson_data_holds_on_sc_hardware() {
+    let p = corpus::peterson_data();
+    for (class, cfg) in presets::fig1_classes(2, presets::sc(), 0) {
+        for seed in 0..10 {
+            let cfg = MachineConfig { seed, ..cfg };
+            let r = Machine::run_program(&p, &cfg).unwrap();
+            assert!(r.completed, "{class} seed {seed}");
+            assert!(!violated(&r), "{class} seed {seed}: SC must preserve Peterson");
+        }
+    }
+}
+
+#[test]
+fn peterson_data_breaks_under_write_buffers() {
+    // The flag writes sit in the write buffer while each thread reads the
+    // other's flag as 0: both enter.
+    let p = corpus::peterson_data();
+    let base = MachineConfig {
+        interconnect: InterconnectConfig::Bus { latency: 4 },
+        ..presets::bus_no_cache(2, Policy::Relaxed { write_delay: 40 }, 0)
+    };
+    let mut broken = false;
+    for seed in 0..10 {
+        let cfg = MachineConfig { seed, ..base };
+        let r = Machine::run_program(&p, &cfg).unwrap();
+        assert!(r.completed);
+        if violated(&r) {
+            broken = true;
+            break;
+        }
+    }
+    assert!(broken, "write buffers should defeat data-access Peterson");
+}
+
+#[test]
+fn peterson_sync_holds_on_every_weak_machine() {
+    // With the flags/turn as synchronization operations the algorithm is
+    // ordered by so edges; every weakly ordered model preserves it.
+    let p = corpus::peterson_sync();
+    for (name, policy) in presets::all_policies() {
+        for seed in 0..8 {
+            let cfg = MachineConfig {
+                interconnect: InterconnectConfig::Network {
+                    min_latency: 2,
+                    max_latency: 40,
+                    ack_extra_delay: 100,
+                },
+                seed,
+                ..presets::network_cached(2, policy, 0)
+            };
+            let r = Machine::run_program(&p, &cfg).unwrap();
+            assert!(r.completed, "{name} seed {seed}");
+            assert!(!violated(&r), "{name} seed {seed}: sync Peterson must hold");
+        }
+    }
+}
+
+#[test]
+fn peterson_data_can_break_even_on_def2_hardware() {
+    // DRF0 promises nothing to racy programs: the Definition 2 machine may
+    // break data-access Peterson too (commit-before-globally-performed
+    // lets each thread read the other's stale flag).
+    let p = corpus::peterson_data();
+    let mut broken = false;
+    for seed in 0..40 {
+        let cfg = MachineConfig {
+            interconnect: InterconnectConfig::Network {
+                min_latency: 2,
+                max_latency: 60,
+                ack_extra_delay: 200,
+            },
+            seed,
+            ..presets::network_cached(2, presets::wo_def2(), 0)
+        };
+        let r = Machine::run_program(&p, &cfg).unwrap();
+        if r.completed && violated(&r) {
+            broken = true;
+            break;
+        }
+    }
+    assert!(broken, "some seed should defeat racy Peterson on WO-Def2");
+}

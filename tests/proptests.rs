@@ -1,0 +1,338 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use weak_ordering::memory_model::hb::HbRelation;
+use weak_ordering::memory_model::race::RaceDetector;
+use weak_ordering::memory_model::sc::{check_sc, ScCheckConfig, ScVerdict};
+use weak_ordering::memory_model::vc::VcHb;
+use weak_ordering::memory_model::{
+    drf0, drf1, Execution, Loc, Memory, Observation, OpId, OpKind, Operation, ProcId,
+    SyncMode,
+};
+use weak_ordering::simx::stats::Histogram;
+use weak_ordering::simx::{EventQueue, SimTime};
+
+/// A recipe for one operation, to be materialized against atomic memory.
+#[derive(Debug, Clone, Copy)]
+struct OpRecipe {
+    proc: u16,
+    kind: u8,
+    loc: u32,
+    value: u64,
+}
+
+fn recipe_strategy(procs: u16, locs: u32) -> impl Strategy<Value = OpRecipe> {
+    (0..procs, 0u8..5, 0..locs, 1u64..100).prop_map(|(proc, kind, loc, value)| OpRecipe {
+        proc,
+        kind,
+        loc,
+        value,
+    })
+}
+
+/// Materializes recipes into a valid idealized execution: reads return
+/// what atomic memory held, RMWs read-then-write.
+fn build_execution(recipes: &[OpRecipe]) -> Execution {
+    let mut mem = Memory::new();
+    let mut seqs = std::collections::HashMap::new();
+    let mut ops = Vec::with_capacity(recipes.len());
+    for r in recipes {
+        let proc = ProcId(r.proc);
+        let seq = seqs.entry(r.proc).or_insert(0u32);
+        let id = OpId::for_thread_op(proc, *seq);
+        *seq += 1;
+        let loc = Loc(r.loc);
+        let op = match r.kind {
+            0 => Operation::data_read(id, proc, loc, mem.read(loc)),
+            1 => {
+                mem.write(loc, r.value);
+                Operation::data_write(id, proc, loc, r.value)
+            }
+            2 => Operation::sync_read(id, proc, loc, mem.read(loc)),
+            3 => {
+                mem.write(loc, r.value);
+                Operation::sync_write(id, proc, loc, r.value)
+            }
+            _ => {
+                let old = mem.read(loc);
+                mem.write(loc, old + 1);
+                Operation::sync_rmw(id, proc, loc, old, old + 1)
+            }
+        };
+        ops.push(op);
+    }
+    Execution::new(ops).expect("per-proc sequence numbers are unique")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The two happens-before implementations agree on every pair, for
+    /// arbitrary executions.
+    #[test]
+    fn hb_matrix_equals_vector_clocks(
+        recipes in vec(recipe_strategy(4, 6), 0..40)
+    ) {
+        let exec = build_execution(&recipes);
+        let matrix = HbRelation::from_execution(&exec);
+        let vc = VcHb::from_execution(&exec);
+        for a in exec.ops() {
+            for b in exec.ops() {
+                prop_assert_eq!(
+                    matrix.happens_before(a.id, b.id),
+                    vc.happens_before(a.id, b.id)
+                );
+            }
+        }
+    }
+
+    /// hb is irreflexive and antisymmetric (a strict partial order; with
+    /// transitivity given by construction).
+    #[test]
+    fn hb_is_a_strict_partial_order(
+        recipes in vec(recipe_strategy(4, 6), 0..40)
+    ) {
+        let exec = build_execution(&recipes);
+        let hb = HbRelation::from_execution(&exec);
+        for a in exec.ops() {
+            prop_assert!(!hb.happens_before(a.id, a.id));
+            for b in exec.ops() {
+                if hb.happens_before(a.id, b.id) {
+                    prop_assert!(!hb.happens_before(b.id, a.id));
+                }
+            }
+        }
+    }
+
+    /// hb refines execution order: an op never happens-before an earlier op.
+    #[test]
+    fn hb_respects_completion_order(
+        recipes in vec(recipe_strategy(3, 4), 0..30)
+    ) {
+        let exec = build_execution(&recipes);
+        let hb = HbRelation::from_execution(&exec);
+        let ops = exec.ops();
+        for (i, a) in ops.iter().enumerate() {
+            for b in &ops[..i] {
+                prop_assert!(!hb.happens_before(a.id, b.id));
+            }
+        }
+    }
+
+    /// The streaming detector and the pairwise check agree on race freedom.
+    #[test]
+    fn race_detectors_agree(
+        recipes in vec(recipe_strategy(4, 4), 0..50)
+    ) {
+        let exec = build_execution(&recipes);
+        prop_assert_eq!(
+            RaceDetector::check_execution(&exec),
+            drf0::is_data_race_free(&exec)
+        );
+    }
+
+    /// The mode-aware streaming detector agrees with the pairwise refined
+    /// check (Section 6 semantics).
+    #[test]
+    fn refined_race_detectors_agree(
+        recipes in vec(recipe_strategy(4, 4), 0..50)
+    ) {
+        let exec = build_execution(&recipes);
+        let mut det = RaceDetector::with_mode(4, SyncMode::ReleaseWrites);
+        let mut streaming_clean = true;
+        for op in exec.ops() {
+            if !det.observe(op).is_empty() {
+                streaming_clean = false;
+            }
+        }
+        prop_assert_eq!(streaming_clean, drf1::is_refined_race_free(&exec));
+    }
+
+    /// Matrix and vector-clock happens-before agree under ReleaseWrites
+    /// mode too.
+    #[test]
+    fn hb_modes_agree_between_matrix_and_vc(
+        recipes in vec(recipe_strategy(4, 5), 0..40)
+    ) {
+        use weak_ordering::memory_model::vc::VcHb;
+        let exec = build_execution(&recipes);
+        let matrix = HbRelation::with_mode(&exec, SyncMode::ReleaseWrites);
+        let vc = VcHb::with_mode(&exec, SyncMode::ReleaseWrites);
+        for a in exec.ops() {
+            for b in exec.ops() {
+                prop_assert_eq!(
+                    matrix.happens_before(a.id, b.id),
+                    vc.happens_before(a.id, b.id)
+                );
+            }
+        }
+    }
+
+    /// Refined happens-before is a subset of DRF0 happens-before, so DRF0
+    /// races are a subset of refined races.
+    #[test]
+    fn refined_hb_is_a_subset_of_drf0_hb(
+        recipes in vec(recipe_strategy(4, 4), 0..40)
+    ) {
+        let exec = build_execution(&recipes);
+        let full = HbRelation::with_mode(&exec, SyncMode::Drf0);
+        let refined = HbRelation::with_mode(&exec, SyncMode::ReleaseWrites);
+        for a in exec.ops() {
+            for b in exec.ops() {
+                if refined.happens_before(a.id, b.id) {
+                    prop_assert!(full.happens_before(a.id, b.id));
+                }
+            }
+        }
+        let drf0_races: std::collections::HashSet<_> =
+            drf0::races_in(&exec).into_iter().collect();
+        let refined_races: std::collections::HashSet<_> =
+            drf1::refined_races_in(&exec).into_iter().collect();
+        prop_assert!(drf0_races.is_subset(&refined_races));
+    }
+
+    /// Generated executions satisfy atomic semantics by construction, and
+    /// the validator accepts them.
+    #[test]
+    fn generated_executions_are_atomic(
+        recipes in vec(recipe_strategy(4, 6), 0..50)
+    ) {
+        let exec = build_execution(&recipes);
+        prop_assert!(exec.validate_atomic_semantics(&Memory::new()).is_ok());
+    }
+
+    /// Any observation projected from an idealized execution appears
+    /// sequentially consistent — the SC checker must find the witness.
+    #[test]
+    fn observations_of_atomic_executions_are_sc(
+        recipes in vec(recipe_strategy(3, 4), 0..16)
+    ) {
+        let exec = build_execution(&recipes);
+        let obs = Observation::from_execution(&exec);
+        let verdict = check_sc(&obs, &Memory::new(), &ScCheckConfig::default());
+        prop_assert!(matches!(verdict, ScVerdict::Consistent(_)));
+    }
+
+    /// Race-free random executions satisfy Lemma 1's read-value condition.
+    #[test]
+    fn race_free_executions_satisfy_lemma1(
+        recipes in vec(recipe_strategy(3, 4), 0..30)
+    ) {
+        use weak_ordering::memory_model::lemma1::reads_see_last_hb_write;
+        let exec = build_execution(&recipes);
+        let hb = HbRelation::from_execution(&exec);
+        if drf0::races_with(&exec, &hb).is_empty() {
+            prop_assert!(reads_see_last_hb_write(&exec, &hb, &Memory::new()).is_ok());
+        }
+    }
+
+    /// EventQueue delivers in (time, insertion) order for arbitrary
+    /// schedules.
+    #[test]
+    fn event_queue_orders_any_schedule(times in vec(0u64..1000, 0..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li));
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Histogram quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn histogram_quantiles_are_monotone(samples in vec(0u64..10_000, 1..200)) {
+        let h: Histogram = samples.iter().copied().collect();
+        let quantiles: Vec<u64> = (0..=10)
+            .map(|i| h.quantile(f64::from(i) / 10.0).unwrap())
+            .collect();
+        for w in quantiles.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(quantiles[0], h.min().unwrap());
+        prop_assert_eq!(quantiles[10], h.max().unwrap());
+    }
+
+    /// Memory read-your-writes.
+    #[test]
+    fn memory_reads_last_write(
+        writes in vec((0u32..8, 0u64..100), 0..50)
+    ) {
+        let mut mem = Memory::new();
+        let mut shadow = std::collections::HashMap::new();
+        for &(loc, v) in &writes {
+            mem.write(Loc(loc), v);
+            shadow.insert(loc, v);
+        }
+        for loc in 0u32..8 {
+            prop_assert_eq!(mem.read(Loc(loc)), shadow.get(&loc).copied().unwrap_or(0));
+        }
+    }
+
+    /// OpKind invariants: sync-ness and read/write components are
+    /// consistent with conflicts.
+    #[test]
+    fn conflict_is_symmetric(
+        recipes in vec(recipe_strategy(3, 3), 2..20)
+    ) {
+        let exec = build_execution(&recipes);
+        let ops = exec.ops();
+        for a in ops {
+            for b in ops {
+                prop_assert_eq!(a.conflicts_with(b), b.conflicts_with(a));
+                if a.conflicts_with(b) {
+                    prop_assert_eq!(a.loc, b.loc);
+                    prop_assert!(a.kind.is_write() || b.kind.is_write());
+                }
+            }
+        }
+    }
+
+    /// OpId round-trips through its (proc, seq) encoding.
+    #[test]
+    fn opid_encoding_round_trips(proc in 0u16..1000, seq in 0u32..1_000_000) {
+        let id = OpId::for_thread_op(ProcId(proc), seq);
+        prop_assert_eq!(id.proc_part(), ProcId(proc));
+        prop_assert_eq!(id.seq_part(), seq);
+    }
+
+    /// Sync ops on one location are always hb-ordered (so is total per
+    /// location) — no pair may be concurrent.
+    #[test]
+    fn sync_ops_on_same_location_are_totally_ordered(
+        recipes in vec(recipe_strategy(4, 3), 0..30)
+    ) {
+        let exec = build_execution(&recipes);
+        let hb = HbRelation::from_execution(&exec);
+        let ops = exec.ops();
+        for a in ops {
+            for b in ops {
+                if a.id != b.id && a.so_related(b) {
+                    prop_assert!(hb.ordered(a.id, b.id), "{} vs {}", a.id, b.id);
+                }
+            }
+        }
+    }
+
+    /// A race implies the execution has two ops with kinds that make a
+    /// conflict; removing all races (by checking only read-only recipes)
+    /// yields race freedom.
+    #[test]
+    fn all_reads_never_race(
+        mut recipes in vec(recipe_strategy(4, 4), 0..30)
+    ) {
+        for r in &mut recipes {
+            r.kind = 0; // force every op to be a data read
+        }
+        let exec = build_execution(&recipes);
+        prop_assert!(drf0::is_data_race_free(&exec));
+        prop_assert!(exec.ops().iter().all(|o| o.kind == OpKind::DataRead));
+    }
+}
