@@ -5,11 +5,11 @@
 //! reachable-result collection only. The gap is the price of race
 //! checking.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use litmus::explore::{explore, explore_results, ExploreConfig};
-use litmus::{corpus, Program, Reg, Thread};
+use litmus::{corpus, Program, Thread};
 use memory_model::Loc;
 use std::hint::black_box;
+use wo_bench::harness::Harness;
 
 fn independent_writers(threads: usize, writes: u32) -> Program {
     let ts = (0..threads)
@@ -24,9 +24,9 @@ fn independent_writers(threads: usize, writes: u32) -> Program {
     Program::new(ts).expect("static program is valid")
 }
 
-fn bench_strategies(c: &mut Criterion) {
+fn bench_strategies(h: &mut Harness) {
     let cfg = ExploreConfig::default();
-    let mut group = c.benchmark_group("explore");
+    let mut group = h.group("explore");
     group.sample_size(10);
 
     let cases: Vec<(&str, Program)> = vec![
@@ -36,15 +36,17 @@ fn bench_strategies(c: &mut Criterion) {
         ("spinlock_bounded", corpus::spinlock_bounded(2, 1, 2)),
     ];
     for (name, program) in &cases {
-        group.bench_with_input(BenchmarkId::new("full", name), program, |b, p| {
-            b.iter(|| explore(black_box(p), &cfg));
+        group.bench(&format!("full/{name}"), || {
+            black_box(explore(black_box(program), &cfg));
         });
-        group.bench_with_input(BenchmarkId::new("pruned", name), program, |b, p| {
-            b.iter(|| explore_results(black_box(p), &cfg));
+        group.bench(&format!("pruned/{name}"), || {
+            black_box(explore_results(black_box(program), &cfg));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_strategies);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("explore_ablation");
+    bench_strategies(&mut h);
+}

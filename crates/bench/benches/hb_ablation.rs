@@ -5,11 +5,11 @@
 //! clocks build in O(n·p) and answer queries in O(1) too (component
 //! compare). Crossover depends on execution length and processor count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use memory_model::hb::HbRelation;
 use memory_model::vc::VcHb;
 use memory_model::{Execution, Loc, OpId, Operation, ProcId};
 use std::hint::black_box;
+use wo_bench::harness::Harness;
 
 /// A synthetic execution: `procs` processors, `n` ops each, data work on
 /// private locations with a lock-style sync every 8 ops.
@@ -29,54 +29,53 @@ fn synthetic(procs: u16, per_proc: u32) -> Execution {
     Execution::new(ops).expect("synthetic ids are unique")
 }
 
-fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hb_build");
+fn bench_build(h: &mut Harness) {
+    let mut group = h.group("hb_build");
     group.sample_size(20);
     for &(procs, per_proc) in &[(2u16, 64u32), (4, 64), (8, 64), (4, 256)] {
         let exec = synthetic(procs, per_proc);
         let label = format!("{procs}p_x{per_proc}");
-        group.bench_with_input(BenchmarkId::new("matrix", &label), &exec, |b, e| {
-            b.iter(|| HbRelation::from_execution(black_box(e)));
+        group.bench(&format!("matrix/{label}"), || {
+            black_box(HbRelation::from_execution(black_box(&exec)));
         });
-        group.bench_with_input(BenchmarkId::new("vector_clock", &label), &exec, |b, e| {
-            b.iter(|| VcHb::from_execution(black_box(e)));
+        group.bench(&format!("vector_clock/{label}"), || {
+            black_box(VcHb::from_execution(black_box(&exec)));
         });
     }
     group.finish();
 }
 
-fn bench_query(c: &mut Criterion) {
+fn bench_query(h: &mut Harness) {
     let exec = synthetic(4, 128);
     let matrix = HbRelation::from_execution(&exec);
     let vc = VcHb::from_execution(&exec);
     let ids: Vec<OpId> = exec.ops().iter().map(|o| o.id).collect();
 
-    let mut group = c.benchmark_group("hb_query_all_pairs");
+    let mut group = h.group("hb_query_all_pairs");
     group.sample_size(20);
-    group.bench_function("matrix", |b| {
-        b.iter(|| {
-            let mut count = 0usize;
-            for &a in &ids {
-                for &bid in &ids {
-                    count += usize::from(matrix.happens_before(a, bid));
-                }
+    group.bench("matrix", || {
+        let mut count = 0usize;
+        for &a in &ids {
+            for &bid in &ids {
+                count += usize::from(matrix.happens_before(a, bid));
             }
-            black_box(count)
-        });
+        }
+        black_box(count);
     });
-    group.bench_function("vector_clock", |b| {
-        b.iter(|| {
-            let mut count = 0usize;
-            for &a in &ids {
-                for &bid in &ids {
-                    count += usize::from(vc.happens_before(a, bid));
-                }
+    group.bench("vector_clock", || {
+        let mut count = 0usize;
+        for &a in &ids {
+            for &bid in &ids {
+                count += usize::from(vc.happens_before(a, bid));
             }
-            black_box(count)
-        });
+        }
+        black_box(count);
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_query);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("hb_ablation");
+    bench_build(&mut h);
+    bench_query(&mut h);
+}

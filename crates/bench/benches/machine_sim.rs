@@ -1,51 +1,49 @@
 //! Simulator throughput per hardware model, and the Figure-3 scenario as
-//! a criterion benchmark (wall-clock of simulating each policy — a proxy
-//! for event volume, which tracks protocol traffic).
+//! a wall-clock benchmark (time to simulate each policy — a proxy for
+//! event volume, which tracks protocol traffic).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use litmus::corpus;
 use memsim::workload::{drf_kernel, DrfKernelConfig};
 use memsim::{presets, Machine, MachineConfig};
 use std::hint::black_box;
+use wo_bench::harness::Harness;
 
-fn bench_policies_on_kernel(c: &mut Criterion) {
+fn bench_policies_on_kernel(h: &mut Harness) {
     let kernel = drf_kernel(&DrfKernelConfig {
         threads: 4,
         phases: 2,
         accesses_per_phase: 8,
         ..Default::default()
     });
-    let mut group = c.benchmark_group("simulate_kernel_4p");
+    let mut group = h.group("simulate_kernel_4p");
     group.sample_size(20);
     for (name, policy) in presets::all_policies() {
         let cfg = presets::network_cached(4, policy, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| {
-                let r = Machine::run_program(black_box(&kernel), cfg)
-                    .expect("bench config is valid");
-                assert!(r.completed);
-                r.cycles
-            });
+        group.bench(name, || {
+            let r = Machine::run_program(black_box(&kernel), &cfg)
+                .expect("bench config is valid");
+            assert!(r.completed);
+            black_box(r.cycles);
         });
     }
     group.finish();
 }
 
-fn bench_fig1_classes(c: &mut Criterion) {
+fn bench_fig1_classes(h: &mut Harness) {
     let dekker = corpus::fig1_dekker();
-    let mut group = c.benchmark_group("simulate_dekker");
+    let mut group = h.group("simulate_dekker");
     group.sample_size(30);
     for (name, cfg) in presets::fig1_classes(2, presets::sc(), 3) {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| Machine::run_program(black_box(&dekker), cfg).expect("valid"));
+        group.bench(name, || {
+            black_box(Machine::run_program(black_box(&dekker), &cfg).expect("valid"));
         });
     }
     group.finish();
 }
 
-fn bench_fig3(c: &mut Criterion) {
+fn bench_fig3(h: &mut Harness) {
     let program = corpus::fig3_handoff(3);
-    let mut group = c.benchmark_group("simulate_fig3");
+    let mut group = h.group("simulate_fig3");
     group.sample_size(30);
     for (name, policy) in [("WO-Def1", presets::wo_def1()), ("WO-Def2", presets::wo_def2())] {
         let cfg = MachineConfig {
@@ -56,14 +54,14 @@ fn bench_fig3(c: &mut Criterion) {
             },
             ..presets::network_cached(2, policy, 5)
         };
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| Machine::run_program(black_box(&program), cfg).expect("valid"));
+        group.bench(name, || {
+            black_box(Machine::run_program(black_box(&program), &cfg).expect("valid"));
         });
     }
     group.finish();
 }
 
-fn bench_coherence_mechanisms(c: &mut Criterion) {
+fn bench_coherence_mechanisms(h: &mut Harness) {
     // Directory vs snooping on the same bus machine and workload — the
     // protocol-cost ablation.
     let kernel = drf_kernel(&DrfKernelConfig {
@@ -72,30 +70,27 @@ fn bench_coherence_mechanisms(c: &mut Criterion) {
         accesses_per_phase: 8,
         ..Default::default()
     });
-    let mut group = c.benchmark_group("coherence_mechanism_4p");
+    let mut group = h.group("coherence_mechanism_4p");
     group.sample_size(20);
     let configs = [
         ("directory", presets::bus_cached(4, presets::wo_def1(), 1)),
         ("snooping", presets::bus_cached_snooping(4, presets::wo_def1(), 1)),
     ];
     for (name, cfg) in configs {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| {
-                let r = Machine::run_program(black_box(&kernel), cfg)
-                    .expect("bench config is valid");
-                assert!(r.completed);
-                r.cycles
-            });
+        group.bench(name, || {
+            let r = Machine::run_program(black_box(&kernel), &cfg)
+                .expect("bench config is valid");
+            assert!(r.completed);
+            black_box(r.cycles);
         });
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_policies_on_kernel,
-    bench_fig1_classes,
-    bench_fig3,
-    bench_coherence_mechanisms
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("machine_sim");
+    bench_policies_on_kernel(&mut h);
+    bench_fig1_classes(&mut h);
+    bench_fig3(&mut h);
+    bench_coherence_mechanisms(&mut h);
+}

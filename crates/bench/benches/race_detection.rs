@@ -5,11 +5,11 @@
 //! O(n·p + races) while the pairwise check is O(n²) pairs on top of an
 //! O(n²/64) closure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use memory_model::drf0;
 use memory_model::race::RaceDetector;
 use memory_model::{Execution, Loc, OpId, Operation, ProcId};
 use std::hint::black_box;
+use wo_bench::harness::Harness;
 
 /// A race-free round-robin execution with lock-style synchronization.
 fn race_free(procs: u16, per_proc: u32) -> Execution {
@@ -41,8 +41,8 @@ fn racy(procs: u16, per_proc: u32) -> Execution {
     Execution::new(ops).expect("unique ids")
 }
 
-fn bench_detectors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("race_detection");
+fn bench_detectors(h: &mut Harness) {
+    let mut group = h.group("race_detection");
     group.sample_size(20);
     let cases: Vec<(String, Execution)> = vec![
         ("race_free_4p_x64".into(), race_free(4, 64)),
@@ -50,15 +50,17 @@ fn bench_detectors(c: &mut Criterion) {
         ("racy_4p_x32".into(), racy(4, 32)),
     ];
     for (name, exec) in &cases {
-        group.bench_with_input(BenchmarkId::new("streaming_vc", name), exec, |b, e| {
-            b.iter(|| RaceDetector::check_execution(black_box(e)));
+        group.bench(&format!("streaming_vc/{name}"), || {
+            black_box(RaceDetector::check_execution(black_box(exec)));
         });
-        group.bench_with_input(BenchmarkId::new("pairwise_hb", name), exec, |b, e| {
-            b.iter(|| drf0::is_data_race_free(black_box(e)));
+        group.bench(&format!("pairwise_hb/{name}"), || {
+            black_box(drf0::is_data_race_free(black_box(exec)));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_detectors);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("race_detection");
+    bench_detectors(&mut h);
+}

@@ -7,12 +7,12 @@
 //! DRF programs) but runs in polynomial time. This bench quantifies the
 //! gap on inputs where both apply.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use memory_model::hb::HbRelation;
 use memory_model::lemma1::reads_see_last_hb_write;
 use memory_model::sc::{check_sc, ScCheckConfig};
 use memory_model::{Execution, Loc, Memory, Observation, OpId, Operation, ProcId};
 use std::hint::black_box;
+use wo_bench::harness::Harness;
 
 /// A well-synchronized producer/consumer chain: `procs` processors hand a
 /// token around `rounds` times; every read is hb-ordered.
@@ -20,7 +20,7 @@ fn handoff_chain(procs: u16, rounds: u32) -> Execution {
     let mut ops = Vec::new();
     let mut seq = vec![0u32; procs as usize];
     let mut lock_val = 0u64; // atomic-memory value of the sync location
-    let mut next_id = |p: u16, seq: &mut Vec<u32>| {
+    let next_id = |p: u16, seq: &mut Vec<u32>| {
         let id = OpId::for_thread_op(ProcId(p), seq[p as usize]);
         seq[p as usize] += 1;
         id
@@ -38,8 +38,8 @@ fn handoff_chain(procs: u16, rounds: u32) -> Execution {
     Execution::new(ops).expect("unique ids")
 }
 
-fn bench_checkers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sc_check");
+fn bench_checkers(h: &mut Harness) {
+    let mut group = h.group("sc_check");
     group.sample_size(15);
     for &(procs, rounds) in &[(2u16, 4u32), (4, 4), (4, 8), (6, 6)] {
         let exec = handoff_chain(procs, rounds);
@@ -47,24 +47,20 @@ fn bench_checkers(c: &mut Criterion) {
         let initial = Memory::new();
         let label = format!("{procs}p_x{rounds}r");
 
-        group.bench_with_input(BenchmarkId::new("witness_search", &label), &obs, |b, o| {
-            b.iter(|| {
-                let v = check_sc(black_box(o), &initial, &ScCheckConfig::default());
-                assert!(v.is_consistent());
-                v
-            });
+        group.bench(&format!("witness_search/{label}"), || {
+            let v = check_sc(black_box(&obs), &initial, &ScCheckConfig::default());
+            assert!(v.is_consistent());
+            black_box(v);
         });
-        group.bench_with_input(BenchmarkId::new("lemma1_oracle", &label), &exec, |b, e| {
-            b.iter(|| {
-                let hb = HbRelation::from_execution(black_box(e));
-                reads_see_last_hb_write(e, &hb, &initial)
-            });
+        group.bench(&format!("lemma1_oracle/{label}"), || {
+            let hb = HbRelation::from_execution(black_box(&exec));
+            black_box(reads_see_last_hb_write(&exec, &hb, &initial).is_ok());
         });
     }
     group.finish();
 }
 
-fn bench_inconsistent_input(c: &mut Criterion) {
+fn bench_inconsistent_input(h: &mut Harness) {
     // Dekker's impossible outcome: the search must exhaust the space.
     let (x, y) = (Loc(0), Loc(1));
     let obs = Observation::new(vec![
@@ -84,10 +80,15 @@ fn bench_inconsistent_input(c: &mut Criterion) {
         ),
     ])
     .expect("valid observation");
-    c.bench_function("sc_check/inconsistent_dekker", |b| {
-        b.iter(|| check_sc(black_box(&obs), &Memory::new(), &ScCheckConfig::default()));
+    let mut group = h.group("sc_check_inconsistent");
+    group.bench("dekker", || {
+        black_box(check_sc(black_box(&obs), &Memory::new(), &ScCheckConfig::default()));
     });
+    group.finish();
 }
 
-criterion_group!(benches, bench_checkers, bench_inconsistent_input);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("sc_checker");
+    bench_checkers(&mut h);
+    bench_inconsistent_input(&mut h);
+}

@@ -3,6 +3,8 @@
 
 #![deny(missing_docs)]
 
+pub mod harness;
+
 use litmus::Program;
 use memory_model::sc::{check_sc, ScCheckConfig, ScVerdict};
 use memsim::{Machine, MachineConfig, RunResult};

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use memory_model::{Loc, Value};
 
+use crate::error::ProtocolError;
 use crate::msg::{CacheToDir, DirToCache, RequestId, SyncFlavor};
 
 /// The state of a line in a processor cache.
@@ -382,19 +383,43 @@ impl CacheController {
 
     /// Processes a directory message, returning completion events for the
     /// processor and reply messages for the directory.
-    pub fn handle(&mut self, msg: DirToCache) -> (Vec<CacheEvent>, Vec<CacheToDir>) {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] when the message violates the protocol
+    /// — a data reply with no pending request, a global ack matching no
+    /// awaited write, an invalidation of the exclusive owner. Under fault
+    /// injection these abort the run with a structured diagnostic instead
+    /// of a panic. Stale recalls and downgrades (the line is already
+    /// gone, or a duplicate probe arrives after the first was serviced)
+    /// are *not* errors: they are dropped, which is what makes
+    /// [`DirToCache::Recall`]/[`DirToCache::Downgrade`] safe to
+    /// duplicate.
+    pub fn handle(
+        &mut self,
+        msg: DirToCache,
+    ) -> Result<(Vec<CacheEvent>, Vec<CacheToDir>), ProtocolError> {
         let mut events = Vec::new();
         let mut replies = Vec::new();
         match msg {
             DirToCache::DataShared { loc, value, req } => {
+                let Some(pending) = self.pending.get(&loc).copied() else {
+                    return Err(ProtocolError::UnsolicitedData { loc, req });
+                };
+                if pending.req != req {
+                    return Err(ProtocolError::WrongRequest {
+                        loc,
+                        expected: pending.req,
+                        got: req,
+                    });
+                }
+                if matches!(pending.action, PendingAction::Store(_)) {
+                    return Err(ProtocolError::SharedDataForStore { loc, req });
+                }
+                self.pending.remove(&loc);
                 self.touch(loc);
                 self.lines
                     .insert(loc, Line { state: LineState::Shared, value, reserved: false });
-                let pending = self
-                    .pending
-                    .remove(&loc)
-                    .expect("DataShared must answer a pending request");
-                debug_assert_eq!(pending.req, req);
                 match pending.action {
                     PendingAction::Load => {
                         events.push(CacheEvent::LoadDone { req, loc, value });
@@ -406,22 +431,29 @@ impl CacheController {
                         events.push(CacheEvent::SyncCommitted { req, loc, read_value });
                         events.push(CacheEvent::SyncGloballyPerformed { req, loc });
                     }
-                    PendingAction::Store(_) => {
-                        unreachable!("stores request exclusive, never shared")
-                    }
+                    PendingAction::Store(_) => unreachable!("rejected above"),
                 }
             }
             DirToCache::DataExclusive { loc, value, req, pending_acks } => {
+                let Some(pending) = self.pending.get(&loc).copied() else {
+                    return Err(ProtocolError::UnsolicitedData { loc, req });
+                };
+                if pending.req != req {
+                    return Err(ProtocolError::WrongRequest {
+                        loc,
+                        expected: pending.req,
+                        got: req,
+                    });
+                }
+                if matches!(pending.action, PendingAction::Load) {
+                    return Err(ProtocolError::ExclusiveDataForLoad { loc, req });
+                }
+                self.pending.remove(&loc);
                 self.touch(loc);
                 self.lines.insert(
                     loc,
                     Line { state: LineState::Exclusive, value, reserved: false },
                 );
-                let pending = self
-                    .pending
-                    .remove(&loc)
-                    .expect("DataExclusive must answer a pending request");
-                debug_assert_eq!(pending.req, req);
                 match pending.action {
                     PendingAction::Store(v) => {
                         self.lines.get_mut(&loc).expect("just inserted").value = v;
@@ -441,27 +473,26 @@ impl CacheController {
                             self.awaiting_gp.insert(req, (loc, GpKind::Sync));
                         }
                     }
-                    PendingAction::Load => {
-                        unreachable!("loads request shared, never exclusive")
-                    }
+                    PendingAction::Load => unreachable!("rejected above"),
                 }
             }
             DirToCache::Invalidate { loc, req } => {
                 if let Some(line) = self.lines.get_mut(&loc) {
-                    debug_assert!(
-                        line.state != LineState::Exclusive,
-                        "directory never invalidates the exclusive owner"
-                    );
+                    if line.state == LineState::Exclusive {
+                        return Err(ProtocolError::InvalidateOfOwner { loc, req });
+                    }
                     line.state = LineState::Invalid;
                 }
                 replies.push(CacheToDir::InvAck { loc, req });
             }
             DirToCache::GlobalAck { loc, req } => {
-                let (gp_loc, kind) = self
-                    .awaiting_gp
-                    .remove(&req)
-                    .expect("GlobalAck must match an awaited write");
-                debug_assert_eq!(gp_loc, loc);
+                let Some(&(gp_loc, kind)) = self.awaiting_gp.get(&req) else {
+                    return Err(ProtocolError::UnexpectedGlobalAck { loc, req });
+                };
+                if gp_loc != loc {
+                    return Err(ProtocolError::UnexpectedGlobalAck { loc, req });
+                }
+                self.awaiting_gp.remove(&req);
                 events.push(match kind {
                     GpKind::Store => CacheEvent::StoreGloballyPerformed { req, loc },
                     GpKind::Sync => CacheEvent::SyncGloballyPerformed { req, loc },
@@ -469,16 +500,22 @@ impl CacheController {
             }
             DirToCache::Recall { loc } => {
                 match self.lines.get_mut(&loc) {
-                    // Stale: the line was voluntarily written back while the
-                    // recall was in flight; the WriteBack completes the
+                    // Stale: the line was voluntarily written back (or a
+                    // duplicate recall already took it) while this recall
+                    // was in flight; the earlier reply completes the
                     // directory's transaction.
                     None => {}
-                    Some(line) if line.state == LineState::Invalid => {}
+                    Some(line)
+                        if matches!(line.state, LineState::Invalid | LineState::Shared) => {}
                     Some(line) if line.reserved => {
                         if self.defer_recalls {
                             // Queue alternative: hold the recall; it is
-                            // serviced when the counter reads zero.
-                            self.deferred_recalls.push(loc);
+                            // serviced when the counter reads zero. A
+                            // duplicate recall must not queue twice — the
+                            // directory expects exactly one reply.
+                            if !self.deferred_recalls.contains(&loc) {
+                                self.deferred_recalls.push(loc);
+                            }
                         } else {
                             replies.push(CacheToDir::RecallNack { loc });
                         }
@@ -495,7 +532,10 @@ impl CacheController {
             DirToCache::Downgrade { loc } => {
                 match self.lines.get_mut(&loc) {
                     None => {}
-                    Some(line) if line.state == LineState::Invalid => {}
+                    // A duplicate downgrade finds the line already shared:
+                    // the first reply completed the transaction; drop it.
+                    Some(line)
+                        if matches!(line.state, LineState::Invalid | LineState::Shared) => {}
                     Some(line) if line.reserved => {
                         replies.push(CacheToDir::DowngradeNack { loc });
                     }
@@ -507,7 +547,7 @@ impl CacheController {
                 }
             }
         }
-        (events, replies)
+        Ok((events, replies))
     }
 
     fn apply_sync(&mut self, loc: Loc, op: SyncOp) -> Option<Value> {
@@ -602,6 +642,16 @@ impl CacheController {
         self.lines.get(&loc).is_some_and(|l| l.reserved)
     }
 
+    /// Every line whose reserve bit is currently set, sorted — used by
+    /// diagnostic dumps.
+    #[must_use]
+    pub fn reserved_lines(&self) -> Vec<Loc> {
+        let mut locs: Vec<Loc> =
+            self.lines.iter().filter(|(_, l)| l.reserved).map(|(loc, _)| *loc).collect();
+        locs.sort_unstable_by_key(|l| l.0);
+        locs
+    }
+
     /// Clears every reserve bit — "all reserve bits are reset when the
     /// counter reads zero" (Section 5.3). The paper notes this does not
     /// require an associative clear in hardware (a small table suffices);
@@ -628,7 +678,7 @@ mod tests {
             value,
             req: RequestId(0),
             pending_acks: 0,
-        });
+        }).unwrap();
         assert_eq!(ev.len(), 2);
         c
     }
@@ -640,7 +690,7 @@ mod tests {
         let AccessResult::Miss(msgs) = r else { panic!("expected miss") };
         assert_eq!(msgs, vec![CacheToDir::GetShared { loc: L, req: RequestId(1) }]);
         let (ev, replies) =
-            c.handle(DirToCache::DataShared { loc: L, value: 9, req: RequestId(1) });
+            c.handle(DirToCache::DataShared { loc: L, value: 9, req: RequestId(1) }).unwrap();
         assert_eq!(ev, vec![CacheEvent::LoadDone { req: RequestId(1), loc: L, value: 9 }]);
         assert!(replies.is_empty());
         assert_eq!(c.line_state(L), LineState::Shared);
@@ -679,11 +729,11 @@ mod tests {
             value: 0,
             req: RequestId(1),
             pending_acks: 2,
-        });
+        }).unwrap();
         // Committed — the local copy is modified — but not globally performed.
         assert_eq!(ev, vec![CacheEvent::StoreCommitted { req: RequestId(1), loc: L }]);
         assert_eq!(c.cached_value(L), Some(7), "commit = local copy modified");
-        let (ev, _) = c.handle(DirToCache::GlobalAck { loc: L, req: RequestId(1) });
+        let (ev, _) = c.handle(DirToCache::GlobalAck { loc: L, req: RequestId(1) }).unwrap();
         assert_eq!(
             ev,
             vec![CacheEvent::StoreGloballyPerformed { req: RequestId(1), loc: L }]
@@ -702,8 +752,8 @@ mod tests {
     fn invalidate_clears_line_and_acks() {
         let mut c = CacheController::new();
         c.access(ProcRequest::Load { loc: L, req: RequestId(1) });
-        c.handle(DirToCache::DataShared { loc: L, value: 9, req: RequestId(1) });
-        let (ev, replies) = c.handle(DirToCache::Invalidate { loc: L, req: RequestId(7) });
+        c.handle(DirToCache::DataShared { loc: L, value: 9, req: RequestId(1) }).unwrap();
+        let (ev, replies) = c.handle(DirToCache::Invalidate { loc: L, req: RequestId(7) }).unwrap();
         assert!(ev.is_empty());
         assert_eq!(replies, vec![CacheToDir::InvAck { loc: L, req: RequestId(7) }]);
         assert_eq!(c.line_state(L), LineState::Invalid);
@@ -749,7 +799,7 @@ mod tests {
             value: 1,
             req: RequestId(1),
             pending_acks: 0,
-        });
+        }).unwrap();
         assert_eq!(
             ev,
             vec![
@@ -771,7 +821,7 @@ mod tests {
         });
         let AccessResult::Miss(msgs) = r else { panic!("expected miss") };
         assert_eq!(msgs, vec![CacheToDir::GetShared { loc: L, req: RequestId(1) }]);
-        let (ev, _) = c.handle(DirToCache::DataShared { loc: L, value: 4, req: RequestId(1) });
+        let (ev, _) = c.handle(DirToCache::DataShared { loc: L, value: 4, req: RequestId(1) }).unwrap();
         assert_eq!(
             ev[0],
             CacheEvent::SyncCommitted { req: RequestId(1), loc: L, read_value: Some(4) }
@@ -782,7 +832,7 @@ mod tests {
     fn recall_of_unreserved_line_acks_with_value() {
         let mut c = filled_exclusive(0);
         c.access(ProcRequest::Store { loc: L, value: 42, req: RequestId(2) });
-        let (_, replies) = c.handle(DirToCache::Recall { loc: L });
+        let (_, replies) = c.handle(DirToCache::Recall { loc: L }).unwrap();
         assert_eq!(replies, vec![CacheToDir::RecallAck { loc: L, value: 42 }]);
         assert_eq!(c.line_state(L), LineState::Invalid);
     }
@@ -792,7 +842,7 @@ mod tests {
         let mut c = filled_exclusive(0);
         c.set_defer_recalls(true);
         c.set_reserved(L, true);
-        let (_, replies) = c.handle(DirToCache::Recall { loc: L });
+        let (_, replies) = c.handle(DirToCache::Recall { loc: L }).unwrap();
         assert!(replies.is_empty(), "queued, not nacked");
         assert_eq!(c.line_state(L), LineState::Exclusive);
         // Counter reads zero: reserve clears, the queue drains.
@@ -804,15 +854,31 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_recall_defers_only_once() {
+        // A fault-injected interconnect may duplicate a recall; the queue
+        // alternative must still send the directory exactly one reply.
+        let mut c = filled_exclusive(0);
+        c.set_defer_recalls(true);
+        c.set_reserved(L, true);
+        let (_, replies) = c.handle(DirToCache::Recall { loc: L }).unwrap();
+        assert!(replies.is_empty());
+        let (_, replies) = c.handle(DirToCache::Recall { loc: L }).unwrap();
+        assert!(replies.is_empty(), "duplicate is absorbed");
+        c.clear_all_reserved();
+        let replies = c.take_deferred_recalls();
+        assert_eq!(replies, vec![CacheToDir::RecallAck { loc: L, value: 0 }]);
+    }
+
+    #[test]
     fn recall_of_reserved_line_nacks() {
         let mut c = filled_exclusive(0);
         c.set_reserved(L, true);
         assert!(c.is_reserved(L));
-        let (_, replies) = c.handle(DirToCache::Recall { loc: L });
+        let (_, replies) = c.handle(DirToCache::Recall { loc: L }).unwrap();
         assert_eq!(replies, vec![CacheToDir::RecallNack { loc: L }]);
         assert_eq!(c.line_state(L), LineState::Exclusive, "reserved line stays");
         c.clear_all_reserved();
-        let (_, replies) = c.handle(DirToCache::Recall { loc: L });
+        let (_, replies) = c.handle(DirToCache::Recall { loc: L }).unwrap();
         assert!(matches!(replies[0], CacheToDir::RecallAck { .. }));
     }
 
@@ -820,7 +886,7 @@ mod tests {
     fn downgrade_keeps_shared_copy() {
         let mut c = filled_exclusive(0);
         c.access(ProcRequest::Store { loc: L, value: 8, req: RequestId(2) });
-        let (_, replies) = c.handle(DirToCache::Downgrade { loc: L });
+        let (_, replies) = c.handle(DirToCache::Downgrade { loc: L }).unwrap();
         assert_eq!(replies, vec![CacheToDir::DowngradeAck { loc: L, value: 8 }]);
         assert_eq!(c.line_state(L), LineState::Shared);
         assert_eq!(c.cached_value(L), Some(8));
@@ -830,7 +896,7 @@ mod tests {
     fn downgrade_of_reserved_line_nacks() {
         let mut c = filled_exclusive(0);
         c.set_reserved(L, true);
-        let (_, replies) = c.handle(DirToCache::Downgrade { loc: L });
+        let (_, replies) = c.handle(DirToCache::Downgrade { loc: L }).unwrap();
         assert_eq!(replies, vec![CacheToDir::DowngradeNack { loc: L }]);
     }
 
@@ -840,7 +906,7 @@ mod tests {
         // Fill with two shared lines.
         for (i, loc) in [Loc(1), Loc(2)].into_iter().enumerate() {
             c.access(ProcRequest::Load { loc, req: RequestId(i as u64) });
-            c.handle(DirToCache::DataShared { loc, value: 0, req: RequestId(i as u64) });
+            c.handle(DirToCache::DataShared { loc, value: 0, req: RequestId(i as u64) }).unwrap();
         }
         assert_eq!(c.resident_lines(), 2);
         // Touch Loc(1) so Loc(2) is the LRU victim.
@@ -863,7 +929,7 @@ mod tests {
             value: 0,
             req: RequestId(0),
             pending_acks: 0,
-        });
+        }).unwrap();
         let r = c.access(ProcRequest::Load { loc: Loc(2), req: RequestId(1) });
         let AccessResult::Miss(msgs) = r else { panic!("expected miss") };
         assert_eq!(
@@ -885,7 +951,7 @@ mod tests {
             value: 0,
             req: RequestId(0),
             pending_acks: 0,
-        });
+        }).unwrap();
         c.set_reserved(Loc(1), true);
         // The only line is reserved: the access must block, not flush.
         let r = c.access(ProcRequest::Load { loc: Loc(2), req: RequestId(1) });
@@ -905,14 +971,14 @@ mod tests {
             value: 0,
             req: RequestId(0),
             pending_acks: 0,
-        });
+        }).unwrap();
         // Evict Loc(1) by touching Loc(2).
         c.access(ProcRequest::Load { loc: Loc(2), req: RequestId(1) });
         // A recall for the evicted line crosses the write-back: ignore.
-        let (ev, replies) = c.handle(DirToCache::Recall { loc: Loc(1) });
+        let (ev, replies) = c.handle(DirToCache::Recall { loc: Loc(1) }).unwrap();
         assert!(ev.is_empty());
         assert!(replies.is_empty());
-        let (_, replies) = c.handle(DirToCache::Downgrade { loc: Loc(1) });
+        let (_, replies) = c.handle(DirToCache::Downgrade { loc: Loc(1) }).unwrap();
         assert!(replies.is_empty());
     }
 

@@ -4,6 +4,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use memory_model::{Loc, Memory, ProcId, Value};
 
+use crate::error::ProtocolError;
 use crate::msg::{CacheToDir, DirToCache, RequestId};
 
 #[derive(Debug, Clone)]
@@ -20,6 +21,7 @@ struct DirLine {
 }
 
 #[derive(Debug, Clone)]
+#[allow(clippy::enum_variant_names)] // the Await- prefix is the point: each names what is awaited
 enum Busy {
     /// A recall was sent to the owner on behalf of `requester`'s exclusive
     /// request.
@@ -70,7 +72,7 @@ pub struct DirectoryStats {
 /// let out = dir.handle(
 ///     ProcId(0),
 ///     CacheToDir::GetExclusive { loc: Loc(0), req: RequestId(1), sync: SyncFlavor::Data },
-/// );
+/// ).unwrap();
 /// assert_eq!(out, vec![(ProcId(0), DirToCache::DataExclusive {
 ///     loc: Loc(0), value: 0, req: RequestId(1), pending_acks: 0,
 /// })]);
@@ -80,6 +82,9 @@ pub struct Directory {
     lines: HashMap<Loc, DirLine>,
     busy: HashMap<Loc, Busy>,
     queue: HashMap<Loc, VecDeque<(ProcId, CacheToDir)>>,
+    /// Consecutive NACKed probes per busy line — the machine layer reads
+    /// this to apply backoff and enforce a retry budget.
+    retries: HashMap<Loc, u32>,
     initial: Memory,
     stats: DirectoryStats,
 }
@@ -92,6 +97,7 @@ impl Directory {
             lines: HashMap::new(),
             busy: HashMap::new(),
             queue: HashMap::new(),
+            retries: HashMap::new(),
             initial,
             stats: DirectoryStats::default(),
         }
@@ -99,15 +105,20 @@ impl Directory {
 
     /// Processes one cache message, returning the messages to deliver.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on protocol violations (e.g. an ack with no matching
-    /// transaction) — these indicate simulator bugs, not recoverable
-    /// conditions.
-    pub fn handle(&mut self, from: ProcId, msg: CacheToDir) -> Vec<(ProcId, DirToCache)> {
+    /// Returns a [`ProtocolError`] when the message violates the protocol
+    /// — an acknowledgement with no matching transaction, a write-back
+    /// from a non-owner. Under fault injection these abort the run with a
+    /// structured diagnostic instead of a panic.
+    pub fn handle(
+        &mut self,
+        from: ProcId,
+        msg: CacheToDir,
+    ) -> Result<Vec<(ProcId, DirToCache)>, ProtocolError> {
         let mut out = Vec::new();
-        self.dispatch(from, msg, &mut out);
-        out
+        self.dispatch(from, msg, &mut out)?;
+        Ok(out)
     }
 
     fn dispatch(
@@ -115,7 +126,7 @@ impl Directory {
         from: ProcId,
         msg: CacheToDir,
         out: &mut Vec<(ProcId, DirToCache)>,
-    ) {
+    ) -> Result<(), ProtocolError> {
         let loc = msg.loc();
         match msg {
             CacheToDir::GetShared { .. } | CacheToDir::GetExclusive { .. } => {
@@ -129,11 +140,13 @@ impl Directory {
             CacheToDir::InvAck { loc, req } => {
                 let done = match self.busy.get_mut(&loc) {
                     Some(Busy::AwaitInvAcks { writer, req: wreq, remaining }) => {
-                        assert_eq!(*wreq, req, "InvAck for the wrong write");
+                        if *wreq != req {
+                            return Err(ProtocolError::StrayInvAck { loc, req });
+                        }
                         *remaining -= 1;
                         (*remaining == 0).then_some(*writer)
                     }
-                    _ => panic!("InvAck for {loc} with no invalidation round in flight"),
+                    _ => return Err(ProtocolError::StrayInvAck { loc, req }),
                 };
                 if let Some(writer) = done {
                     self.busy.remove(&loc);
@@ -145,9 +158,12 @@ impl Directory {
                 let Some(Busy::AwaitRecall { owner, requester, req }) =
                     self.busy.remove(&loc)
                 else {
-                    panic!("RecallAck for {loc} with no recall in flight")
+                    return Err(ProtocolError::StrayRecallReply { loc });
                 };
-                debug_assert_eq!(owner, from);
+                if owner != from {
+                    return Err(ProtocolError::StrayRecallReply { loc });
+                }
+                self.retries.remove(&loc);
                 let line = self.line_mut(loc);
                 line.value = value;
                 line.state = DirState::Exclusive(requester);
@@ -159,21 +175,23 @@ impl Directory {
             }
             CacheToDir::RecallNack { loc } => {
                 let Some(Busy::AwaitRecall { owner, .. }) = self.busy.get(&loc) else {
-                    panic!("RecallNack for {loc} with no recall in flight")
+                    return Err(ProtocolError::StrayRecallReply { loc });
                 };
                 // The owner's line is reserved: retry. Each retry traverses
                 // the interconnect, so in simulated time this polls until
                 // the owner's counter reads zero (Section 5.3).
                 self.stats.nacks += 1;
                 self.stats.recalls += 1;
+                *self.retries.entry(loc).or_insert(0) += 1;
                 out.push((*owner, DirToCache::Recall { loc }));
             }
             CacheToDir::DowngradeAck { loc, value } => {
                 let Some(Busy::AwaitDowngrade { owner, requester, req }) =
                     self.busy.remove(&loc)
                 else {
-                    panic!("DowngradeAck for {loc} with no downgrade in flight")
+                    return Err(ProtocolError::StrayDowngradeReply { loc });
                 };
+                self.retries.remove(&loc);
                 let line = self.line_mut(loc);
                 line.value = value;
                 let mut sharers = BTreeSet::new();
@@ -185,10 +203,11 @@ impl Directory {
             }
             CacheToDir::DowngradeNack { loc } => {
                 let Some(Busy::AwaitDowngrade { owner, .. }) = self.busy.get(&loc) else {
-                    panic!("DowngradeNack for {loc} with no downgrade in flight")
+                    return Err(ProtocolError::StrayDowngradeReply { loc });
                 };
                 self.stats.nacks += 1;
                 self.stats.downgrades += 1;
+                *self.retries.entry(loc).or_insert(0) += 1;
                 out.push((*owner, DirToCache::Downgrade { loc }));
             }
             CacheToDir::WriteBack { loc, value } => {
@@ -201,6 +220,7 @@ impl Directory {
                     {
                         let (requester, req) = (*requester, *req);
                         self.busy.remove(&loc);
+                        self.retries.remove(&loc);
                         let line = self.line_mut(loc);
                         line.value = value;
                         line.state = DirState::Exclusive(requester);
@@ -215,6 +235,7 @@ impl Directory {
                     {
                         let (requester, req) = (*requester, *req);
                         self.busy.remove(&loc);
+                        self.retries.remove(&loc);
                         let line = self.line_mut(loc);
                         line.value = value;
                         // The evicting owner kept no copy; only the
@@ -229,16 +250,16 @@ impl Directory {
                         // it — AwaitInvAcks proceeds untouched; global
                         // perform is about the *write*, not line residence.)
                         let line = self.line_mut(loc);
-                        debug_assert!(
-                            matches!(line.state, DirState::Exclusive(o) if o == from),
-                            "write-back from a non-owner"
-                        );
+                        if !matches!(line.state, DirState::Exclusive(o) if o == from) {
+                            return Err(ProtocolError::ForeignWriteBack { loc, from });
+                        }
                         line.value = value;
                         line.state = DirState::Uncached;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     fn service(
@@ -362,6 +383,22 @@ impl Directory {
         self.queue.values().map(VecDeque::len).sum()
     }
 
+    /// Lines with a transaction in flight, sorted — for diagnostic dumps.
+    #[must_use]
+    pub fn busy_lines(&self) -> Vec<Loc> {
+        let mut locs: Vec<Loc> = self.busy.keys().copied().collect();
+        locs.sort_unstable();
+        locs
+    }
+
+    /// Consecutive NACKed recall/downgrade probes for `loc`'s current
+    /// transaction. The machine layer uses this to pace retries
+    /// (exponential backoff) and abort NACK storms that exceed a budget.
+    #[must_use]
+    pub fn nack_retries(&self, loc: Loc) -> u32 {
+        self.retries.get(&loc).copied().unwrap_or(0)
+    }
+
     /// Protocol counters.
     #[must_use]
     pub fn stats(&self) -> &DirectoryStats {
@@ -387,22 +424,22 @@ mod tests {
     #[test]
     fn uncached_reads_and_writes_are_immediate() {
         let mut dir = Directory::new(Memory::new());
-        let out = dir.handle(ProcId(0), gets(1));
+        let out = dir.handle(ProcId(0), gets(1)).unwrap();
         assert_eq!(
             out,
             vec![(ProcId(0), DirToCache::DataShared { loc: L, value: 0, req: RequestId(1) })]
         );
         let mut dir = Directory::new(Memory::new());
-        let out = dir.handle(ProcId(0), getx(1));
+        let out = dir.handle(ProcId(0), getx(1)).unwrap();
         assert!(matches!(out[0].1, DirToCache::DataExclusive { pending_acks: 0, .. }));
     }
 
     #[test]
     fn write_to_shared_line_forwards_data_in_parallel_with_invals() {
         let mut dir = Directory::new(Memory::new());
-        dir.handle(ProcId(0), gets(1));
-        dir.handle(ProcId(1), gets(2));
-        let out = dir.handle(ProcId(2), getx(3));
+        dir.handle(ProcId(0), gets(1)).unwrap();
+        dir.handle(ProcId(1), gets(2)).unwrap();
+        let out = dir.handle(ProcId(2), getx(3)).unwrap();
         // Data goes to P2 immediately; invalidations to P0 and P1.
         assert_eq!(out.len(), 3);
         assert_eq!(
@@ -422,8 +459,8 @@ mod tests {
             .all(|(_, m)| matches!(m, DirToCache::Invalidate { .. })));
         assert!(dir.is_busy(L));
         // Acks arrive; the final GlobalAck goes to the writer.
-        assert!(dir.handle(ProcId(0), CacheToDir::InvAck { loc: L, req: RequestId(3) }).is_empty());
-        let out = dir.handle(ProcId(1), CacheToDir::InvAck { loc: L, req: RequestId(3) });
+        assert!(dir.handle(ProcId(0), CacheToDir::InvAck { loc: L, req: RequestId(3) }).unwrap().is_empty());
+        let out = dir.handle(ProcId(1), CacheToDir::InvAck { loc: L, req: RequestId(3) }).unwrap();
         assert_eq!(out, vec![(ProcId(2), DirToCache::GlobalAck { loc: L, req: RequestId(3) })]);
         assert!(!dir.is_busy(L));
     }
@@ -431,8 +468,8 @@ mod tests {
     #[test]
     fn writer_already_sharing_is_not_invalidated() {
         let mut dir = Directory::new(Memory::new());
-        dir.handle(ProcId(0), gets(1));
-        let out = dir.handle(ProcId(0), getx(2));
+        dir.handle(ProcId(0), gets(1)).unwrap();
+        let out = dir.handle(ProcId(0), getx(2)).unwrap();
         assert!(matches!(out[0].1, DirToCache::DataExclusive { pending_acks: 0, .. }));
         assert!(!dir.is_busy(L));
     }
@@ -440,10 +477,10 @@ mod tests {
     #[test]
     fn exclusive_line_is_recalled_for_a_new_writer() {
         let mut dir = Directory::new(Memory::new());
-        dir.handle(ProcId(0), getx(1));
-        let out = dir.handle(ProcId(1), getx(2));
+        dir.handle(ProcId(0), getx(1)).unwrap();
+        let out = dir.handle(ProcId(1), getx(2)).unwrap();
         assert_eq!(out, vec![(ProcId(0), DirToCache::Recall { loc: L })]);
-        let out = dir.handle(ProcId(0), CacheToDir::RecallAck { loc: L, value: 42 });
+        let out = dir.handle(ProcId(0), CacheToDir::RecallAck { loc: L, value: 42 }).unwrap();
         assert_eq!(
             out,
             vec![(
@@ -462,9 +499,9 @@ mod tests {
     #[test]
     fn recall_nack_retries() {
         let mut dir = Directory::new(Memory::new());
-        dir.handle(ProcId(0), getx(1));
-        dir.handle(ProcId(1), getx(2));
-        let out = dir.handle(ProcId(0), CacheToDir::RecallNack { loc: L });
+        dir.handle(ProcId(0), getx(1)).unwrap();
+        dir.handle(ProcId(1), getx(2)).unwrap();
+        let out = dir.handle(ProcId(0), CacheToDir::RecallNack { loc: L }).unwrap();
         assert_eq!(out, vec![(ProcId(0), DirToCache::Recall { loc: L })]);
         assert_eq!(dir.stats().nacks, 1);
         assert!(dir.is_busy(L));
@@ -473,10 +510,10 @@ mod tests {
     #[test]
     fn exclusive_line_is_downgraded_for_a_reader() {
         let mut dir = Directory::new(Memory::new());
-        dir.handle(ProcId(0), getx(1));
-        let out = dir.handle(ProcId(1), gets(2));
+        dir.handle(ProcId(0), getx(1)).unwrap();
+        let out = dir.handle(ProcId(1), gets(2)).unwrap();
         assert_eq!(out, vec![(ProcId(0), DirToCache::Downgrade { loc: L })]);
-        let out = dir.handle(ProcId(0), CacheToDir::DowngradeAck { loc: L, value: 7 });
+        let out = dir.handle(ProcId(0), CacheToDir::DowngradeAck { loc: L, value: 7 }).unwrap();
         assert_eq!(
             out,
             vec![(ProcId(1), DirToCache::DataShared { loc: L, value: 7, req: RequestId(2) })]
@@ -486,16 +523,16 @@ mod tests {
     #[test]
     fn requests_to_a_busy_line_queue_fifo() {
         let mut dir = Directory::new(Memory::new());
-        dir.handle(ProcId(0), getx(1));
-        dir.handle(ProcId(1), getx(2)); // recall in flight -> busy
-        assert!(dir.handle(ProcId(2), getx(3)).is_empty()); // queued
-        assert!(dir.handle(ProcId(3), gets(4)).is_empty()); // queued
+        dir.handle(ProcId(0), getx(1)).unwrap();
+        dir.handle(ProcId(1), getx(2)).unwrap(); // recall in flight -> busy
+        assert!(dir.handle(ProcId(2), getx(3)).unwrap().is_empty()); // queued
+        assert!(dir.handle(ProcId(3), gets(4)).unwrap().is_empty()); // queued
         assert_eq!(dir.queued_requests(), 2);
         assert_eq!(dir.stats().deferred, 2);
 
         // Owner acks the recall: P1 gets the line, then P2's queued GetX
         // immediately recalls from P1.
-        let out = dir.handle(ProcId(0), CacheToDir::RecallAck { loc: L, value: 5 });
+        let out = dir.handle(ProcId(0), CacheToDir::RecallAck { loc: L, value: 5 }).unwrap();
         assert_eq!(out.len(), 2);
         assert!(matches!(out[0], (ProcId(1), DirToCache::DataExclusive { .. })));
         assert_eq!(out[1], (ProcId(1), DirToCache::Recall { loc: L }));
@@ -507,7 +544,7 @@ mod tests {
         let mut init = Memory::new();
         init.write(Loc(9), 99);
         let mut dir = Directory::new(init);
-        let out = dir.handle(ProcId(0), CacheToDir::GetShared { loc: Loc(9), req: RequestId(1) });
+        let out = dir.handle(ProcId(0), CacheToDir::GetShared { loc: Loc(9), req: RequestId(1) }).unwrap();
         assert!(matches!(
             out[0].1,
             DirToCache::DataShared { value: 99, .. }
@@ -518,8 +555,8 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut dir = Directory::new(Memory::new());
-        dir.handle(ProcId(0), gets(1));
-        dir.handle(ProcId(1), getx(2));
+        dir.handle(ProcId(0), gets(1)).unwrap();
+        dir.handle(ProcId(1), getx(2)).unwrap();
         let s = dir.stats();
         assert_eq!(s.get_shared, 1);
         assert_eq!(s.get_exclusive, 1);
@@ -529,22 +566,22 @@ mod tests {
     #[test]
     fn plain_writeback_returns_line_home() {
         let mut dir = Directory::new(Memory::new());
-        dir.handle(ProcId(0), getx(1));
-        let out = dir.handle(ProcId(0), CacheToDir::WriteBack { loc: L, value: 77 });
+        dir.handle(ProcId(0), getx(1)).unwrap();
+        let out = dir.handle(ProcId(0), CacheToDir::WriteBack { loc: L, value: 77 }).unwrap();
         assert!(out.is_empty());
         assert_eq!(dir.memory_value(L), 77);
         assert_eq!(dir.stats().writebacks, 1);
         // A later reader gets the written-back value directly.
-        let out = dir.handle(ProcId(1), gets(2));
+        let out = dir.handle(ProcId(1), gets(2)).unwrap();
         assert!(matches!(out[0].1, DirToCache::DataShared { value: 77, .. }));
     }
 
     #[test]
     fn writeback_crossing_a_recall_completes_it() {
         let mut dir = Directory::new(Memory::new());
-        dir.handle(ProcId(0), getx(1));
-        dir.handle(ProcId(1), getx(2)); // recall in flight to P0
-        let out = dir.handle(ProcId(0), CacheToDir::WriteBack { loc: L, value: 5 });
+        dir.handle(ProcId(0), getx(1)).unwrap();
+        dir.handle(ProcId(1), getx(2)).unwrap(); // recall in flight to P0
+        let out = dir.handle(ProcId(0), CacheToDir::WriteBack { loc: L, value: 5 }).unwrap();
         assert_eq!(
             out,
             vec![(
@@ -558,9 +595,9 @@ mod tests {
     #[test]
     fn writeback_crossing_a_downgrade_completes_it() {
         let mut dir = Directory::new(Memory::new());
-        dir.handle(ProcId(0), getx(1));
-        dir.handle(ProcId(1), gets(2)); // downgrade in flight to P0
-        let out = dir.handle(ProcId(0), CacheToDir::WriteBack { loc: L, value: 5 });
+        dir.handle(ProcId(0), getx(1)).unwrap();
+        dir.handle(ProcId(1), gets(2)).unwrap(); // downgrade in flight to P0
+        let out = dir.handle(ProcId(0), CacheToDir::WriteBack { loc: L, value: 5 }).unwrap();
         assert_eq!(
             out,
             vec![(ProcId(1), DirToCache::DataShared { loc: L, value: 5, req: RequestId(2) })]
@@ -569,9 +606,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no invalidation round")]
-    fn stray_inv_ack_panics() {
+    fn stray_inv_ack_is_an_error() {
         let mut dir = Directory::new(Memory::new());
-        dir.handle(ProcId(0), CacheToDir::InvAck { loc: L, req: RequestId(1) });
+        let err = dir
+            .handle(ProcId(0), CacheToDir::InvAck { loc: L, req: RequestId(1) })
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::StrayInvAck { loc: L, req: RequestId(1) });
     }
 }

@@ -47,6 +47,7 @@
 
 mod cache;
 mod directory;
+mod error;
 mod msg;
 
 pub mod fabric;
@@ -54,4 +55,5 @@ pub mod snoop;
 
 pub use cache::{AccessResult, CacheController, CacheEvent, LineState, ProcRequest, SyncOp};
 pub use directory::{Directory, DirectoryStats};
+pub use error::{DecodeError, ProtocolError};
 pub use msg::{CacheToDir, DirToCache, RequestId, SyncFlavor};

@@ -169,7 +169,7 @@ fn check_per_execution(
     let mut violations: Vec<ModelViolation> = report
         .executions
         .iter()
-        .flat_map(|e| check(e))
+        .flat_map(check)
         .collect();
     if !violations.is_empty() {
         violations.sort_by_key(|v| format!("{v:?}"));

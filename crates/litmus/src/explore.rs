@@ -243,9 +243,26 @@ pub fn explore_results(program: &Program, cfg: &ExploreConfig) -> ExploreReport 
 }
 
 type StateKey = (
-    Vec<(usize, [memory_model::Value; crate::NUM_REGS])>,
+    crate::ideal::ThreadStateKey,
     Vec<(memory_model::Loc, memory_model::Value)>,
+    // The read-value history so far. Required for soundness: a *result*
+    // (Lamport's observable) includes every read's returned value, so two
+    // paths converging on the same architectural state but with different
+    // read histories must both be explored — pruning on state alone
+    // silently drops reachable results (it once hid SC outcomes of the
+    // bounded barrier from the reference set).
+    Vec<(memory_model::OpId, memory_model::Value)>,
 );
+
+fn key_of(state: &IdealState<'_>) -> StateKey {
+    let (threads, memory) = state.state_key();
+    let reads = state
+        .ops()
+        .iter()
+        .filter_map(|op| op.read_value.map(|v| (op.id, v)))
+        .collect();
+    (threads, memory, reads)
+}
 
 fn dfs_pruned(
     program: &Program,
@@ -260,7 +277,7 @@ fn dfs_pruned(
         report.complete = false;
         return;
     }
-    if !visited.insert(state.state_key()) {
+    if !visited.insert(key_of(&state)) {
         return;
     }
     let runnable = state.runnable_threads();
@@ -334,6 +351,20 @@ pub struct ScOutcomes {
     pub complete: bool,
 }
 
+impl ScOutcomes {
+    /// Whether `result` is producible by some sequentially consistent
+    /// execution — the Definition 2 acceptance test for a hardware run:
+    /// compare the run's result (read values plus final memory) against
+    /// this reference set.
+    ///
+    /// Only meaningful when [`ScOutcomes::complete`] is true; an
+    /// incomplete enumeration can reject genuinely SC results.
+    #[must_use]
+    pub fn allows(&self, result: &ExecutionResult) -> bool {
+        self.results.contains(result)
+    }
+}
+
 /// Computes the reference SC outcome set of `program`.
 #[must_use]
 pub fn sc_outcomes(program: &Program, cfg: &ExploreConfig) -> ScOutcomes {
@@ -387,6 +418,24 @@ mod tests {
         let pruned = explore_results(&p, &cfg());
         assert_eq!(full.results, pruned.results);
         assert!(pruned.execution_count <= full.execution_count);
+    }
+
+    #[test]
+    fn pruned_and_full_agree_on_sync_results() {
+        // Regression: state-only pruning used to drop reachable results
+        // whose read histories differed on paths converging to the same
+        // architectural state — the bounded barrier is the witness.
+        let p = crate::corpus::barrier_bounded(2, 2);
+        let budget = ExploreConfig {
+            max_ops_per_execution: 64,
+            max_total_steps: 3_000_000,
+            ..ExploreConfig::default()
+        };
+        let full = explore(&p, &budget);
+        let pruned = explore_results(&p, &budget);
+        assert!(full.complete && pruned.complete);
+        assert_eq!(full.results, pruned.results);
+        assert!(pruned.steps <= full.steps, "pruning still helps");
     }
 
     #[test]

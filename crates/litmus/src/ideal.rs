@@ -39,6 +39,10 @@ impl ThreadState {
     }
 }
 
+/// The per-thread half of [`IdealState::state_key`]: each thread's program
+/// counter and register file.
+pub type ThreadStateKey = Vec<(usize, [Value; NUM_REGS])>;
+
 /// The full state of a program executing on the idealized architecture.
 ///
 /// # Examples
@@ -243,7 +247,7 @@ impl<'p> IdealState<'p> {
     /// A hashable key identifying the architectural state (pcs, registers,
     /// memory) — used by result-set exploration to prune converged states.
     #[must_use]
-    pub fn state_key(&self) -> (Vec<(usize, [Value; NUM_REGS])>, Vec<(memory_model::Loc, Value)>) {
+    pub fn state_key(&self) -> (ThreadStateKey, Vec<(memory_model::Loc, Value)>) {
         (
             self.threads.iter().map(|t| (t.pc, t.regs)).collect(),
             self.memory.snapshot(),

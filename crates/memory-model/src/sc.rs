@@ -106,10 +106,13 @@ pub fn check_sc(obs: &Observation, initial: &Memory, cfg: &ScCheckConfig) -> ScV
     }
 }
 
+/// A search state: per-thread positions plus the memory snapshot reached.
+type SearchKey = (Vec<usize>, Vec<(crate::Loc, Value)>);
+
 struct Search<'a> {
     obs: &'a Observation,
     cfg: &'a ScCheckConfig,
-    visited: HashSet<(Vec<usize>, Vec<(crate::Loc, Value)>)>,
+    visited: HashSet<SearchKey>,
     witness: Vec<OpId>,
     budget_hit: bool,
 }

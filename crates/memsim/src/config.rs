@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use simx::fault::FaultConfig;
+
 /// The interconnect joining processors to memory (or to the directory).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InterconnectConfig {
@@ -147,6 +149,14 @@ pub struct MachineConfig {
     pub seed: u64,
     /// Watchdog: abort the run after this many cycles.
     pub max_cycles: u64,
+    /// Fault injection on the interconnect (`None`: a perfect wire). The
+    /// fault plan's decision stream is seeded from [`MachineConfig::seed`],
+    /// so a chaos run replays exactly from its config.
+    pub chaos: Option<FaultConfig>,
+    /// Livelock watchdog: abort with [`crate::RunError::Livelock`] if no
+    /// processor commits an access for this many cycles while the machine
+    /// is still busy. `None` disables the watchdog.
+    pub stall_limit: Option<u64>,
 }
 
 impl MachineConfig {
@@ -195,6 +205,14 @@ impl MachineConfig {
                 });
             }
         }
+        if let Some(chaos) = self.chaos {
+            if !chaos.is_valid() {
+                return Err(MachineConfigError::InvalidChaosConfig);
+            }
+        }
+        if self.stall_limit == Some(0) {
+            return Err(MachineConfigError::ZeroStallLimit);
+        }
         Ok(())
     }
 }
@@ -211,6 +229,8 @@ impl Default for MachineConfig {
             cache_capacity: None,
             seed: 1,
             max_cycles: 10_000_000,
+            chaos: None,
+            stall_limit: Some(1_000_000),
         }
     }
 }
@@ -243,6 +263,13 @@ pub enum MachineConfigError {
         /// Configured maximum.
         max: u64,
     },
+    /// The chaos [`FaultConfig`] failed [`FaultConfig::is_valid`] — a
+    /// malformed chance, a delay with no latency bound, or a drop chance
+    /// with no retry budget.
+    InvalidChaosConfig,
+    /// `stall_limit` was `Some(0)` — the livelock watchdog would fire
+    /// before the first access could commit.
+    ZeroStallLimit,
 }
 
 impl fmt::Display for MachineConfigError {
@@ -272,6 +299,12 @@ impl fmt::Display for MachineConfigError {
             ),
             MachineConfigError::SnoopingUnboundedOnly => {
                 write!(f, "capacity-bounded snooping caches are not modeled")
+            }
+            MachineConfigError::InvalidChaosConfig => {
+                write!(f, "chaos fault config is malformed (bad chance, delay without a latency bound, or drop without a retry budget)")
+            }
+            MachineConfigError::ZeroStallLimit => {
+                write!(f, "stall limit must be at least one cycle (use None to disable the livelock watchdog)")
             }
         }
     }

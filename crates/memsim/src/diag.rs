@@ -1,0 +1,97 @@
+//! Diagnostic state dumps for aborted runs.
+//!
+//! When a watchdog trips or a protocol invariant breaks, the machine
+//! snapshots everything a human needs to understand the wedge: what each
+//! processor was doing (and how long it has been stuck), what the
+//! directory still considers busy, how much traffic is still queued, and
+//! what the fault plan had done by then. The dump rides inside
+//! [`crate::RunError`] so a failing chaos sweep prints a complete
+//! post-mortem along with the seed that reproduces it.
+
+use std::fmt;
+
+use memory_model::Loc;
+use simx::fault::FaultStats;
+
+use crate::trace::StallReason;
+
+/// A snapshot of one processor at abort time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcDump {
+    /// Processor index.
+    pub proc: u16,
+    /// Human-readable status (`Ready`, `Halted`, `Waiting(..)`, ...).
+    pub status: String,
+    /// Why the processor is stalled and since which cycle, if it is.
+    pub stall: Option<(StallReason, u64)>,
+    /// Program counter within the processor's thread.
+    pub pc: usize,
+    /// The Section 5.3 outstanding-access counter.
+    pub outstanding: u64,
+    /// Data stores waiting in the write buffer.
+    pub store_queue_len: usize,
+    /// Lines whose reserve bit this processor's cache holds set.
+    pub reserved_lines: Vec<Loc>,
+}
+
+/// A machine-wide snapshot taken when a run aborts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDump {
+    /// Simulated cycle at which the run aborted.
+    pub at_cycle: u64,
+    /// One-line description of what tripped.
+    pub reason: String,
+    /// Per-processor snapshots.
+    pub procs: Vec<ProcDump>,
+    /// Events still queued for delivery.
+    pub queued_events: usize,
+    /// Lines the directory still considers busy (recall or invalidation
+    /// round in flight).
+    pub directory_busy: Vec<Loc>,
+    /// What the fault plan had done by abort time, if chaos was on.
+    pub chaos: Option<FaultStats>,
+}
+
+impl fmt::Display for StateDump {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} at cycle {}", self.reason, self.at_cycle)?;
+        for p in &self.procs {
+            write!(
+                f,
+                "  P{}: {} pc={} outstanding={} store_queue={}",
+                p.proc, p.status, p.pc, p.outstanding, p.store_queue_len
+            )?;
+            if let Some((reason, since)) = &p.stall {
+                write!(f, " stalled({reason:?} since cycle {since})")?;
+            }
+            if !p.reserved_lines.is_empty() {
+                write!(f, " reserved={:?}", self.fmt_locs(&p.reserved_lines))?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "  queued events: {}", self.queued_events)?;
+        if !self.directory_busy.is_empty() {
+            writeln!(f, "  directory busy lines: {:?}", self.fmt_locs(&self.directory_busy))?;
+        }
+        if let Some(chaos) = &self.chaos {
+            writeln!(
+                f,
+                "  chaos: {} msgs, {} delayed, {} duplicated, {} dropped, {} blackholed, {} retries, {} exhausted",
+                chaos.messages,
+                chaos.delayed,
+                chaos.duplicated,
+                chaos.dropped,
+                chaos.blackholed,
+                chaos.retries,
+                chaos.exhausted
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl StateDump {
+    fn fmt_locs(&self, locs: &[Loc]) -> Vec<u32> {
+        locs.iter().map(|l| l.0).collect()
+    }
+}

@@ -54,10 +54,13 @@ mod interconnect;
 mod machine;
 mod trace;
 
+pub mod diag;
 pub mod presets;
 pub mod timeline;
 pub mod workload;
 
 pub use config::{CoherenceKind, Def2Config, InterconnectConfig, MachineConfig, MachineConfigError, Policy};
+pub use diag::{ProcDump, StateDump};
 pub use machine::{Machine, RunError};
+pub use simx::fault::{Chance, FaultConfig, FaultStats};
 pub use trace::{LatencyProfile, MachineStats, OpRecord, Outcome, ProcStats, RunResult, StallReason};

@@ -8,19 +8,27 @@ use coherence::snoop::{BusOp, SnoopBus};
 use coherence::{
     SyncOp,
     AccessResult, CacheController, CacheEvent, CacheToDir, Directory, DirToCache,
-    ProcRequest, RequestId,
+    ProcRequest, ProtocolError, RequestId,
 };
 use litmus::ideal::eval_operand;
 use litmus::{Instr, Program, Reg, NUM_REGS};
 use memory_model::{Loc, Memory, OpId, OpKind, Operation, ProcId, Value};
+use simx::rng::SplitMix64;
 use simx::{EventQueue, SimTime};
 
 use crate::config::{CoherenceKind, MachineConfig, MachineConfigError, Policy};
-use crate::interconnect::{Interconnect, MsgClass, Node};
+use crate::diag::{ProcDump, StateDump};
+use crate::interconnect::{Interconnect, MsgClass, Node, Route};
 use crate::trace::{MachineStats, OpRecord, Outcome, ProcStats, RunResult, StallReason};
 
 /// Why a run could not be performed or did not finish.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The watchdog variants ([`RunError::Deadlock`], [`RunError::Livelock`],
+/// [`RunError::RetriesExhausted`]) and [`RunError::Protocol`] carry a
+/// [`StateDump`]: under fault injection an aborted run is an expected
+/// outcome, and the dump plus the config's seed is a complete reproduction
+/// recipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
     /// The configuration is invalid.
     Config(MachineConfigError),
@@ -37,6 +45,35 @@ pub enum RunError {
         /// The runaway processor.
         proc: u16,
     },
+    /// The event queue drained while some processor was still waiting:
+    /// nothing can ever wake it (e.g. its request was blackholed).
+    Deadlock {
+        /// Machine snapshot at abort time.
+        dump: Box<StateDump>,
+    },
+    /// Events kept flowing but no access committed for the configured
+    /// stall limit (e.g. an endless NACK storm), or the global event
+    /// budget ran out.
+    Livelock {
+        /// Machine snapshot at abort time.
+        dump: Box<StateDump>,
+    },
+    /// A sender ran out of retries for a repeatedly dropped message.
+    RetriesExhausted {
+        /// The processor whose traffic gave up.
+        proc: u16,
+        /// Send attempts made (1 original + retries).
+        attempts: u32,
+        /// Machine snapshot at abort time.
+        dump: Box<StateDump>,
+    },
+    /// A protocol invariant was violated by a delivered message.
+    Protocol {
+        /// The violated invariant.
+        error: ProtocolError,
+        /// Machine snapshot at abort time.
+        dump: Box<StateDump>,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -49,6 +86,14 @@ impl fmt::Display for RunError {
             ),
             RunError::LocalStepLimit { proc } => {
                 write!(f, "processor P{proc} looped in local instructions")
+            }
+            RunError::Deadlock { dump } => write!(f, "deadlock: {dump}"),
+            RunError::Livelock { dump } => write!(f, "livelock: {dump}"),
+            RunError::RetriesExhausted { proc, attempts, dump } => {
+                write!(f, "P{proc} exhausted {attempts} send attempts: {dump}")
+            }
+            RunError::Protocol { error, dump } => {
+                write!(f, "protocol error: {error}: {dump}")
             }
         }
     }
@@ -180,6 +225,9 @@ pub struct Machine<'p> {
     record_index: HashMap<OpId, usize>,
     footprint: BTreeSet<Loc>,
     failed: Option<RunError>,
+    /// Last cycle at which any access committed or globally performed —
+    /// the progress signal the livelock watchdog compares against.
+    last_progress: SimTime,
 }
 
 impl<'p> Machine<'p> {
@@ -203,11 +251,21 @@ impl<'p> Machine<'p> {
                 procs: config.num_procs,
             });
         }
+        let ic = match config.chaos {
+            // The fault plan gets its own stream, derived from the run
+            // seed, so chaos perturbs message fates without reshuffling
+            // the latency draws.
+            Some(fault) => {
+                let fault_seed = SplitMix64::new(config.seed ^ 0xC4A0_5FA0).next_u64();
+                Interconnect::with_chaos(config.interconnect, config.seed, fault, fault_seed)
+            }
+            None => Interconnect::new(config.interconnect, config.seed),
+        };
         let mut machine = Machine {
             program,
             config: *config,
             queue: EventQueue::new(),
-            ic: Interconnect::new(config.interconnect, config.seed),
+            ic,
             procs: (0..config.num_procs).map(|_| Proc::new()).collect(),
             caches: (0..config.num_procs)
                 .map(|_| match config.cache_capacity {
@@ -223,6 +281,7 @@ impl<'p> Machine<'p> {
             record_index: HashMap::new(),
             footprint: program.init().iter().map(|&(l, _)| l).collect(),
             failed: None,
+            last_progress: SimTime::ZERO,
         };
         if let Policy::WoDef2(d2) = config.policy {
             if d2.queue_stalled_syncs {
@@ -235,13 +294,37 @@ impl<'p> Machine<'p> {
         machine.result()
     }
 
+    /// Global event budget: a backstop far above what any legitimate run
+    /// needs, so an event storm that keeps simulated time crawling (e.g. a
+    /// NACK loop with tiny latencies) still terminates as a livelock.
+    const EVENT_BUDGET: u64 = 50_000_000;
+
     fn run(&mut self) {
         for p in 0..self.procs.len() {
             self.schedule_tick(p as u16, SimTime::ZERO);
         }
+        let mut events: u64 = 0;
         while let Some((t, ev)) = self.queue.pop() {
             if t.cycles() > self.config.max_cycles || self.failed.is_some() {
                 return;
+            }
+            events += 1;
+            if events > Self::EVENT_BUDGET {
+                let dump = self.dump(format!(
+                    "no convergence within {} events",
+                    Self::EVENT_BUDGET
+                ));
+                self.failed = Some(RunError::Livelock { dump });
+                return;
+            }
+            if let Some(limit) = self.config.stall_limit {
+                if t.cycles() > self.last_progress.cycles().saturating_add(limit) {
+                    let dump = self.dump(format!(
+                        "no access committed or globally performed for {limit} cycles"
+                    ));
+                    self.failed = Some(RunError::Livelock { dump });
+                    return;
+                }
             }
             match ev {
                 Event::Tick(p) => {
@@ -249,20 +332,28 @@ impl<'p> Machine<'p> {
                     self.proc_step(p);
                 }
                 Event::DirMsg { from, msg } => {
-                    let out = self.directory.handle(ProcId(from), msg);
-                    for (to, reply) in out {
-                        self.send_to_cache(to.0, reply);
+                    match self.directory.handle(ProcId(from), msg) {
+                        Ok(out) => {
+                            for (to, reply) in out {
+                                self.send_to_cache(to.0, reply);
+                            }
+                        }
+                        Err(error) => self.fail_protocol(error),
                     }
                 }
                 Event::CacheMsg { to, msg } => {
-                    let (events, replies) = self.caches[to as usize].handle(msg);
-                    for ev in events {
-                        self.apply_cache_event(to, ev);
+                    match self.caches[to as usize].handle(msg) {
+                        Ok((events, replies)) => {
+                            for ev in events {
+                                self.apply_cache_event(to, ev);
+                            }
+                            for reply in replies {
+                                self.send_to_dir(to, reply);
+                            }
+                            self.after_completion(to);
+                        }
+                        Err(error) => self.fail_protocol(error),
                     }
-                    for reply in replies {
-                        self.send_to_dir(to, reply);
-                    }
-                    self.after_completion(to);
                 }
                 Event::ModuleReq { proc, seq, loc, action } => {
                     self.module_apply(proc, seq, loc, action);
@@ -276,6 +367,74 @@ impl<'p> Machine<'p> {
                 Event::StoreDrain(p) => {
                     self.drain_store_queue(p);
                 }
+            }
+        }
+        // The queue drained. A processor still waiting can never be woken
+        // now — its wake-up message is gone (blackholed), not late.
+        if self.failed.is_none()
+            && self.procs.iter().any(|p| matches!(p.status, Status::Waiting(..)))
+        {
+            let dump =
+                self.dump("event queue drained with processors still waiting".to_string());
+            self.failed = Some(RunError::Deadlock { dump });
+        }
+    }
+
+    /// Records a protocol violation with a state dump; the run loop exits
+    /// on the next iteration.
+    fn fail_protocol(&mut self, error: ProtocolError) {
+        let dump = self.dump(format!("protocol invariant violated: {error}"));
+        self.failed = Some(RunError::Protocol { error, dump });
+    }
+
+    /// Snapshots the machine for an abort diagnostic.
+    fn dump(&self, reason: String) -> Box<StateDump> {
+        let procs = self
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, proc)| ProcDump {
+                proc: i as u16,
+                status: format!("{:?}", proc.status),
+                stall: proc.stall_since.map(|(r, since)| (r, since.cycles())),
+                pc: proc.pc,
+                outstanding: proc.outstanding,
+                store_queue_len: proc.store_queue.len(),
+                reserved_lines: self
+                    .caches
+                    .get(i)
+                    .map(|c| c.reserved_lines())
+                    .unwrap_or_default(),
+            })
+            .collect();
+        Box::new(StateDump {
+            at_cycle: self.now().cycles(),
+            reason,
+            procs,
+            queued_events: self.queue.len(),
+            directory_busy: self.directory.busy_lines(),
+            chaos: self.ic.fault_stats().copied(),
+        })
+    }
+
+    /// Sends `event` across the interconnect under the fault plan:
+    /// schedules delivery (twice, for duplicated control messages), drops
+    /// blackholed traffic on the floor, and aborts the run when a sender's
+    /// retry budget is exhausted. `proc` attributes the traffic for the
+    /// [`RunError::RetriesExhausted`] diagnostic.
+    fn dispatch(&mut self, src: Node, dst: Node, class: MsgClass, proc: u16, event: Event) {
+        match self.ic.route(self.now(), src, dst, class) {
+            Route::Deliver { at, duplicate_at, retries: _ } => {
+                if let Some(dup_at) = duplicate_at {
+                    self.queue.schedule(dup_at, event.clone());
+                }
+                self.queue.schedule(at, event);
+            }
+            Route::Blackholed => {}
+            Route::Exhausted { attempts } => {
+                let dump =
+                    self.dump(format!("P{proc} gave up resending after {attempts} attempts"));
+                self.failed = Some(RunError::RetriesExhausted { proc, attempts, dump });
             }
         }
     }
@@ -637,8 +796,13 @@ impl<'p> Machine<'p> {
         } else {
             self.note_miss(p, seq);
             let node = self.module_node(loc);
-            let at = self.ic.delivery_time(self.now(), Node::Proc(p), node, MsgClass::Normal);
-            self.queue.schedule(at, Event::ModuleReq { proc: p, seq, loc, action });
+            self.dispatch(
+                Node::Proc(p),
+                node,
+                MsgClass::Normal,
+                p,
+                Event::ModuleReq { proc: p, seq, loc, action },
+            );
             if matches!(action, ModAction::Read) {
                 self.stall(p, StallReason::ReadValue, WakeCond::ValueOf(seq));
             }
@@ -682,14 +846,11 @@ impl<'p> Machine<'p> {
                 } else {
                     self.procs[pi].store_queue.pop_front();
                     self.note_miss(p, head.seq);
-                    let at = self.ic.delivery_time(
-                        now,
+                    self.dispatch(
                         Node::Proc(p),
                         Node::Module(0),
                         MsgClass::Normal,
-                    );
-                    self.queue.schedule(
-                        at,
+                        p,
                         Event::SnoopTxn {
                             proc: p,
                             seq: head.seq,
@@ -730,10 +891,11 @@ impl<'p> Machine<'p> {
                 self.procs[pi].store_queue.pop_front();
                 self.note_miss(p, head.seq);
                 let node = self.module_node(head.loc);
-                let at =
-                    self.ic.delivery_time(now, Node::Proc(p), node, MsgClass::Normal);
-                self.queue.schedule(
-                    at,
+                self.dispatch(
+                    Node::Proc(p),
+                    node,
+                    MsgClass::Normal,
+                    p,
                     Event::ModuleReq {
                         proc: p,
                         seq: head.seq,
@@ -763,14 +925,18 @@ impl<'p> Machine<'p> {
             _ => MsgClass::Normal,
         };
         let node = self.module_node(msg.loc());
-        let at = self.ic.delivery_time(self.now(), Node::Proc(from), node, class);
-        self.queue.schedule(at, Event::DirMsg { from, msg });
+        self.dispatch(Node::Proc(from), node, class, from, Event::DirMsg { from, msg });
     }
 
     fn send_to_cache(&mut self, to: u16, msg: DirToCache) {
+        // Recalls and downgrades are the idempotent control messages the
+        // fault plan is allowed to duplicate.
+        let class = match msg {
+            DirToCache::Recall { .. } | DirToCache::Downgrade { .. } => MsgClass::Control,
+            _ => MsgClass::Normal,
+        };
         let node = self.module_node(msg.loc());
-        let at = self.ic.delivery_time(self.now(), node, Node::Proc(to), MsgClass::Normal);
-        self.queue.schedule(at, Event::CacheMsg { to, msg });
+        self.dispatch(node, Node::Proc(to), class, to, Event::CacheMsg { to, msg });
     }
 
     fn apply_cache_event(&mut self, p: u16, ev: CacheEvent) {
@@ -875,8 +1041,13 @@ impl<'p> Machine<'p> {
                     return;
                 }
                 self.note_miss(p, seq);
-                let at = self.ic.delivery_time(now, Node::Proc(p), Node::Module(0), MsgClass::Normal);
-                self.queue.schedule(at, Event::SnoopTxn { proc: p, seq, op: BusOp::Read { loc }, action });
+                self.dispatch(
+                    Node::Proc(p),
+                    Node::Module(0),
+                    MsgClass::Normal,
+                    p,
+                    Event::SnoopTxn { proc: p, seq, op: BusOp::Read { loc }, action },
+                );
                 self.stall(p, StallReason::ReadValue, WakeCond::ValueOf(seq));
             }
             ModAction::Sync(op) => {
@@ -886,9 +1057,11 @@ impl<'p> Machine<'p> {
                     return;
                 }
                 self.note_miss(p, seq);
-                let at = self.ic.delivery_time(now, Node::Proc(p), Node::Module(0), MsgClass::Normal);
-                self.queue.schedule(
-                    at,
+                self.dispatch(
+                    Node::Proc(p),
+                    Node::Module(0),
+                    MsgClass::Normal,
+                    p,
                     Event::SnoopTxn { proc: p, seq, op: BusOp::ReadExclusive { loc }, action },
                 );
             }
@@ -1010,9 +1183,13 @@ impl<'p> Machine<'p> {
             }
         }
         let node = self.module_node(loc);
-        let at = self.ic.delivery_time(now, node, Node::Proc(proc), MsgClass::Normal);
-        self.queue
-            .schedule(at, Event::ModuleReply { proc, seq, loc, value, gp_at: now });
+        self.dispatch(
+            node,
+            Node::Proc(proc),
+            MsgClass::Normal,
+            proc,
+            Event::ModuleReply { proc, seq, loc, value, gp_at: now },
+        );
     }
 
     fn module_reply(
@@ -1109,6 +1286,7 @@ impl<'p> Machine<'p> {
         let idx = self.record_index[&opid(p, seq)];
         if self.records[idx].commit == UNSET_TIME {
             self.records[idx].commit = at;
+            self.last_progress = self.last_progress.max(self.now());
         }
     }
 
@@ -1120,6 +1298,7 @@ impl<'p> Machine<'p> {
         let idx = self.record_index[&opid(p, seq)];
         if self.records[idx].globally_performed == UNSET_TIME {
             self.records[idx].globally_performed = at;
+            self.last_progress = self.last_progress.max(self.now());
         }
     }
 
@@ -1168,7 +1347,7 @@ impl<'p> Machine<'p> {
     // ---------------------------------------------------------------
 
     fn result(mut self) -> Result<RunResult, RunError> {
-        if let Some(err) = self.failed {
+        if let Some(err) = self.failed.take() {
             return Err(err);
         }
         let completed = self.procs.iter().all(|p| p.status == Status::Halted);
@@ -1208,6 +1387,7 @@ impl<'p> Machine<'p> {
                 .then(|| self.directory.stats().clone()),
             snoop: snoop_stats,
             messages: self.ic.messages,
+            chaos: self.ic.fault_stats().copied(),
         };
 
         Ok(RunResult { records, outcome, cycles: now.cycles(), stats, completed })
@@ -1958,5 +2138,165 @@ mod tests {
             opt_dir.get_exclusive,
             plain_dir.get_exclusive
         );
+    }
+
+    // ---------------------------------------------------------------
+    // Fault injection and watchdogs
+    // ---------------------------------------------------------------
+
+    use simx::fault::{Chance, FaultConfig};
+
+    fn chaos_base(policy: Policy, procs: usize, fault: FaultConfig, seed: u64) -> MachineConfig {
+        MachineConfig { chaos: Some(fault), seed, ..base(policy, true, procs) }
+    }
+
+    #[test]
+    fn blackholed_request_is_a_deadlock_with_a_dump() {
+        // Every message vanishes: P0's GetShared never reaches the
+        // directory, the event queue drains, and the deadlock watchdog
+        // must explain exactly who was stuck and why.
+        let p = Program::new(vec![Thread::new().read(Loc(0), Reg(0))]).unwrap();
+        let fault = FaultConfig { blackhole_chance: Chance::always(), ..FaultConfig::off() };
+        let err = Machine::run_program(&p, &chaos_base(Policy::Sc, 1, fault, 3)).unwrap_err();
+        let RunError::Deadlock { dump } = err else {
+            panic!("expected a deadlock, got: {err}");
+        };
+        assert_eq!(dump.procs.len(), 1);
+        let p0 = &dump.procs[0];
+        assert!(p0.status.contains("Waiting"), "status: {}", p0.status);
+        assert_eq!(p0.stall.map(|(r, _)| r), Some(StallReason::ReadValue));
+        assert_eq!(p0.outstanding, 1, "the lost GetShared is still counted");
+        assert!(dump.chaos.expect("chaos stats ride in the dump").blackholed >= 1);
+        let text = dump.to_string();
+        assert!(text.contains("still waiting"), "dump text: {text}");
+        assert!(text.contains("P0"), "dump text: {text}");
+    }
+
+    #[test]
+    fn unreachable_directory_exhausts_retries() {
+        // Every send is (detectably) dropped; after max_retries resends
+        // the machine aborts with the attempt count and a dump.
+        let p = Program::new(vec![Thread::new().read(Loc(0), Reg(0))]).unwrap();
+        let fault = FaultConfig {
+            drop_chance: Chance::always(),
+            max_retries: 2,
+            backoff_base: 8,
+            ..FaultConfig::off()
+        };
+        let err = Machine::run_program(&p, &chaos_base(Policy::Sc, 1, fault, 3)).unwrap_err();
+        let RunError::RetriesExhausted { proc, attempts, dump } = err else {
+            panic!("expected exhausted retries, got: {err}");
+        };
+        assert_eq!(proc, 0);
+        assert_eq!(attempts, 3, "1 original + 2 retries");
+        assert_eq!(dump.chaos.expect("chaos stats ride in the dump").exhausted, 1);
+    }
+
+    #[test]
+    fn vanished_acks_trip_a_watchdog() {
+        // The def2_sets_and_clears_reserve_bits fixture, except every
+        // invalidation acknowledgement silently vanishes: P0's W(x) can
+        // never globally perform, the reserve bit on s never clears, and
+        // P1's TestAndSet polls into a NACK storm that makes no progress.
+        let warm = Program::new(vec![
+            Thread::new()
+                .sync_read(corpus::LOC_T, Reg(2))
+                .branch_ne(Reg(2), 1u64, 0)
+                .write(corpus::LOC_X, 1)
+                .sync_write(corpus::LOC_S, 0),
+            Thread::new()
+                .test_and_set(corpus::LOC_S, Reg(0))
+                .branch_ne(Reg(0), 0u64, 0)
+                .read(corpus::LOC_X, Reg(1)),
+            Thread::new()
+                .read(corpus::LOC_X, Reg(0))
+                .sync_write(corpus::LOC_T, 1),
+        ])
+        .unwrap()
+        .with_init(vec![(corpus::LOC_S, 1)]);
+        let fault = FaultConfig { ack_blackhole: true, ..FaultConfig::off() };
+        let cfg = MachineConfig {
+            chaos: Some(fault),
+            stall_limit: Some(5_000),
+            interconnect: InterconnectConfig::Network {
+                min_latency: 4,
+                max_latency: 8,
+                ack_extra_delay: 300,
+            },
+            ..base(Policy::WoDef2(Def2Config::default()), true, 3)
+        };
+        let err = Machine::run_program(&warm, &cfg).unwrap_err();
+        let dump = match err {
+            RunError::Livelock { dump } | RunError::Deadlock { dump } => dump,
+            other => panic!("expected a wedged-machine watchdog, got: {other}"),
+        };
+        assert!(
+            dump.chaos.expect("chaos stats ride in the dump").blackholed >= 1,
+            "at least one InvAck must have vanished"
+        );
+        // The wedge is visible in the dump: someone is still waiting.
+        assert!(
+            dump.procs.iter().any(|p| p.status.contains("Waiting")),
+            "dump: {dump}"
+        );
+    }
+
+    #[test]
+    fn backoff_retries_converge_under_a_drop_storm() {
+        // A 1-in-5 detectable drop rate with a generous retry budget:
+        // every message eventually lands, the run completes, and the DRF0
+        // program still appears sequentially consistent.
+        let p = corpus::spinlock(2, 2);
+        let fault = FaultConfig {
+            drop_chance: Chance::of(1, 5),
+            max_retries: 10,
+            backoff_base: 4,
+            ..FaultConfig::off()
+        };
+        let cfg = chaos_base(Policy::WoDef2(Def2Config::default()), 2, fault, 9);
+        let r = Machine::run_program(&p, &cfg).expect("retries must drain the storm");
+        assert!(r.completed, "backoff must converge");
+        let chaos = r.stats.chaos.expect("chaos stats in the result");
+        assert!(chaos.retries > 0, "a 1/5 drop rate must force retries: {chaos:?}");
+        assert_eq!(chaos.exhausted, 0);
+        assert_eq!(
+            r.outcome.final_memory,
+            vec![(corpus::LOC_X, 4)],
+            "2 procs x 2 increments, lock released"
+        );
+        assert!(check_sc(&r.observation(), &p.initial_memory(), &ScCheckConfig::default())
+            .is_consistent());
+    }
+
+    #[test]
+    fn chaos_runs_are_reproducible_from_the_seed() {
+        let p = corpus::spinlock(2, 2);
+        let cfg = chaos_base(Policy::WoDef2(Def2Config::default()), 2, FaultConfig::drop_heavy(), 11);
+        let a = Machine::run_program(&p, &cfg);
+        let b = Machine::run_program(&p, &cfg);
+        // Byte-identical outcomes — including timestamps, stats, and fault
+        // counters — whether the run completed or aborted.
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn drf0_appears_sc_under_latency_and_dup_chaos() {
+        // The Definition 2 contract must survive message-timing chaos:
+        // drop-free perturbations (delays, reordering across pairs,
+        // duplicated recalls) never change what DRF0 software can observe.
+        let p = corpus::spinlock(2, 2);
+        for fault in [FaultConfig::latency_heavy(), FaultConfig::dup_heavy()] {
+            for seed in 0..5 {
+                let cfg = chaos_base(Policy::WoDef2(Def2Config::default()), 2, fault, seed);
+                let r = Machine::run_program(&p, &cfg)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+                assert!(r.completed, "drop-free chaos cannot wedge (seed {seed})");
+                assert!(
+                    check_sc(&r.observation(), &p.initial_memory(), &ScCheckConfig::default())
+                        .is_consistent(),
+                    "DRF0 program must appear SC under {fault:?} seed {seed}"
+                );
+            }
+        }
     }
 }

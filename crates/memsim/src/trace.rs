@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use memory_model::{Loc, Observation, Operation, ThreadTrace, Value};
+use memory_model::{ExecutionResult, Loc, Observation, Operation, ThreadTrace, Value};
 use simx::SimTime;
 
 use litmus::NUM_REGS;
@@ -87,6 +87,8 @@ pub struct MachineStats {
     pub snoop: Option<coherence::snoop::SnoopStats>,
     /// Messages carried by the interconnect.
     pub messages: u64,
+    /// What the fault plan did, when the run was chaos-injected.
+    pub chaos: Option<simx::fault::FaultStats>,
 }
 
 /// Latency distributions derived from a run's records.
@@ -155,6 +157,20 @@ impl RunResult {
         Observation::new(threads)
             .expect("simulator assigns unique per-processor ids")
             .with_final_memory(self.outcome.final_memory.clone())
+    }
+
+    /// The run's software-visible result — every read's returned value
+    /// keyed by operation id, plus the final memory — in the same shape
+    /// the idealized explorer produces, so a hardware run can be checked
+    /// for membership in `litmus::explore::sc_outcomes` directly.
+    #[must_use]
+    pub fn execution_result(&self) -> ExecutionResult {
+        let reads = self
+            .records
+            .iter()
+            .filter_map(|r| r.op.read_value.map(|v| (r.op.id, v)))
+            .collect();
+        ExecutionResult { reads, final_memory: self.outcome.final_memory.clone() }
     }
 
     /// Latency distributions of this run, derived from the records.

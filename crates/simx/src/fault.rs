@@ -1,0 +1,445 @@
+//! Deterministic fault injection for event delivery.
+//!
+//! A [`FaultPlan`] is a seeded stream of per-message perturbation
+//! decisions: extra latency, duplication, detected drops (the sender is
+//! NACKed and may retry) and undetected drops ("blackholes"). Simulators
+//! consult the plan once per message send; because the plan draws from a
+//! private [`Xoshiro256`] stream, the whole perturbation schedule is a
+//! pure function of the seed and the sequence of `decide` calls — a
+//! failing chaos run replays exactly from its printed seed.
+//!
+//! The plan deliberately knows nothing about protocols. Callers describe
+//! each message with two bits — *is it idempotent* (safe to deliver
+//! twice) and *is it an acknowledgement* — and apply the returned
+//! [`FaultDecision`] themselves, which keeps protocol invariants (such as
+//! per-channel FIFO) where they belong: in the interconnect model.
+//!
+//! # Examples
+//!
+//! ```
+//! use simx::fault::{FaultConfig, FaultDecision, FaultPlan};
+//!
+//! let mut plan = FaultPlan::new(7, FaultConfig::drop_heavy());
+//! match plan.decide(false, false) {
+//!     FaultDecision::Deliver { extra_delay, .. } => assert!(extra_delay <= 64),
+//!     FaultDecision::Drop | FaultDecision::Blackhole => {}
+//! }
+//! // Same seed, same stream of decisions.
+//! let mut replay = FaultPlan::new(7, FaultConfig::drop_heavy());
+//! assert_eq!(replay.decide(false, false), plan.history()[0]);
+//! ```
+
+use crate::rng::Xoshiro256;
+
+/// A probability expressed as an exact rational `num / den`, so fault
+/// configurations stay `Eq`/hashable and draws stay integer-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Chance {
+    /// Numerator; `0` means never.
+    pub num: u32,
+    /// Denominator; must be non-zero.
+    pub den: u32,
+}
+
+impl Chance {
+    /// Probability zero.
+    #[must_use]
+    pub const fn never() -> Self {
+        Chance { num: 0, den: 1 }
+    }
+
+    /// Probability one.
+    #[must_use]
+    pub const fn always() -> Self {
+        Chance { num: 1, den: 1 }
+    }
+
+    /// `num / den`.
+    #[must_use]
+    pub const fn of(num: u32, den: u32) -> Self {
+        Chance { num, den }
+    }
+
+    /// Whether this chance is well-formed (`den > 0`, `num <= den`).
+    #[must_use]
+    pub const fn is_valid(self) -> bool {
+        self.den > 0 && self.num <= self.den
+    }
+
+    fn roll(self, rng: &mut Xoshiro256) -> bool {
+        self.num > 0 && rng.chance(u64::from(self.num), u64::from(self.den))
+    }
+}
+
+/// What a [`FaultPlan`] does to one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Deliver the message, possibly late and possibly twice.
+    Deliver {
+        /// Extra cycles added on top of the model's nominal latency.
+        extra_delay: u64,
+        /// Deliver a second copy (only offered for idempotent messages).
+        duplicate: bool,
+    },
+    /// The fabric detects the loss and NACKs the sender, which may retry
+    /// under the plan's backoff policy.
+    Drop,
+    /// The message vanishes without notification — the lever for
+    /// exercising deadlock/livelock watchdogs.
+    Blackhole,
+}
+
+/// Knobs for a fault plan. All-zero chances (see [`FaultConfig::off`])
+/// reproduce the unperturbed simulator exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultConfig {
+    /// Upper bound (inclusive) on injected extra latency per delayed
+    /// message.
+    pub extra_latency_max: u64,
+    /// Probability a message is delayed by `1..=extra_latency_max`.
+    pub delay_chance: Chance,
+    /// Probability an idempotent message is delivered twice.
+    pub dup_chance: Chance,
+    /// Probability of a detected drop (sender NACKed, retried with
+    /// backoff).
+    pub drop_chance: Chance,
+    /// Probability of an undetected drop.
+    pub blackhole_chance: Chance,
+    /// Silently discard every acknowledgement-class message — a
+    /// deterministic "dead ack channel" used by watchdog fixtures.
+    pub ack_blackhole: bool,
+    /// Detected-drop retries allowed per message before the sender gives
+    /// up ([`crate::fault::FaultStats::exhausted`] counts give-ups).
+    pub max_retries: u32,
+    /// Base of the exponential backoff applied between retries, in
+    /// cycles: retry *n* waits `backoff_base << n`.
+    pub backoff_base: u64,
+}
+
+impl FaultConfig {
+    /// No perturbation at all.
+    #[must_use]
+    pub const fn off() -> Self {
+        FaultConfig {
+            extra_latency_max: 0,
+            delay_chance: Chance::never(),
+            dup_chance: Chance::never(),
+            drop_chance: Chance::never(),
+            blackhole_chance: Chance::never(),
+            ack_blackhole: false,
+            max_retries: 0,
+            backoff_base: 0,
+        }
+    }
+
+    /// Heavy, highly variable latency; no loss.
+    #[must_use]
+    pub const fn latency_heavy() -> Self {
+        FaultConfig {
+            extra_latency_max: 200,
+            delay_chance: Chance::of(1, 2),
+            ..Self::off()
+        }
+    }
+
+    /// Frequent duplication of idempotent messages plus mild jitter.
+    #[must_use]
+    pub const fn dup_heavy() -> Self {
+        FaultConfig {
+            extra_latency_max: 32,
+            delay_chance: Chance::of(1, 4),
+            dup_chance: Chance::of(1, 3),
+            ..Self::off()
+        }
+    }
+
+    /// Frequent detected drops with generous retry budget plus mild
+    /// jitter.
+    #[must_use]
+    pub const fn drop_heavy() -> Self {
+        FaultConfig {
+            extra_latency_max: 64,
+            delay_chance: Chance::of(1, 4),
+            drop_chance: Chance::of(1, 3),
+            max_retries: 16,
+            backoff_base: 8,
+            ..Self::off()
+        }
+    }
+
+    /// Whether every chance is well-formed and the latency/backoff knobs
+    /// are consistent (a drop chance needs a retry budget).
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        let chances = [
+            self.delay_chance,
+            self.dup_chance,
+            self.drop_chance,
+            self.blackhole_chance,
+        ];
+        chances.iter().all(|c| c.is_valid())
+            && (self.delay_chance.num == 0 || self.extra_latency_max > 0)
+            && (self.drop_chance.num == 0 || self.max_retries > 0)
+    }
+
+    /// Backoff before retry number `attempt` (0-based), in cycles.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        // Cap the shift so a large retry budget cannot overflow.
+        self.backoff_base.saturating_mul(1u64 << attempt.min(16))
+    }
+}
+
+/// Counters describing what a plan actually did — surfaced in run
+/// statistics and diagnostic dumps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages the plan saw.
+    pub messages: u64,
+    /// Messages delivered with extra latency.
+    pub delayed: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Detected drops (each NACKs its sender once).
+    pub dropped: u64,
+    /// Undetected drops.
+    pub blackholed: u64,
+    /// Retries performed after detected drops.
+    pub retries: u64,
+    /// Messages whose senders ran out of retries.
+    pub exhausted: u64,
+}
+
+/// A seeded, replayable schedule of fault decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    rng: Xoshiro256,
+    stats: FaultStats,
+    history: Vec<FaultDecision>,
+}
+
+impl FaultPlan {
+    /// Creates a plan whose decisions are fully determined by `seed` and
+    /// the order of [`FaultPlan::decide`] calls.
+    #[must_use]
+    pub fn new(seed: u64, config: FaultConfig) -> Self {
+        FaultPlan {
+            config,
+            rng: Xoshiro256::seed_from(seed),
+            stats: FaultStats::default(),
+            history: Vec::new(),
+        }
+    }
+
+    /// The configuration this plan draws from.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Decides the fate of one message. `dupable` marks messages that are
+    /// safe to deliver twice; `is_ack` marks acknowledgement-class
+    /// messages (subject to [`FaultConfig::ack_blackhole`]).
+    pub fn decide(&mut self, dupable: bool, is_ack: bool) -> FaultDecision {
+        self.stats.messages += 1;
+        // The deterministic ack blackhole must not consume an rng roll, so
+        // it short-circuits ahead of the probabilistic one.
+        let decision = if (is_ack && self.config.ack_blackhole)
+            || self.config.blackhole_chance.roll(&mut self.rng)
+        {
+            FaultDecision::Blackhole
+        } else if self.config.drop_chance.roll(&mut self.rng) {
+            FaultDecision::Drop
+        } else {
+            let extra_delay = if self.config.delay_chance.roll(&mut self.rng) {
+                self.rng.range_u64(1, self.config.extra_latency_max + 1)
+            } else {
+                0
+            };
+            let duplicate = dupable && self.config.dup_chance.roll(&mut self.rng);
+            FaultDecision::Deliver { extra_delay, duplicate }
+        };
+        match decision {
+            FaultDecision::Deliver { extra_delay, duplicate } => {
+                if extra_delay > 0 {
+                    self.stats.delayed += 1;
+                }
+                if duplicate {
+                    self.stats.duplicated += 1;
+                }
+            }
+            FaultDecision::Drop => self.stats.dropped += 1,
+            FaultDecision::Blackhole => self.stats.blackholed += 1,
+        }
+        self.history.push(decision);
+        decision
+    }
+
+    /// Backoff before retry number `attempt` (0-based), in cycles.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        self.config.backoff(attempt)
+    }
+
+    /// Records that a sender retried after a detected drop.
+    pub fn note_retry(&mut self) {
+        self.stats.retries += 1;
+    }
+
+    /// Records that a sender gave up after exhausting its retry budget.
+    pub fn note_exhausted(&mut self) {
+        self.stats.exhausted += 1;
+    }
+
+    /// What the plan has done so far.
+    #[must_use]
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Every decision taken, in order — used by replay assertions.
+    #[must_use]
+    pub fn history(&self) -> &[FaultDecision] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_plan_always_delivers_unperturbed() {
+        let mut plan = FaultPlan::new(3, FaultConfig::off());
+        for i in 0..1000 {
+            let d = plan.decide(i % 2 == 0, i % 3 == 0);
+            assert_eq!(d, FaultDecision::Deliver { extra_delay: 0, duplicate: false });
+        }
+        assert_eq!(plan.stats().messages, 1000);
+        assert_eq!(plan.stats().delayed, 0);
+        assert_eq!(plan.stats().dropped, 0);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mut a = FaultPlan::new(42, FaultConfig::drop_heavy());
+        let mut b = FaultPlan::new(42, FaultConfig::drop_heavy());
+        for i in 0..500 {
+            assert_eq!(a.decide(i % 2 == 0, false), b.decide(i % 2 == 0, false));
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.history(), b.history());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultPlan::new(1, FaultConfig::drop_heavy());
+        let mut b = FaultPlan::new(2, FaultConfig::drop_heavy());
+        let same = (0..200)
+            .filter(|_| a.decide(false, false) == b.decide(false, false))
+            .count();
+        assert!(same < 200, "plans with different seeds should differ");
+    }
+
+    #[test]
+    fn drop_heavy_actually_drops() {
+        let mut plan = FaultPlan::new(9, FaultConfig::drop_heavy());
+        for _ in 0..1000 {
+            plan.decide(false, false);
+        }
+        let s = *plan.stats();
+        assert!(s.dropped > 100, "expected many drops, got {}", s.dropped);
+        assert!(s.delayed > 50, "expected many delays, got {}", s.delayed);
+        assert_eq!(s.blackholed, 0);
+    }
+
+    #[test]
+    fn duplication_only_offered_to_dupable_messages() {
+        let mut plan = FaultPlan::new(5, FaultConfig::dup_heavy());
+        for _ in 0..500 {
+            if let FaultDecision::Deliver { duplicate, .. } = plan.decide(false, false) {
+                assert!(!duplicate, "non-idempotent messages must never duplicate");
+            }
+        }
+        let mut plan = FaultPlan::new(5, FaultConfig::dup_heavy());
+        let dups = (0..500)
+            .filter(|_| {
+                matches!(
+                    plan.decide(true, false),
+                    FaultDecision::Deliver { duplicate: true, .. }
+                )
+            })
+            .count();
+        assert!(dups > 50, "dupable messages should duplicate often, got {dups}");
+    }
+
+    #[test]
+    fn ack_blackhole_kills_every_ack() {
+        let config = FaultConfig { ack_blackhole: true, ..FaultConfig::off() };
+        let mut plan = FaultPlan::new(0, config);
+        for _ in 0..100 {
+            assert_eq!(plan.decide(false, true), FaultDecision::Blackhole);
+            assert_eq!(
+                plan.decide(false, false),
+                FaultDecision::Deliver { extra_delay: 0, duplicate: false }
+            );
+        }
+        assert_eq!(plan.stats().blackholed, 100);
+    }
+
+    #[test]
+    fn delay_stays_within_bound() {
+        let config = FaultConfig {
+            extra_latency_max: 17,
+            delay_chance: Chance::always(),
+            ..FaultConfig::off()
+        };
+        let mut plan = FaultPlan::new(8, config);
+        for _ in 0..1000 {
+            match plan.decide(false, false) {
+                FaultDecision::Deliver { extra_delay, .. } => {
+                    assert!((1..=17).contains(&extra_delay));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(plan.stats().delayed, 1000);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_saturates() {
+        let config = FaultConfig { backoff_base: 4, ..FaultConfig::off() };
+        assert_eq!(config.backoff(0), 4);
+        assert_eq!(config.backoff(1), 8);
+        assert_eq!(config.backoff(3), 32);
+        // Large attempts cap the shift instead of overflowing.
+        assert_eq!(config.backoff(100), 4 << 16);
+    }
+
+    #[test]
+    fn validity_checks_catch_bad_configs() {
+        assert!(FaultConfig::off().is_valid());
+        assert!(FaultConfig::latency_heavy().is_valid());
+        assert!(FaultConfig::dup_heavy().is_valid());
+        assert!(FaultConfig::drop_heavy().is_valid());
+        let bad_chance = FaultConfig {
+            drop_chance: Chance { num: 3, den: 2 },
+            max_retries: 4,
+            ..FaultConfig::off()
+        };
+        assert!(!bad_chance.is_valid());
+        let no_budget = FaultConfig {
+            drop_chance: Chance::of(1, 2),
+            max_retries: 0,
+            ..FaultConfig::off()
+        };
+        assert!(!no_budget.is_valid());
+        let no_bound = FaultConfig {
+            delay_chance: Chance::of(1, 2),
+            extra_latency_max: 0,
+            ..FaultConfig::off()
+        };
+        assert!(!no_bound.is_valid());
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`rng::SplitMix64`] / [`rng::Xoshiro256`] — small, seedable,
 //!   reproducible random number generators (no external dependency, so a
 //!   simulation is bit-for-bit reproducible from its seed alone),
+//! * [`fault::FaultPlan`] — a seeded schedule of message perturbations
+//!   (delay, duplication, drops) for chaos-testing the simulators,
 //! * [`stats`] — counters, histograms and summary statistics used by the
 //!   benchmark harness.
 //!
@@ -37,6 +39,7 @@
 mod queue;
 mod time;
 
+pub mod fault;
 pub mod rng;
 pub mod stats;
 

@@ -1,0 +1,43 @@
+//! Chaos post-mortem: wedge a machine on purpose and read the dump.
+//!
+//! 1. Run a producer/consumer hand-off under a seeded fault plan that
+//!    silently drops half the interconnect messages.
+//! 2. The watchdog turns the wedge into a structured `RunError` — never
+//!    a hang or a panic.
+//! 3. The error carries a `StateDump`: who was waiting, on what, since
+//!    when, and what the fault plan had done by then. The same seed
+//!    replays the same wedge exactly.
+//!
+//! Run with: `cargo run --example chaos_postmortem`
+
+use weak_ordering::litmus::corpus;
+use weak_ordering::memsim::{presets, Chance, FaultConfig, Machine, MachineConfig};
+
+fn main() {
+    let program = corpus::message_passing_sync(2);
+    let fault = FaultConfig {
+        blackhole_chance: Chance::of(1, 2),
+        ..FaultConfig::off()
+    };
+
+    for seed in 0..10 {
+        let config = MachineConfig {
+            chaos: Some(fault),
+            ..presets::network_cached(2, presets::wo_def2(), seed)
+        };
+        match Machine::run_program(&program, &config) {
+            Ok(result) => {
+                println!("seed {seed}: survived ({} cycles)", result.cycles);
+            }
+            Err(err) => {
+                println!("seed {seed}: wedged — post-mortem:\n{err}");
+                // Replayable: the same seed wedges identically.
+                let again = Machine::run_program(&program, &config);
+                assert_eq!(format!("{err}"), format!("{}", again.unwrap_err()));
+                println!("(replayed seed {seed}: identical abort)");
+                return;
+            }
+        }
+    }
+    println!("no seed wedged; raise blackhole_chance to see a dump");
+}

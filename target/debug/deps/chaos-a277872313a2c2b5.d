@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-a277872313a2c2b5.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-a277872313a2c2b5: tests/chaos.rs
+
+tests/chaos.rs:

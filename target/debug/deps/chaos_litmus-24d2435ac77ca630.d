@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_litmus-24d2435ac77ca630.d: crates/bench/src/bin/chaos_litmus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_litmus-24d2435ac77ca630.rmeta: crates/bench/src/bin/chaos_litmus.rs Cargo.toml
+
+crates/bench/src/bin/chaos_litmus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

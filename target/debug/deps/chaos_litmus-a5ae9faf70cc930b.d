@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_litmus-a5ae9faf70cc930b.d: crates/bench/src/bin/chaos_litmus.rs
+
+/root/repo/target/debug/deps/chaos_litmus-a5ae9faf70cc930b: crates/bench/src/bin/chaos_litmus.rs
+
+crates/bench/src/bin/chaos_litmus.rs:

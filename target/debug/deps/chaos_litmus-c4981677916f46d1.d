@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_litmus-c4981677916f46d1.d: crates/bench/src/bin/chaos_litmus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_litmus-c4981677916f46d1.rmeta: crates/bench/src/bin/chaos_litmus.rs Cargo.toml
+
+crates/bench/src/bin/chaos_litmus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

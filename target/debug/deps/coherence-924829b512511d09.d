@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/coherence-924829b512511d09.d: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/error.rs crates/coherence/src/msg.rs crates/coherence/src/fabric.rs crates/coherence/src/snoop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoherence-924829b512511d09.rmeta: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/error.rs crates/coherence/src/msg.rs crates/coherence/src/fabric.rs crates/coherence/src/snoop.rs Cargo.toml
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/cache.rs:
+crates/coherence/src/directory.rs:
+crates/coherence/src/error.rs:
+crates/coherence/src/msg.rs:
+crates/coherence/src/fabric.rs:
+crates/coherence/src/snoop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coherence-9cd69f1bd2225e13.d: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/error.rs crates/coherence/src/msg.rs crates/coherence/src/fabric.rs crates/coherence/src/snoop.rs
+
+/root/repo/target/debug/deps/libcoherence-9cd69f1bd2225e13.rlib: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/error.rs crates/coherence/src/msg.rs crates/coherence/src/fabric.rs crates/coherence/src/snoop.rs
+
+/root/repo/target/debug/deps/libcoherence-9cd69f1bd2225e13.rmeta: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/error.rs crates/coherence/src/msg.rs crates/coherence/src/fabric.rs crates/coherence/src/snoop.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/cache.rs:
+crates/coherence/src/directory.rs:
+crates/coherence/src/error.rs:
+crates/coherence/src/msg.rs:
+crates/coherence/src/fabric.rs:
+crates/coherence/src/snoop.rs:

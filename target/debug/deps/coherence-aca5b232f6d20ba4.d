@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coherence-aca5b232f6d20ba4.d: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/error.rs crates/coherence/src/msg.rs crates/coherence/src/fabric.rs crates/coherence/src/snoop.rs
+
+/root/repo/target/debug/deps/coherence-aca5b232f6d20ba4: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/error.rs crates/coherence/src/msg.rs crates/coherence/src/fabric.rs crates/coherence/src/snoop.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/cache.rs:
+crates/coherence/src/directory.rs:
+crates/coherence/src/error.rs:
+crates/coherence/src/msg.rs:
+crates/coherence/src/fabric.rs:
+crates/coherence/src/snoop.rs:

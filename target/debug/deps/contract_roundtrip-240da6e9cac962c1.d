@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contract_roundtrip-240da6e9cac962c1.d: tests/contract_roundtrip.rs
+
+/root/repo/target/debug/deps/contract_roundtrip-240da6e9cac962c1: tests/contract_roundtrip.rs
+
+tests/contract_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/contract_roundtrip-343c5415546f5114.d: tests/contract_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontract_roundtrip-343c5415546f5114.rmeta: tests/contract_roundtrip.rs Cargo.toml
+
+tests/contract_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

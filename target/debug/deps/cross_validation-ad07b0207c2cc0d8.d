@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-ad07b0207c2cc0d8.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-ad07b0207c2cc0d8: tests/cross_validation.rs
+
+tests/cross_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/def2_verification-421347f050b6c3b3.d: crates/bench/src/bin/def2_verification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdef2_verification-421347f050b6c3b3.rmeta: crates/bench/src/bin/def2_verification.rs Cargo.toml
+
+crates/bench/src/bin/def2_verification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

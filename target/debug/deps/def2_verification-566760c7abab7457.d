@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/def2_verification-566760c7abab7457.d: crates/bench/src/bin/def2_verification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdef2_verification-566760c7abab7457.rmeta: crates/bench/src/bin/def2_verification.rs Cargo.toml
+
+crates/bench/src/bin/def2_verification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/def2_verification-9344d29f90724d43.d: crates/bench/src/bin/def2_verification.rs
+
+/root/repo/target/debug/deps/def2_verification-9344d29f90724d43: crates/bench/src/bin/def2_verification.rs
+
+crates/bench/src/bin/def2_verification.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/explore_ablation-a2c59d3ce684d2e3.d: crates/bench/benches/explore_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexplore_ablation-a2c59d3ce684d2e3.rmeta: crates/bench/benches/explore_ablation.rs Cargo.toml
+
+crates/bench/benches/explore_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

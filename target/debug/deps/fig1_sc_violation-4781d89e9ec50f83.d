@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_sc_violation-4781d89e9ec50f83.d: crates/bench/src/bin/fig1_sc_violation.rs
+
+/root/repo/target/debug/deps/fig1_sc_violation-4781d89e9ec50f83: crates/bench/src/bin/fig1_sc_violation.rs
+
+crates/bench/src/bin/fig1_sc_violation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_sc_violation-fcac66942733b027.d: crates/bench/src/bin/fig1_sc_violation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_sc_violation-fcac66942733b027.rmeta: crates/bench/src/bin/fig1_sc_violation.rs Cargo.toml
+
+crates/bench/src/bin/fig1_sc_violation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_drf0-7abd4c37f679f562.d: crates/bench/src/bin/fig2_drf0.rs
+
+/root/repo/target/debug/deps/fig2_drf0-7abd4c37f679f562: crates/bench/src/bin/fig2_drf0.rs
+
+crates/bench/src/bin/fig2_drf0.rs:

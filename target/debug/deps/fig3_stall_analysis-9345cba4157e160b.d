@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_stall_analysis-9345cba4157e160b.d: crates/bench/src/bin/fig3_stall_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_stall_analysis-9345cba4157e160b.rmeta: crates/bench/src/bin/fig3_stall_analysis.rs Cargo.toml
+
+crates/bench/src/bin/fig3_stall_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

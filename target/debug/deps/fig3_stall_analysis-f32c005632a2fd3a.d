@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_stall_analysis-f32c005632a2fd3a.d: crates/bench/src/bin/fig3_stall_analysis.rs
+
+/root/repo/target/debug/deps/fig3_stall_analysis-f32c005632a2fd3a: crates/bench/src/bin/fig3_stall_analysis.rs
+
+crates/bench/src/bin/fig3_stall_analysis.rs:

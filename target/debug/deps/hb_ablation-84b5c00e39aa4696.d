@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hb_ablation-84b5c00e39aa4696.d: crates/bench/benches/hb_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhb_ablation-84b5c00e39aa4696.rmeta: crates/bench/benches/hb_ablation.rs Cargo.toml
+
+crates/bench/benches/hb_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

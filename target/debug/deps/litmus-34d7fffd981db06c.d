@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/litmus-34d7fffd981db06c.d: crates/litmus/src/lib.rs crates/litmus/src/program.rs crates/litmus/src/corpus.rs crates/litmus/src/explore.rs crates/litmus/src/ideal.rs crates/litmus/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblitmus-34d7fffd981db06c.rmeta: crates/litmus/src/lib.rs crates/litmus/src/program.rs crates/litmus/src/corpus.rs crates/litmus/src/explore.rs crates/litmus/src/ideal.rs crates/litmus/src/parse.rs Cargo.toml
+
+crates/litmus/src/lib.rs:
+crates/litmus/src/program.rs:
+crates/litmus/src/corpus.rs:
+crates/litmus/src/explore.rs:
+crates/litmus/src/ideal.rs:
+crates/litmus/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

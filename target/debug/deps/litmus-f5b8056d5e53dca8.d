@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/litmus-f5b8056d5e53dca8.d: crates/litmus/src/lib.rs crates/litmus/src/program.rs crates/litmus/src/corpus.rs crates/litmus/src/explore.rs crates/litmus/src/ideal.rs crates/litmus/src/parse.rs
+
+/root/repo/target/debug/deps/litmus-f5b8056d5e53dca8: crates/litmus/src/lib.rs crates/litmus/src/program.rs crates/litmus/src/corpus.rs crates/litmus/src/explore.rs crates/litmus/src/ideal.rs crates/litmus/src/parse.rs
+
+crates/litmus/src/lib.rs:
+crates/litmus/src/program.rs:
+crates/litmus/src/corpus.rs:
+crates/litmus/src/explore.rs:
+crates/litmus/src/ideal.rs:
+crates/litmus/src/parse.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/litmus-fcd94dc8d69fadbb.d: crates/litmus/src/lib.rs crates/litmus/src/program.rs crates/litmus/src/corpus.rs crates/litmus/src/explore.rs crates/litmus/src/ideal.rs crates/litmus/src/parse.rs
+
+/root/repo/target/debug/deps/liblitmus-fcd94dc8d69fadbb.rlib: crates/litmus/src/lib.rs crates/litmus/src/program.rs crates/litmus/src/corpus.rs crates/litmus/src/explore.rs crates/litmus/src/ideal.rs crates/litmus/src/parse.rs
+
+/root/repo/target/debug/deps/liblitmus-fcd94dc8d69fadbb.rmeta: crates/litmus/src/lib.rs crates/litmus/src/program.rs crates/litmus/src/corpus.rs crates/litmus/src/explore.rs crates/litmus/src/ideal.rs crates/litmus/src/parse.rs
+
+crates/litmus/src/lib.rs:
+crates/litmus/src/program.rs:
+crates/litmus/src/corpus.rs:
+crates/litmus/src/explore.rs:
+crates/litmus/src/ideal.rs:
+crates/litmus/src/parse.rs:

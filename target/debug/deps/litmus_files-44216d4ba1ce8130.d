@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/litmus_files-44216d4ba1ce8130.d: tests/litmus_files.rs
+
+/root/repo/target/debug/deps/litmus_files-44216d4ba1ce8130: tests/litmus_files.rs
+
+tests/litmus_files.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/litmus_files-bb9859cb3adef360.d: tests/litmus_files.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblitmus_files-bb9859cb3adef360.rmeta: tests/litmus_files.rs Cargo.toml
+
+tests/litmus_files.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/litmus_matrix-44dfd6d4a7f84042.d: tests/litmus_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblitmus_matrix-44dfd6d4a7f84042.rmeta: tests/litmus_matrix.rs Cargo.toml
+
+tests/litmus_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/litmus_matrix-8c509a5e65629d52.d: tests/litmus_matrix.rs
+
+/root/repo/target/debug/deps/litmus_matrix-8c509a5e65629d52: tests/litmus_matrix.rs
+
+tests/litmus_matrix.rs:

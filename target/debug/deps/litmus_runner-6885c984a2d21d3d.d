@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/litmus_runner-6885c984a2d21d3d.d: crates/bench/src/bin/litmus_runner.rs
+
+/root/repo/target/debug/deps/litmus_runner-6885c984a2d21d3d: crates/bench/src/bin/litmus_runner.rs
+
+crates/bench/src/bin/litmus_runner.rs:

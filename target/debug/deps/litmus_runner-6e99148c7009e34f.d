@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/litmus_runner-6e99148c7009e34f.d: crates/bench/src/bin/litmus_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblitmus_runner-6e99148c7009e34f.rmeta: crates/bench/src/bin/litmus_runner.rs Cargo.toml
+
+crates/bench/src/bin/litmus_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

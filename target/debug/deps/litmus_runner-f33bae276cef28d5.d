@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/litmus_runner-f33bae276cef28d5.d: crates/bench/src/bin/litmus_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblitmus_runner-f33bae276cef28d5.rmeta: crates/bench/src/bin/litmus_runner.rs Cargo.toml
+
+crates/bench/src/bin/litmus_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

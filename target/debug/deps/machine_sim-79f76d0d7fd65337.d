@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine_sim-79f76d0d7fd65337.d: crates/bench/benches/machine_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine_sim-79f76d0d7fd65337.rmeta: crates/bench/benches/machine_sim.rs Cargo.toml
+
+crates/bench/benches/machine_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

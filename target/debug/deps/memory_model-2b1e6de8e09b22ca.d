@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/memory_model-2b1e6de8e09b22ca.d: crates/memory-model/src/lib.rs crates/memory-model/src/execution.rs crates/memory-model/src/ids.rs crates/memory-model/src/memory.rs crates/memory-model/src/observation.rs crates/memory-model/src/op.rs crates/memory-model/src/analysis.rs crates/memory-model/src/drf0.rs crates/memory-model/src/drf1.rs crates/memory-model/src/hb.rs crates/memory-model/src/lemma1.rs crates/memory-model/src/race.rs crates/memory-model/src/sc.rs crates/memory-model/src/vc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory_model-2b1e6de8e09b22ca.rmeta: crates/memory-model/src/lib.rs crates/memory-model/src/execution.rs crates/memory-model/src/ids.rs crates/memory-model/src/memory.rs crates/memory-model/src/observation.rs crates/memory-model/src/op.rs crates/memory-model/src/analysis.rs crates/memory-model/src/drf0.rs crates/memory-model/src/drf1.rs crates/memory-model/src/hb.rs crates/memory-model/src/lemma1.rs crates/memory-model/src/race.rs crates/memory-model/src/sc.rs crates/memory-model/src/vc.rs Cargo.toml
+
+crates/memory-model/src/lib.rs:
+crates/memory-model/src/execution.rs:
+crates/memory-model/src/ids.rs:
+crates/memory-model/src/memory.rs:
+crates/memory-model/src/observation.rs:
+crates/memory-model/src/op.rs:
+crates/memory-model/src/analysis.rs:
+crates/memory-model/src/drf0.rs:
+crates/memory-model/src/drf1.rs:
+crates/memory-model/src/hb.rs:
+crates/memory-model/src/lemma1.rs:
+crates/memory-model/src/race.rs:
+crates/memory-model/src/sc.rs:
+crates/memory-model/src/vc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/memory_model-4b746d2503dbc199.d: crates/memory-model/src/lib.rs crates/memory-model/src/execution.rs crates/memory-model/src/ids.rs crates/memory-model/src/memory.rs crates/memory-model/src/observation.rs crates/memory-model/src/op.rs crates/memory-model/src/analysis.rs crates/memory-model/src/drf0.rs crates/memory-model/src/drf1.rs crates/memory-model/src/hb.rs crates/memory-model/src/lemma1.rs crates/memory-model/src/race.rs crates/memory-model/src/sc.rs crates/memory-model/src/vc.rs
+
+/root/repo/target/debug/deps/libmemory_model-4b746d2503dbc199.rlib: crates/memory-model/src/lib.rs crates/memory-model/src/execution.rs crates/memory-model/src/ids.rs crates/memory-model/src/memory.rs crates/memory-model/src/observation.rs crates/memory-model/src/op.rs crates/memory-model/src/analysis.rs crates/memory-model/src/drf0.rs crates/memory-model/src/drf1.rs crates/memory-model/src/hb.rs crates/memory-model/src/lemma1.rs crates/memory-model/src/race.rs crates/memory-model/src/sc.rs crates/memory-model/src/vc.rs
+
+/root/repo/target/debug/deps/libmemory_model-4b746d2503dbc199.rmeta: crates/memory-model/src/lib.rs crates/memory-model/src/execution.rs crates/memory-model/src/ids.rs crates/memory-model/src/memory.rs crates/memory-model/src/observation.rs crates/memory-model/src/op.rs crates/memory-model/src/analysis.rs crates/memory-model/src/drf0.rs crates/memory-model/src/drf1.rs crates/memory-model/src/hb.rs crates/memory-model/src/lemma1.rs crates/memory-model/src/race.rs crates/memory-model/src/sc.rs crates/memory-model/src/vc.rs
+
+crates/memory-model/src/lib.rs:
+crates/memory-model/src/execution.rs:
+crates/memory-model/src/ids.rs:
+crates/memory-model/src/memory.rs:
+crates/memory-model/src/observation.rs:
+crates/memory-model/src/op.rs:
+crates/memory-model/src/analysis.rs:
+crates/memory-model/src/drf0.rs:
+crates/memory-model/src/drf1.rs:
+crates/memory-model/src/hb.rs:
+crates/memory-model/src/lemma1.rs:
+crates/memory-model/src/race.rs:
+crates/memory-model/src/sc.rs:
+crates/memory-model/src/vc.rs:

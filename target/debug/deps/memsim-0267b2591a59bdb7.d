@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/memsim-0267b2591a59bdb7.d: crates/memsim/src/lib.rs crates/memsim/src/config.rs crates/memsim/src/interconnect.rs crates/memsim/src/machine.rs crates/memsim/src/trace.rs crates/memsim/src/diag.rs crates/memsim/src/presets.rs crates/memsim/src/timeline.rs crates/memsim/src/workload.rs
+
+/root/repo/target/debug/deps/libmemsim-0267b2591a59bdb7.rlib: crates/memsim/src/lib.rs crates/memsim/src/config.rs crates/memsim/src/interconnect.rs crates/memsim/src/machine.rs crates/memsim/src/trace.rs crates/memsim/src/diag.rs crates/memsim/src/presets.rs crates/memsim/src/timeline.rs crates/memsim/src/workload.rs
+
+/root/repo/target/debug/deps/libmemsim-0267b2591a59bdb7.rmeta: crates/memsim/src/lib.rs crates/memsim/src/config.rs crates/memsim/src/interconnect.rs crates/memsim/src/machine.rs crates/memsim/src/trace.rs crates/memsim/src/diag.rs crates/memsim/src/presets.rs crates/memsim/src/timeline.rs crates/memsim/src/workload.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/config.rs:
+crates/memsim/src/interconnect.rs:
+crates/memsim/src/machine.rs:
+crates/memsim/src/trace.rs:
+crates/memsim/src/diag.rs:
+crates/memsim/src/presets.rs:
+crates/memsim/src/timeline.rs:
+crates/memsim/src/workload.rs:

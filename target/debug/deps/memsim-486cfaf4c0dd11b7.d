@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/memsim-486cfaf4c0dd11b7.d: crates/memsim/src/lib.rs crates/memsim/src/config.rs crates/memsim/src/interconnect.rs crates/memsim/src/machine.rs crates/memsim/src/trace.rs crates/memsim/src/diag.rs crates/memsim/src/presets.rs crates/memsim/src/timeline.rs crates/memsim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemsim-486cfaf4c0dd11b7.rmeta: crates/memsim/src/lib.rs crates/memsim/src/config.rs crates/memsim/src/interconnect.rs crates/memsim/src/machine.rs crates/memsim/src/trace.rs crates/memsim/src/diag.rs crates/memsim/src/presets.rs crates/memsim/src/timeline.rs crates/memsim/src/workload.rs Cargo.toml
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/config.rs:
+crates/memsim/src/interconnect.rs:
+crates/memsim/src/machine.rs:
+crates/memsim/src/trace.rs:
+crates/memsim/src/diag.rs:
+crates/memsim/src/presets.rs:
+crates/memsim/src/timeline.rs:
+crates/memsim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

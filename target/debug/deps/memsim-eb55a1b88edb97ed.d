@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/memsim-eb55a1b88edb97ed.d: crates/memsim/src/lib.rs crates/memsim/src/config.rs crates/memsim/src/interconnect.rs crates/memsim/src/machine.rs crates/memsim/src/trace.rs crates/memsim/src/diag.rs crates/memsim/src/presets.rs crates/memsim/src/timeline.rs crates/memsim/src/workload.rs
+
+/root/repo/target/debug/deps/memsim-eb55a1b88edb97ed: crates/memsim/src/lib.rs crates/memsim/src/config.rs crates/memsim/src/interconnect.rs crates/memsim/src/machine.rs crates/memsim/src/trace.rs crates/memsim/src/diag.rs crates/memsim/src/presets.rs crates/memsim/src/timeline.rs crates/memsim/src/workload.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/config.rs:
+crates/memsim/src/interconnect.rs:
+crates/memsim/src/machine.rs:
+crates/memsim/src/trace.rs:
+crates/memsim/src/diag.rs:
+crates/memsim/src/presets.rs:
+crates/memsim/src/timeline.rs:
+crates/memsim/src/workload.rs:

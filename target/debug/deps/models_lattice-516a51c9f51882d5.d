@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/models_lattice-516a51c9f51882d5.d: crates/bench/src/bin/models_lattice.rs
+
+/root/repo/target/debug/deps/models_lattice-516a51c9f51882d5: crates/bench/src/bin/models_lattice.rs
+
+crates/bench/src/bin/models_lattice.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/models_lattice-a74d72d2473021b8.d: crates/bench/src/bin/models_lattice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodels_lattice-a74d72d2473021b8.rmeta: crates/bench/src/bin/models_lattice.rs Cargo.toml
+
+crates/bench/src/bin/models_lattice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

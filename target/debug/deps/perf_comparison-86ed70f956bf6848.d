@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_comparison-86ed70f956bf6848.d: crates/bench/src/bin/perf_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_comparison-86ed70f956bf6848.rmeta: crates/bench/src/bin/perf_comparison.rs Cargo.toml
+
+crates/bench/src/bin/perf_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

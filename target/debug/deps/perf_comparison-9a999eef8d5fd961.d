@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_comparison-9a999eef8d5fd961.d: crates/bench/src/bin/perf_comparison.rs
+
+/root/repo/target/debug/deps/perf_comparison-9a999eef8d5fd961: crates/bench/src/bin/perf_comparison.rs
+
+crates/bench/src/bin/perf_comparison.rs:

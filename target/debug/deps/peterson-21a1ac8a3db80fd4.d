@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/peterson-21a1ac8a3db80fd4.d: tests/peterson.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeterson-21a1ac8a3db80fd4.rmeta: tests/peterson.rs Cargo.toml
+
+tests/peterson.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

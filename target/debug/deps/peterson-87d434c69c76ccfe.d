@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/peterson-87d434c69c76ccfe.d: tests/peterson.rs
+
+/root/repo/target/debug/deps/peterson-87d434c69c76ccfe: tests/peterson.rs
+
+tests/peterson.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b51fdabf6b94b512.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b51fdabf6b94b512: tests/proptests.rs
+
+tests/proptests.rs:

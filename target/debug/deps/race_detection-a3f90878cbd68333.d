@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/race_detection-a3f90878cbd68333.d: crates/bench/benches/race_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/librace_detection-a3f90878cbd68333.rmeta: crates/bench/benches/race_detection.rs Cargo.toml
+
+crates/bench/benches/race_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

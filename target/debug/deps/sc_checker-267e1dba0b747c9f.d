@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sc_checker-267e1dba0b747c9f.d: crates/bench/benches/sc_checker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsc_checker-267e1dba0b747c9f.rmeta: crates/bench/benches/sc_checker.rs Cargo.toml
+
+crates/bench/benches/sc_checker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_invariants-6973afe8d8ca902b.d: tests/simulator_invariants.rs
+
+/root/repo/target/debug/deps/simulator_invariants-6973afe8d8ca902b: tests/simulator_invariants.rs
+
+tests/simulator_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_invariants-d04ab13eb63a94ea.d: tests/simulator_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_invariants-d04ab13eb63a94ea.rmeta: tests/simulator_invariants.rs Cargo.toml
+
+tests/simulator_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/simx-1b547b38b34af41c.d: crates/simx/src/lib.rs crates/simx/src/queue.rs crates/simx/src/time.rs crates/simx/src/fault.rs crates/simx/src/rng.rs crates/simx/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimx-1b547b38b34af41c.rmeta: crates/simx/src/lib.rs crates/simx/src/queue.rs crates/simx/src/time.rs crates/simx/src/fault.rs crates/simx/src/rng.rs crates/simx/src/stats.rs Cargo.toml
+
+crates/simx/src/lib.rs:
+crates/simx/src/queue.rs:
+crates/simx/src/time.rs:
+crates/simx/src/fault.rs:
+crates/simx/src/rng.rs:
+crates/simx/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

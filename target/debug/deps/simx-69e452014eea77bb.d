@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/simx-69e452014eea77bb.d: crates/simx/src/lib.rs crates/simx/src/queue.rs crates/simx/src/time.rs crates/simx/src/fault.rs crates/simx/src/rng.rs crates/simx/src/stats.rs
+
+/root/repo/target/debug/deps/libsimx-69e452014eea77bb.rlib: crates/simx/src/lib.rs crates/simx/src/queue.rs crates/simx/src/time.rs crates/simx/src/fault.rs crates/simx/src/rng.rs crates/simx/src/stats.rs
+
+/root/repo/target/debug/deps/libsimx-69e452014eea77bb.rmeta: crates/simx/src/lib.rs crates/simx/src/queue.rs crates/simx/src/time.rs crates/simx/src/fault.rs crates/simx/src/rng.rs crates/simx/src/stats.rs
+
+crates/simx/src/lib.rs:
+crates/simx/src/queue.rs:
+crates/simx/src/time.rs:
+crates/simx/src/fault.rs:
+crates/simx/src/rng.rs:
+crates/simx/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simx-8af18466484c62de.d: crates/simx/src/lib.rs crates/simx/src/queue.rs crates/simx/src/time.rs crates/simx/src/fault.rs crates/simx/src/rng.rs crates/simx/src/stats.rs
+
+/root/repo/target/debug/deps/simx-8af18466484c62de: crates/simx/src/lib.rs crates/simx/src/queue.rs crates/simx/src/time.rs crates/simx/src/fault.rs crates/simx/src/rng.rs crates/simx/src/stats.rs
+
+crates/simx/src/lib.rs:
+crates/simx/src/queue.rs:
+crates/simx/src/time.rs:
+crates/simx/src/fault.rs:
+crates/simx/src/rng.rs:
+crates/simx/src/stats.rs:

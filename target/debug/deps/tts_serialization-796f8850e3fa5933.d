@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tts_serialization-796f8850e3fa5933.d: crates/bench/src/bin/tts_serialization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtts_serialization-796f8850e3fa5933.rmeta: crates/bench/src/bin/tts_serialization.rs Cargo.toml
+
+crates/bench/src/bin/tts_serialization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

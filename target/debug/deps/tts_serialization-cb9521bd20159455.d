@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tts_serialization-cb9521bd20159455.d: crates/bench/src/bin/tts_serialization.rs
+
+/root/repo/target/debug/deps/tts_serialization-cb9521bd20159455: crates/bench/src/bin/tts_serialization.rs
+
+crates/bench/src/bin/tts_serialization.rs:

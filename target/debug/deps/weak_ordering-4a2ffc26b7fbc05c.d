@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/weak_ordering-4a2ffc26b7fbc05c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweak_ordering-4a2ffc26b7fbc05c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/weak_ordering-806443b938741da6.d: src/lib.rs
+
+/root/repo/target/debug/deps/weak_ordering-806443b938741da6: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/weak_ordering-eac3f309e1ce3631.d: src/lib.rs
+
+/root/repo/target/debug/deps/libweak_ordering-eac3f309e1ce3631.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libweak_ordering-eac3f309e1ce3631.rmeta: src/lib.rs
+
+src/lib.rs:

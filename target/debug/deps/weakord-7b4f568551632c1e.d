@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/weakord-7b4f568551632c1e.d: crates/core/src/lib.rs crates/core/src/discipline.rs crates/core/src/model.rs crates/core/src/conditions.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libweakord-7b4f568551632c1e.rlib: crates/core/src/lib.rs crates/core/src/discipline.rs crates/core/src/model.rs crates/core/src/conditions.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libweakord-7b4f568551632c1e.rmeta: crates/core/src/lib.rs crates/core/src/discipline.rs crates/core/src/model.rs crates/core/src/conditions.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/discipline.rs:
+crates/core/src/model.rs:
+crates/core/src/conditions.rs:
+crates/core/src/verify.rs:

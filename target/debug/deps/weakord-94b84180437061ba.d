@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/weakord-94b84180437061ba.d: crates/core/src/lib.rs crates/core/src/discipline.rs crates/core/src/model.rs crates/core/src/conditions.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/weakord-94b84180437061ba: crates/core/src/lib.rs crates/core/src/discipline.rs crates/core/src/model.rs crates/core/src/conditions.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/discipline.rs:
+crates/core/src/model.rs:
+crates/core/src/conditions.rs:
+crates/core/src/verify.rs:

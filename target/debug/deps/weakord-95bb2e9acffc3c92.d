@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/weakord-95bb2e9acffc3c92.d: crates/core/src/lib.rs crates/core/src/discipline.rs crates/core/src/model.rs crates/core/src/conditions.rs crates/core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweakord-95bb2e9acffc3c92.rmeta: crates/core/src/lib.rs crates/core/src/discipline.rs crates/core/src/model.rs crates/core/src/conditions.rs crates/core/src/verify.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/discipline.rs:
+crates/core/src/model.rs:
+crates/core/src/conditions.rs:
+crates/core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/weakord-e58b17f10785d857.d: crates/core/src/lib.rs crates/core/src/discipline.rs crates/core/src/model.rs crates/core/src/conditions.rs crates/core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweakord-e58b17f10785d857.rmeta: crates/core/src/lib.rs crates/core/src/discipline.rs crates/core/src/model.rs crates/core/src/conditions.rs crates/core/src/verify.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/discipline.rs:
+crates/core/src/model.rs:
+crates/core/src/conditions.rs:
+crates/core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

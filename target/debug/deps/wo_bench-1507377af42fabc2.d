@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/wo_bench-1507377af42fabc2.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libwo_bench-1507377af42fabc2.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libwo_bench-1507377af42fabc2.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/wo_bench-d2b6f4a097094337.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/wo_bench-d2b6f4a097094337: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analyze_hb-2cde5a7799550e1b.d: examples/analyze_hb.rs
+
+/root/repo/target/debug/examples/analyze_hb-2cde5a7799550e1b: examples/analyze_hb.rs
+
+examples/analyze_hb.rs:

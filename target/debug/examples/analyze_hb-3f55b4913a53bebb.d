@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/analyze_hb-3f55b4913a53bebb.d: examples/analyze_hb.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanalyze_hb-3f55b4913a53bebb.rmeta: examples/analyze_hb.rs Cargo.toml
+
+examples/analyze_hb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

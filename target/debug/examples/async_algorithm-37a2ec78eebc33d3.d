@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/async_algorithm-37a2ec78eebc33d3.d: examples/async_algorithm.rs
+
+/root/repo/target/debug/examples/async_algorithm-37a2ec78eebc33d3: examples/async_algorithm.rs
+
+examples/async_algorithm.rs:

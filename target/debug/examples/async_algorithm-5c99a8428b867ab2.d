@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/async_algorithm-5c99a8428b867ab2.d: examples/async_algorithm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libasync_algorithm-5c99a8428b867ab2.rmeta: examples/async_algorithm.rs Cargo.toml
+
+examples/async_algorithm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_postmortem-6a772cea81b13356.d: examples/chaos_postmortem.rs
+
+/root/repo/target/debug/examples/chaos_postmortem-6a772cea81b13356: examples/chaos_postmortem.rs
+
+examples/chaos_postmortem.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos_postmortem-9376ebbeffa33850.d: examples/chaos_postmortem.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos_postmortem-9376ebbeffa33850.rmeta: examples/chaos_postmortem.rs Cargo.toml
+
+examples/chaos_postmortem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dekker_litmus-2d1812f0dc8bd754.d: examples/dekker_litmus.rs
+
+/root/repo/target/debug/examples/dekker_litmus-2d1812f0dc8bd754: examples/dekker_litmus.rs
+
+examples/dekker_litmus.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dekker_litmus-c74202468e945ee6.d: examples/dekker_litmus.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdekker_litmus-c74202468e945ee6.rmeta: examples/dekker_litmus.rs Cargo.toml
+
+examples/dekker_litmus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

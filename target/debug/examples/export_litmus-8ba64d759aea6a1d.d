@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_litmus-8ba64d759aea6a1d.d: examples/export_litmus.rs
+
+/root/repo/target/debug/examples/export_litmus-8ba64d759aea6a1d: examples/export_litmus.rs
+
+examples/export_litmus.rs:

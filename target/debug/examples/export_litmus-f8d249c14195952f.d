@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/export_litmus-f8d249c14195952f.d: examples/export_litmus.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexport_litmus-f8d249c14195952f.rmeta: examples/export_litmus.rs Cargo.toml
+
+examples/export_litmus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4284ff6a1c0d986b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4284ff6a1c0d986b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/race_detection-845a654bf8d1fc00.d: examples/race_detection.rs
+
+/root/repo/target/debug/examples/race_detection-845a654bf8d1fc00: examples/race_detection.rs
+
+examples/race_detection.rs:

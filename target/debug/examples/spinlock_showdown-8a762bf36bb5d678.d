@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spinlock_showdown-8a762bf36bb5d678.d: examples/spinlock_showdown.rs
+
+/root/repo/target/debug/examples/spinlock_showdown-8a762bf36bb5d678: examples/spinlock_showdown.rs
+
+examples/spinlock_showdown.rs:

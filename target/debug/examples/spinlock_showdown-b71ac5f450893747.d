@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spinlock_showdown-b71ac5f450893747.d: examples/spinlock_showdown.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspinlock_showdown-b71ac5f450893747.rmeta: examples/spinlock_showdown.rs Cargo.toml
+
+examples/spinlock_showdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

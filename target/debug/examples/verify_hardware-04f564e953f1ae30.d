@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/verify_hardware-04f564e953f1ae30.d: examples/verify_hardware.rs
+
+/root/repo/target/debug/examples/verify_hardware-04f564e953f1ae30: examples/verify_hardware.rs
+
+examples/verify_hardware.rs:

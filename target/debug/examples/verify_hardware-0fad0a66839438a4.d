@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/verify_hardware-0fad0a66839438a4.d: examples/verify_hardware.rs Cargo.toml
+
+/root/repo/target/debug/examples/libverify_hardware-0fad0a66839438a4.rmeta: examples/verify_hardware.rs Cargo.toml
+
+examples/verify_hardware.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_litmus-1f84f1d655550441.d: crates/bench/src/bin/chaos_litmus.rs
+
+/root/repo/target/release/deps/chaos_litmus-1f84f1d655550441: crates/bench/src/bin/chaos_litmus.rs
+
+crates/bench/src/bin/chaos_litmus.rs:

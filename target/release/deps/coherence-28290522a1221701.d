@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/coherence-28290522a1221701.d: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/error.rs crates/coherence/src/msg.rs crates/coherence/src/fabric.rs crates/coherence/src/snoop.rs
+
+/root/repo/target/release/deps/libcoherence-28290522a1221701.rlib: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/error.rs crates/coherence/src/msg.rs crates/coherence/src/fabric.rs crates/coherence/src/snoop.rs
+
+/root/repo/target/release/deps/libcoherence-28290522a1221701.rmeta: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/error.rs crates/coherence/src/msg.rs crates/coherence/src/fabric.rs crates/coherence/src/snoop.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/cache.rs:
+crates/coherence/src/directory.rs:
+crates/coherence/src/error.rs:
+crates/coherence/src/msg.rs:
+crates/coherence/src/fabric.rs:
+crates/coherence/src/snoop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dbg_barrier-e92759f74a633be5.d: crates/bench/src/bin/dbg_barrier.rs
+
+/root/repo/target/release/deps/dbg_barrier-e92759f74a633be5: crates/bench/src/bin/dbg_barrier.rs
+
+crates/bench/src/bin/dbg_barrier.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/litmus-be5e34f7ceb51d53.d: crates/litmus/src/lib.rs crates/litmus/src/program.rs crates/litmus/src/corpus.rs crates/litmus/src/explore.rs crates/litmus/src/ideal.rs crates/litmus/src/parse.rs
+
+/root/repo/target/release/deps/liblitmus-be5e34f7ceb51d53.rlib: crates/litmus/src/lib.rs crates/litmus/src/program.rs crates/litmus/src/corpus.rs crates/litmus/src/explore.rs crates/litmus/src/ideal.rs crates/litmus/src/parse.rs
+
+/root/repo/target/release/deps/liblitmus-be5e34f7ceb51d53.rmeta: crates/litmus/src/lib.rs crates/litmus/src/program.rs crates/litmus/src/corpus.rs crates/litmus/src/explore.rs crates/litmus/src/ideal.rs crates/litmus/src/parse.rs
+
+crates/litmus/src/lib.rs:
+crates/litmus/src/program.rs:
+crates/litmus/src/corpus.rs:
+crates/litmus/src/explore.rs:
+crates/litmus/src/ideal.rs:
+crates/litmus/src/parse.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/memory_model-8eb7ffa9393c7176.d: crates/memory-model/src/lib.rs crates/memory-model/src/execution.rs crates/memory-model/src/ids.rs crates/memory-model/src/memory.rs crates/memory-model/src/observation.rs crates/memory-model/src/op.rs crates/memory-model/src/analysis.rs crates/memory-model/src/drf0.rs crates/memory-model/src/drf1.rs crates/memory-model/src/hb.rs crates/memory-model/src/lemma1.rs crates/memory-model/src/race.rs crates/memory-model/src/sc.rs crates/memory-model/src/vc.rs
+
+/root/repo/target/release/deps/libmemory_model-8eb7ffa9393c7176.rlib: crates/memory-model/src/lib.rs crates/memory-model/src/execution.rs crates/memory-model/src/ids.rs crates/memory-model/src/memory.rs crates/memory-model/src/observation.rs crates/memory-model/src/op.rs crates/memory-model/src/analysis.rs crates/memory-model/src/drf0.rs crates/memory-model/src/drf1.rs crates/memory-model/src/hb.rs crates/memory-model/src/lemma1.rs crates/memory-model/src/race.rs crates/memory-model/src/sc.rs crates/memory-model/src/vc.rs
+
+/root/repo/target/release/deps/libmemory_model-8eb7ffa9393c7176.rmeta: crates/memory-model/src/lib.rs crates/memory-model/src/execution.rs crates/memory-model/src/ids.rs crates/memory-model/src/memory.rs crates/memory-model/src/observation.rs crates/memory-model/src/op.rs crates/memory-model/src/analysis.rs crates/memory-model/src/drf0.rs crates/memory-model/src/drf1.rs crates/memory-model/src/hb.rs crates/memory-model/src/lemma1.rs crates/memory-model/src/race.rs crates/memory-model/src/sc.rs crates/memory-model/src/vc.rs
+
+crates/memory-model/src/lib.rs:
+crates/memory-model/src/execution.rs:
+crates/memory-model/src/ids.rs:
+crates/memory-model/src/memory.rs:
+crates/memory-model/src/observation.rs:
+crates/memory-model/src/op.rs:
+crates/memory-model/src/analysis.rs:
+crates/memory-model/src/drf0.rs:
+crates/memory-model/src/drf1.rs:
+crates/memory-model/src/hb.rs:
+crates/memory-model/src/lemma1.rs:
+crates/memory-model/src/race.rs:
+crates/memory-model/src/sc.rs:
+crates/memory-model/src/vc.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/memsim-a063d7cc4c478e84.d: crates/memsim/src/lib.rs crates/memsim/src/config.rs crates/memsim/src/interconnect.rs crates/memsim/src/machine.rs crates/memsim/src/trace.rs crates/memsim/src/diag.rs crates/memsim/src/presets.rs crates/memsim/src/timeline.rs crates/memsim/src/workload.rs
+
+/root/repo/target/release/deps/libmemsim-a063d7cc4c478e84.rlib: crates/memsim/src/lib.rs crates/memsim/src/config.rs crates/memsim/src/interconnect.rs crates/memsim/src/machine.rs crates/memsim/src/trace.rs crates/memsim/src/diag.rs crates/memsim/src/presets.rs crates/memsim/src/timeline.rs crates/memsim/src/workload.rs
+
+/root/repo/target/release/deps/libmemsim-a063d7cc4c478e84.rmeta: crates/memsim/src/lib.rs crates/memsim/src/config.rs crates/memsim/src/interconnect.rs crates/memsim/src/machine.rs crates/memsim/src/trace.rs crates/memsim/src/diag.rs crates/memsim/src/presets.rs crates/memsim/src/timeline.rs crates/memsim/src/workload.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/config.rs:
+crates/memsim/src/interconnect.rs:
+crates/memsim/src/machine.rs:
+crates/memsim/src/trace.rs:
+crates/memsim/src/diag.rs:
+crates/memsim/src/presets.rs:
+crates/memsim/src/timeline.rs:
+crates/memsim/src/workload.rs:

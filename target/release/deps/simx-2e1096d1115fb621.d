@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/simx-2e1096d1115fb621.d: crates/simx/src/lib.rs crates/simx/src/queue.rs crates/simx/src/time.rs crates/simx/src/fault.rs crates/simx/src/rng.rs crates/simx/src/stats.rs
+
+/root/repo/target/release/deps/libsimx-2e1096d1115fb621.rlib: crates/simx/src/lib.rs crates/simx/src/queue.rs crates/simx/src/time.rs crates/simx/src/fault.rs crates/simx/src/rng.rs crates/simx/src/stats.rs
+
+/root/repo/target/release/deps/libsimx-2e1096d1115fb621.rmeta: crates/simx/src/lib.rs crates/simx/src/queue.rs crates/simx/src/time.rs crates/simx/src/fault.rs crates/simx/src/rng.rs crates/simx/src/stats.rs
+
+crates/simx/src/lib.rs:
+crates/simx/src/queue.rs:
+crates/simx/src/time.rs:
+crates/simx/src/fault.rs:
+crates/simx/src/rng.rs:
+crates/simx/src/stats.rs:

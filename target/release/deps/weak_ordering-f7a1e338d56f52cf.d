@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/weak_ordering-f7a1e338d56f52cf.d: src/lib.rs
+
+/root/repo/target/release/deps/libweak_ordering-f7a1e338d56f52cf.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libweak_ordering-f7a1e338d56f52cf.rmeta: src/lib.rs
+
+src/lib.rs:

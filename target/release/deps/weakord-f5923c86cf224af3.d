@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/weakord-f5923c86cf224af3.d: crates/core/src/lib.rs crates/core/src/discipline.rs crates/core/src/model.rs crates/core/src/conditions.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libweakord-f5923c86cf224af3.rlib: crates/core/src/lib.rs crates/core/src/discipline.rs crates/core/src/model.rs crates/core/src/conditions.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libweakord-f5923c86cf224af3.rmeta: crates/core/src/lib.rs crates/core/src/discipline.rs crates/core/src/model.rs crates/core/src/conditions.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/discipline.rs:
+crates/core/src/model.rs:
+crates/core/src/conditions.rs:
+crates/core/src/verify.rs:

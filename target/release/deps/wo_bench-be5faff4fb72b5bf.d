@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/wo_bench-be5faff4fb72b5bf.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libwo_bench-be5faff4fb72b5bf.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libwo_bench-be5faff4fb72b5bf.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_postmortem-78675466fc1e0e3c.d: examples/chaos_postmortem.rs
+
+/root/repo/target/release/examples/chaos_postmortem-78675466fc1e0e3c: examples/chaos_postmortem.rs
+
+examples/chaos_postmortem.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-06e9ff94b87dda20.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-06e9ff94b87dda20: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,174 @@
+//! End-to-end chaos tests: seeded fault injection across the whole
+//! simulator stack.
+//!
+//! These exercise the contract the fault fabric must keep: perturbed
+//! runs are reproducible from their seed, wedged machines abort with a
+//! structured [`RunError`] carrying a usable diagnostic dump (never a
+//! panic), bounded-backoff retries drain transient drop storms, and —
+//! the paper's Definition 2 — DRF0 programs still appear sequentially
+//! consistent no matter what the interconnect does.
+
+use litmus::corpus;
+use litmus::explore::{sc_outcomes, ExploreConfig};
+use memory_model::sc::{check_sc, ScCheckConfig};
+use memsim::{presets, Chance, FaultConfig, Machine, MachineConfig, RunError};
+
+fn chaos_cfg(fault: FaultConfig, procs: usize, seed: u64) -> MachineConfig {
+    MachineConfig {
+        chaos: Some(fault),
+        ..presets::network_cached(procs, presets::wo_def2(), seed)
+    }
+}
+
+#[test]
+fn fault_plans_replay_byte_identically_from_their_seed() {
+    let p = corpus::spinlock_bounded(2, 2, 6);
+    for fault in [
+        FaultConfig::latency_heavy(),
+        FaultConfig::dup_heavy(),
+        FaultConfig::drop_heavy(),
+    ] {
+        for seed in [0, 7, 1234] {
+            let cfg = chaos_cfg(fault, 2, seed);
+            let a = Machine::run_program(&p, &cfg);
+            let b = Machine::run_program(&p, &cfg);
+            // The full run result — timestamps, outcome, stats, fault
+            // counters, or the structured error — must be identical.
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "seed {seed} under {fault:?} must replay exactly"
+            );
+        }
+    }
+}
+
+#[test]
+fn wedged_machine_reports_a_deadlock_with_a_diagnostic_dump() {
+    // Silently vanishing messages wedge the hand-off: the consumer waits
+    // on a flag whose update traffic is gone. The watchdog must say who
+    // was stuck, on what, and what the fault plan had done.
+    let p = corpus::message_passing_sync(2);
+    let fault = FaultConfig {
+        blackhole_chance: Chance::of(1, 2),
+        ..FaultConfig::off()
+    };
+    let mut saw_abort = false;
+    for seed in 0..10 {
+        match Machine::run_program(&p, &chaos_cfg(fault, 2, seed)) {
+            Ok(result) => assert!(result.completed || result.cycles > 0),
+            Err(RunError::Deadlock { dump } | RunError::Livelock { dump }) => {
+                saw_abort = true;
+                assert!(!dump.procs.is_empty(), "dump lists every processor");
+                assert!(
+                    dump.procs.iter().any(|pr| pr.status.contains("Waiting")),
+                    "someone must be visibly stuck: {dump}"
+                );
+                let chaos = dump.chaos.expect("fault counters ride in the dump");
+                assert!(chaos.blackholed > 0, "the dump explains the loss: {chaos:?}");
+                // The rendered dump is a self-contained post-mortem.
+                let text = dump.to_string();
+                assert!(text.contains("cycle"), "dump text: {text}");
+                assert!(text.contains("queued events"), "dump text: {text}");
+            }
+            Err(other) => panic!("unexpected abort shape: {other}"),
+        }
+    }
+    assert!(saw_abort, "a 1/2 blackhole rate must wedge some seed");
+}
+
+#[test]
+fn retry_backoff_drains_a_nack_storm() {
+    // Every third message is detectably dropped; with retries the run
+    // completes anyway, and the stats show the storm was weathered.
+    let p = corpus::message_passing_sync(4);
+    let fault = FaultConfig {
+        drop_chance: Chance::of(1, 3),
+        max_retries: 16,
+        backoff_base: 8,
+        ..FaultConfig::off()
+    };
+    let r = Machine::run_program(&p, &chaos_cfg(fault, 2, 5))
+        .expect("bounded backoff must converge");
+    assert!(r.completed);
+    let chaos = r.stats.chaos.expect("chaos stats are reported");
+    assert!(chaos.retries > 0, "a 1/3 drop rate must force resends: {chaos:?}");
+    assert_eq!(chaos.exhausted, 0, "no sender may give up: {chaos:?}");
+    assert!(
+        check_sc(&r.observation(), &p.initial_memory(), &ScCheckConfig::default())
+            .is_consistent()
+    );
+}
+
+#[test]
+fn exhausted_retries_abort_with_the_attempt_count() {
+    let p = corpus::sync_only_tas();
+    let fault = FaultConfig {
+        drop_chance: Chance::always(),
+        max_retries: 3,
+        backoff_base: 4,
+        ..FaultConfig::off()
+    };
+    let err = Machine::run_program(&p, &chaos_cfg(fault, 2, 0)).unwrap_err();
+    let RunError::RetriesExhausted { attempts, dump, .. } = err else {
+        panic!("expected exhausted retries, got: {err}");
+    };
+    assert_eq!(attempts, 4, "1 original + 3 retries");
+    assert_eq!(dump.chaos.expect("counters present").exhausted, 1);
+}
+
+#[test]
+fn drf0_corpus_appears_sc_under_drop_free_chaos() {
+    // Definition 2, end to end: delays, cross-pair reordering, and
+    // duplicated control messages must be invisible to DRF0 software.
+    // Drop-free profiles cannot wedge, so every run must also complete.
+    let budget = ExploreConfig {
+        max_ops_per_execution: 64,
+        max_total_steps: 3_000_000,
+        ..ExploreConfig::default()
+    };
+    for (name, program) in corpus::drf0_suite() {
+        let reference = sc_outcomes(&program, &budget);
+        for fault in [FaultConfig::latency_heavy(), FaultConfig::dup_heavy()] {
+            for seed in 0..4 {
+                let cfg = chaos_cfg(fault, program.num_threads(), seed);
+                let r = Machine::run_program(&program, &cfg)
+                    .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+                assert!(r.completed, "{name} seed {seed} must complete");
+                assert!(
+                    check_sc(
+                        &r.observation(),
+                        &program.initial_memory(),
+                        &ScCheckConfig::default()
+                    )
+                    .is_consistent(),
+                    "{name} seed {seed} must appear SC under {fault:?}"
+                );
+                if reference.complete {
+                    assert!(
+                        reference.allows(&r.execution_result()),
+                        "{name} seed {seed}: result outside the ideal SC set"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn racy_programs_may_wedge_but_never_panic_or_lie() {
+    // Chaos over the racy corpus: no guarantees about outcomes, but the
+    // machine must still either finish or abort with a structured error.
+    for (name, program) in corpus::racy_suite() {
+        let cfg = chaos_cfg(FaultConfig::drop_heavy(), program.num_threads(), 2);
+        match Machine::run_program(&program, &cfg) {
+            Ok(_) => {}
+            Err(
+                RunError::Deadlock { .. }
+                | RunError::Livelock { .. }
+                | RunError::RetriesExhausted { .. },
+            ) => {}
+            Err(other) => panic!("{name}: unexpected abort shape: {other}"),
+        }
+    }
+}

@@ -97,7 +97,8 @@ fn simulator_outcomes_refine_idealized_outcomes_on_drf0_programs() {
     for (name, program) in corpus::drf0_suite() {
         let ideal = explore_results(&program, &explore_cfg);
         assert!(ideal.complete, "{name}: idealized enumeration incomplete");
-        let ideal_outcomes: HashSet<(Vec<u64>, Vec<(u32, u64)>)> = ideal
+        type FlatOutcome = (Vec<u64>, Vec<(u32, u64)>);
+        let ideal_outcomes: HashSet<FlatOutcome> = ideal
             .outcomes
             .iter()
             .map(|o| {
