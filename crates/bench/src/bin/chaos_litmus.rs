@@ -28,7 +28,6 @@
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use litmus::corpus;
 use litmus::explore::{sc_outcomes, ExploreConfig, ScOutcomes};
 use litmus::Program;
 use memory_model::sc::{check_sc, ScCheckConfig};
@@ -95,6 +94,37 @@ fn machines(smoke: bool) -> Vec<(&'static str, Policy)> {
     m
 }
 
+/// The sweep's program set: the hand-written DRF0 corpus plus every
+/// DRF0-labeled file from the checked-in generated sample in
+/// `litmus-tests/gen/` (wo-fuzz output; see `export_gen_litmus`).
+fn sweep_suite() -> Vec<(String, Program)> {
+    let mut suite: Vec<(String, Program)> = litmus::corpus::drf0_suite()
+        .into_iter()
+        .map(|(name, p)| (name.to_string(), p))
+        .collect();
+    let gen_dir = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../litmus-tests/gen"
+    ));
+    let mut gen_files: Vec<_> = std::fs::read_dir(gen_dir)
+        .expect("litmus-tests/gen exists; run `cargo run --release --example export_gen_litmus`")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "litmus"))
+        .collect();
+    gen_files.sort();
+    for path in gen_files {
+        let text = std::fs::read_to_string(&path).expect("readable litmus file");
+        if !text.lines().any(|l| l.trim() == "# expect: drf0") {
+            continue; // Definition 2 promises nothing for racy programs
+        }
+        let program = litmus::parse::parse_program(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let name = path.file_stem().expect("file name").to_string_lossy().into_owned();
+        suite.push((name, program));
+    }
+    suite
+}
+
 fn reference_outcomes(program: &Program) -> ScOutcomes {
     let cfg = ExploreConfig {
         max_ops_per_execution: 64,
@@ -115,7 +145,7 @@ struct Tally {
 
 fn main() {
     let args = parse_args();
-    let suite = corpus::drf0_suite();
+    let suite = sweep_suite();
     let machines = machines(args.smoke);
     let profiles = profiles();
     println!(

@@ -1,0 +1,408 @@
+//! The parallel campaign driver.
+//!
+//! A campaign sweeps a seed range through generate → oracle, sharding
+//! seeds across worker threads via a shared atomic cursor (dynamic
+//! work-stealing: a worker grabs the next unclaimed seed the moment it
+//! finishes its current one, so slow seeds never stall the queue behind a
+//! static partition).
+//!
+//! **Determinism:** every per-seed verdict is a pure function of
+//! (seed, [`GenConfig`], [`OracleConfig`]) — worker threads only decide
+//! *who* computes each seed, never *what* the answer is. Records are
+//! merged and sorted by seed after the join, and failing seeds are shrunk
+//! single-threaded in seed order, so a fixed seed range yields an
+//! identical summary at any `--threads` value. The one exception is the
+//! optional wall-clock budget, which truncates the range
+//! scheduling-dependently; summaries then say so
+//! ([`CampaignSummary::truncated`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use litmus::explore::drf0_verdict;
+use litmus::serialize::{to_litmus, Expectation};
+
+use crate::gen::{generate, GenConfig, GenProgram, Label};
+use crate::oracle::{check_seed, FindingKind, OracleConfig, SeedVerdict};
+use crate::shrink::shrink;
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// First seed (inclusive).
+    pub seed_start: u64,
+    /// Last seed (exclusive).
+    pub seed_end: u64,
+    /// Worker threads (0 means "available parallelism").
+    pub threads: usize,
+    /// Generator knobs.
+    pub gen: GenConfig,
+    /// Oracle knobs.
+    pub oracle: OracleConfig,
+    /// Optional wall-clock budget; exceeding it stops workers after their
+    /// current seed. Breaks fixed-range determinism (summary says so).
+    pub max_seconds: Option<u64>,
+    /// Minimize failing programs after the sweep.
+    pub shrink_failures: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed_start: 0,
+            seed_end: 1000,
+            threads: 0,
+            gen: GenConfig::default(),
+            oracle: OracleConfig::default(),
+            max_seconds: None,
+            shrink_failures: true,
+        }
+    }
+}
+
+/// One seed's outcome, retained for the summary.
+#[derive(Debug, Clone)]
+pub struct SeedRecord {
+    /// The generation seed.
+    pub seed: u64,
+    /// The generated program's stable name.
+    pub name: String,
+    /// The static label the oracle held the program to.
+    pub label: Label,
+    /// The oracle's verdict.
+    pub verdict: SeedVerdict,
+}
+
+/// A failing seed, with its minimized reproduction.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// The failing seed's record.
+    pub record: SeedRecord,
+    /// Findings, rendered.
+    pub findings: Vec<String>,
+    /// Minimized failing program in `.litmus` form (when shrinking ran).
+    pub repro: Option<String>,
+    /// Static memory operations in the minimized program.
+    pub repro_ops: Option<usize>,
+}
+
+/// Aggregate campaign outcome.
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// Seeds actually checked.
+    pub seeds_run: u64,
+    /// Seeds where every oracle check passed.
+    pub passes: u64,
+    /// Seeds skipped because the exploration budget gave out.
+    pub budget_exceeded: u64,
+    /// Real failures with repros, in seed order.
+    pub failures: Vec<FailureReport>,
+    /// Per-family (runs, passes) tallies, keyed by primary family name.
+    pub per_family: BTreeMap<&'static str, (u64, u64)>,
+    /// Whether a wall-clock budget cut the sweep short (summary then
+    /// depends on scheduling; fixed-range sweeps are deterministic).
+    pub truncated: bool,
+    /// Worker threads actually used.
+    pub threads_used: usize,
+    /// Wall-clock duration of the sweep (excluding shrinking).
+    pub sweep_time: Duration,
+}
+
+impl CampaignSummary {
+    /// Whether the campaign found any real failure.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        !self.failures.is_empty()
+    }
+}
+
+/// Runs a campaign. See the module docs for the determinism contract.
+#[must_use]
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        cfg.threads
+    };
+    let cursor = AtomicU64::new(cfg.seed_start);
+    let deadline = cfg.max_seconds.map(|s| Instant::now() + Duration::from_secs(s));
+    let started = Instant::now();
+
+    let mut records: Vec<SeedRecord> = Vec::new();
+    let mut truncated = false;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut hit_deadline = false;
+                    loop {
+                        if let Some(d) = deadline {
+                            if Instant::now() >= d {
+                                hit_deadline = true;
+                                break;
+                            }
+                        }
+                        let seed = cursor.fetch_add(1, Ordering::Relaxed);
+                        if seed >= cfg.seed_end {
+                            break;
+                        }
+                        let gp = generate(seed, &cfg.gen);
+                        let verdict = check_seed(&gp, &cfg.oracle);
+                        local.push(SeedRecord {
+                            seed,
+                            name: gp.name(),
+                            label: gp.label,
+                            verdict,
+                        });
+                    }
+                    (local, hit_deadline)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (local, hit_deadline) = handle.join().expect("worker panicked");
+            records.extend(local);
+            truncated |= hit_deadline;
+        }
+    });
+    let sweep_time = started.elapsed();
+    records.sort_by_key(|r| r.seed);
+
+    let mut summary = CampaignSummary {
+        seeds_run: records.len() as u64,
+        passes: 0,
+        budget_exceeded: 0,
+        failures: Vec::new(),
+        per_family: BTreeMap::new(),
+        truncated,
+        threads_used: threads,
+        sweep_time,
+    };
+
+    for record in records {
+        let gp = generate(record.seed, &cfg.gen);
+        let family = summary.per_family.entry(gp.family().name()).or_insert((0, 0));
+        family.0 += 1;
+        match &record.verdict {
+            SeedVerdict::Pass => {
+                family.1 += 1;
+                summary.passes += 1;
+            }
+            SeedVerdict::BudgetExceeded(_) => summary.budget_exceeded += 1,
+            SeedVerdict::Fail(findings) => {
+                let findings: Vec<String> =
+                    findings.iter().map(ToString::to_string).collect();
+                let (repro, repro_ops) = if cfg.shrink_failures {
+                    let minimized = shrink_failure(&gp, cfg);
+                    let ops = minimized.program.static_memory_ops();
+                    let text = to_litmus(
+                        &minimized.program,
+                        &format!("{} (minimized)", record.name),
+                        match record.label {
+                            Label::Drf0 => Expectation::Drf0,
+                            Label::Racy => Expectation::Racy,
+                        },
+                    );
+                    (Some(text), Some(ops))
+                } else {
+                    (None, None)
+                };
+                summary.failures.push(FailureReport {
+                    record,
+                    findings,
+                    repro,
+                    repro_ops,
+                });
+            }
+        }
+    }
+    summary
+}
+
+/// Minimizes a failing seed's program: a candidate still "fails" when the
+/// oracle (same config, including any injected bug) reports a finding of
+/// the same class as one of the original findings.
+///
+/// Machine-level failures take a fast path — the candidate is held to its
+/// static label via [`litmus::explore::drf0_verdict`] (so shrinking never
+/// drifts a DRF0 witness into racy territory, where Definition 2 promises
+/// nothing) and then only the originally-failing (machine, profile,
+/// fault_seed) triples are re-run, not the full nine-triple sweep. Label
+/// mismatches and racy shakeouts re-run the whole (cheap) oracle.
+pub(crate) fn shrink_failure(
+    gp: &GenProgram,
+    cfg: &CampaignConfig,
+) -> crate::shrink::ShrinkOutcome {
+    let findings = match check_seed(gp, &cfg.oracle) {
+        SeedVerdict::Fail(findings) => findings,
+        _ => Vec::new(), // raced-away failure: shrink degenerates to identity
+    };
+    let original_classes: Vec<_> = findings.iter().map(|f| class_of(&f.kind)).collect();
+    let triples: Vec<(&'static str, &'static str, u64)> = findings
+        .iter()
+        .filter_map(|f| Some((f.machine?, f.profile?, f.fault_seed?)))
+        .filter(|(_, p, _)| *p != "none")
+        .collect();
+
+    let template = gp.clone();
+    shrink(&gp.program, move |candidate| {
+        if !triples.is_empty() {
+            if drf0_verdict(candidate, &cfg.oracle.explore) != expected_verdict(template.label)
+            {
+                return false;
+            }
+            return crate::oracle::recheck_triples(candidate, &cfg.oracle, &triples)
+                .iter()
+                .any(|k| original_classes.contains(&class_of(k)));
+        }
+        let synthetic = GenProgram { program: candidate.clone(), ..template.clone() };
+        match check_seed(&synthetic, &cfg.oracle) {
+            SeedVerdict::Fail(findings) => findings
+                .iter()
+                .any(|f| original_classes.contains(&class_of(&f.kind))),
+            _ => false,
+        }
+    })
+}
+
+fn expected_verdict(label: Label) -> litmus::explore::Drf0Verdict {
+    match label {
+        Label::Drf0 => litmus::explore::Drf0Verdict::Drf0,
+        Label::Racy => litmus::explore::Drf0Verdict::Racy,
+    }
+}
+
+fn class_of(kind: &FindingKind) -> std::mem::Discriminant<FindingKind> {
+    std::mem::discriminant(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Family;
+    use litmus::explore::ExploreConfig;
+
+    /// Keeps debug-mode tests fast: seeds whose interleaving space outruns
+    /// this budget are counted as budget-exceeded, which is fine.
+    fn test_oracle() -> OracleConfig {
+        OracleConfig {
+            explore: ExploreConfig {
+                max_ops_per_execution: 48,
+                max_total_steps: 150_000,
+                ..ExploreConfig::default()
+            },
+            ..OracleConfig::default()
+        }
+    }
+
+    fn small_cfg(seeds: u64) -> CampaignConfig {
+        CampaignConfig {
+            seed_start: 0,
+            seed_end: seeds,
+            threads: 2,
+            oracle: test_oracle(),
+            shrink_failures: false,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn summary_is_identical_across_thread_counts() {
+        let mut one = small_cfg(14);
+        one.threads = 1;
+        let mut four = small_cfg(14);
+        four.threads = 4;
+        let a = run_campaign(&one);
+        let b = run_campaign(&four);
+        assert_eq!(a.seeds_run, b.seeds_run);
+        assert_eq!(a.passes, b.passes);
+        assert_eq!(a.budget_exceeded, b.budget_exceeded);
+        assert_eq!(a.per_family, b.per_family);
+        assert_eq!(
+            a.failures.iter().map(|f| f.record.seed).collect::<Vec<_>>(),
+            b.failures.iter().map(|f| f.record.seed).collect::<Vec<_>>()
+        );
+        assert_eq!(a.threads_used, 1);
+        assert_eq!(b.threads_used, 4);
+    }
+
+    #[test]
+    fn clean_campaign_has_no_failures() {
+        let summary = run_campaign(&small_cfg(14));
+        assert!(!summary.failed(), "failures: {:?}", summary.failures);
+        assert_eq!(summary.passes + summary.budget_exceeded, summary.seeds_run);
+        assert!(summary.passes > 0);
+    }
+
+    /// The end-to-end defect drill: inject the historical state-only prune
+    /// bug into the SC reference, sweep a window of seeds containing
+    /// single-phase `mp_unrolled` programs (the family whose converging
+    /// read histories witness the bug), and demand the campaign catch it
+    /// and shrink the witness to a handful of operations.
+    #[test]
+    fn injected_prune_bug_is_caught_and_shrunk_small() {
+        // Locate witness candidates by pure generation (cheap).
+        let gen_cfg = GenConfig::default();
+        let candidates: Vec<u64> = (0..500)
+            .filter(|&s| generate(s, &gen_cfg).phases == [Family::MpUnrolled])
+            .take(6)
+            .collect();
+        assert!(!candidates.is_empty(), "no mp_unrolled seeds in 0..500");
+
+        let mut caught = None;
+        for &seed in &candidates {
+            let mut cfg = CampaignConfig {
+                seed_start: seed,
+                seed_end: seed + 1,
+                threads: 1,
+                oracle: test_oracle(),
+                shrink_failures: true,
+                ..CampaignConfig::default()
+            };
+            cfg.oracle.inject_prune_bug = true;
+            let summary = run_campaign(&cfg);
+            if summary.failed() {
+                caught = Some(summary);
+                break;
+            }
+        }
+        let summary = caught.unwrap_or_else(|| {
+            panic!("injected prune bug not caught on any of {candidates:?}")
+        });
+        let best = summary
+            .failures
+            .iter()
+            .filter_map(|f| f.repro_ops)
+            .min()
+            .expect("failures were shrunk");
+        assert!(
+            best <= 6,
+            "minimized repro should be tiny (<= 6 static memory ops), got {best}"
+        );
+        for f in &summary.failures {
+            assert!(
+                f.findings.iter().any(|s| s.contains("outside the SC outcome set")),
+                "prune-bug failures are containment failures: {:?}",
+                f.findings
+            );
+        }
+    }
+
+    #[test]
+    fn wall_clock_budget_marks_summary_truncated() {
+        let cfg = CampaignConfig {
+            seed_start: 0,
+            seed_end: u64::MAX,
+            threads: 1,
+            max_seconds: Some(0),
+            shrink_failures: false,
+            ..CampaignConfig::default()
+        };
+        let summary = run_campaign(&cfg);
+        assert!(summary.truncated);
+        assert_eq!(summary.seeds_run, 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! The deterministic checked-in sample of generator output.
+//!
+//! A fixed-seed slice of the generator's programs lives in
+//! `litmus-tests/gen/` so the file-based harness (`tests/litmus_files.rs`)
+//! and the chaos sweep regress against generated programs even when no
+//! campaign is running. This module is the single source of truth for the
+//! selection; `examples/export_gen_litmus.rs` writes it to disk and the
+//! `gen_files_are_current` test below keeps disk and code in sync.
+
+use litmus::explore::{drf0_verdict, Drf0Verdict, ExploreConfig};
+use litmus::serialize::{to_litmus, Expectation};
+
+use crate::gen::{generate, GenConfig, Label};
+
+/// DRF0-labeled programs in the checked-in sample.
+pub const DRF0_COUNT: usize = 12;
+/// Racy-labeled programs in the checked-in sample.
+pub const RACY_COUNT: usize = 4;
+
+/// The exploration budget used to confirm labels before export; matches
+/// the per-file budget in `tests/litmus_files.rs`.
+#[must_use]
+pub fn export_explore_config() -> ExploreConfig {
+    ExploreConfig {
+        max_ops_per_execution: 40,
+        max_total_steps: 400_000,
+        ..ExploreConfig::default()
+    }
+}
+
+/// The selection: the first [`DRF0_COUNT`] DRF0-labeled and first
+/// [`RACY_COUNT`] racy-labeled seeds (default [`GenConfig`]) whose
+/// idealized exploration confirms the label within
+/// [`export_explore_config`]. Returns `(seed, file_name, file_text)`
+/// triples in seed order.
+#[must_use]
+pub fn gen_file_set() -> Vec<(u64, String, String)> {
+    let gen_cfg = GenConfig::default();
+    let explore_cfg = export_explore_config();
+    let mut out = Vec::new();
+    let (mut drf0, mut racy) = (0, 0);
+    for seed in 0.. {
+        if drf0 >= DRF0_COUNT && racy >= RACY_COUNT {
+            break;
+        }
+        let gp = generate(seed, &gen_cfg);
+        // Only programs whose `# expect:` header the file harness can
+        // re-derive within its budget are exportable.
+        let confirmed = match (gp.label, drf0_verdict(&gp.program, &explore_cfg)) {
+            (Label::Drf0, Drf0Verdict::Drf0) => drf0 < DRF0_COUNT,
+            (Label::Racy, Drf0Verdict::Racy) => racy < RACY_COUNT,
+            _ => false,
+        };
+        if !confirmed {
+            continue;
+        }
+        let expect = match gp.label {
+            Label::Drf0 => {
+                drf0 += 1;
+                Expectation::Drf0
+            }
+            Label::Racy => {
+                racy += 1;
+                Expectation::Racy
+            }
+        };
+        let name = gp.name();
+        let text = to_litmus(&gp.program, &name, expect);
+        out.push((seed, format!("{name}.litmus"), text));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    /// Disk and selection must agree byte for byte; regenerate with
+    /// `cargo run --release --example export_gen_litmus` after generator
+    /// changes.
+    #[test]
+    fn gen_files_are_current() {
+        let dir = Path::new(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../litmus-tests/gen"
+        ));
+        let set = gen_file_set();
+        assert_eq!(set.len(), DRF0_COUNT + RACY_COUNT);
+        for (seed, name, text) in &set {
+            let path = dir.join(name);
+            let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "{} (seed {seed}) missing or unreadable ({e}); \
+                     run `cargo run --release --example export_gen_litmus`",
+                    path.display()
+                )
+            });
+            assert_eq!(
+                &on_disk, text,
+                "{} is stale; re-run the export example",
+                path.display()
+            );
+        }
+        // No strays: every file on disk is part of the selection.
+        let expected: std::collections::HashSet<&str> =
+            set.iter().map(|(_, n, _)| n.as_str()).collect();
+        for entry in std::fs::read_dir(dir).expect("litmus-tests/gen exists") {
+            let file_name = entry.expect("readable entry").file_name();
+            let file_name = file_name.to_string_lossy();
+            assert!(
+                expected.contains(file_name.as_ref()),
+                "stray file in litmus-tests/gen: {file_name}"
+            );
+        }
+    }
+
+    /// Every exported program roundtrips through the parser — the
+    /// generated corpus is exercising the same text format as the
+    /// hand-written one.
+    #[test]
+    fn exported_programs_roundtrip_through_the_parser() {
+        for (seed, name, text) in gen_file_set() {
+            let parsed = litmus::parse::parse_program(&text)
+                .unwrap_or_else(|e| panic!("{name} (seed {seed}): {e}"));
+            let gp = generate(seed, &GenConfig::default());
+            assert_eq!(parsed, gp.program, "{name} did not roundtrip");
+        }
+    }
+
+    /// The wide serializer/parser fuzz: every generated program (not just
+    /// the exported sample) survives generate → serialize → parse with
+    /// structural equality.
+    #[test]
+    fn seeded_serialize_parse_roundtrip() {
+        let cfg = GenConfig::default();
+        for seed in 0..300 {
+            let gp = generate(seed, &cfg);
+            let text = to_litmus(
+                &gp.program,
+                &gp.name(),
+                match gp.label {
+                    Label::Drf0 => Expectation::Drf0,
+                    Label::Racy => Expectation::Racy,
+                },
+            );
+            let parsed = litmus::parse::parse_program(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            assert_eq!(parsed, gp.program, "seed {seed} did not roundtrip");
+        }
+    }
+}

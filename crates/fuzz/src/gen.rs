@@ -1,0 +1,708 @@
+//! The seeded litmus-program generator.
+//!
+//! Every program the generator emits comes from a **skeleton family** with
+//! a statically known DRF0 classification. The DRF0 families are
+//! synchronization-disciplined by construction — data accesses happen only
+//! inside lock-protected regions, after an observed message-passing
+//! hand-off, or behind a barrier phase — so the label `Drf0` is a theorem
+//! about the family, not a guess about the instance. The racy families
+//! deliberately break exactly one rule (a data flag, an access leaked out
+//! of a lock, a bare conflicting pair), so the label `Racy` is equally
+//! certain. The oracle cross-checks both claims against the dynamic
+//! vector-clock race detector on every generated instance.
+//!
+//! Programs are pure functions of their seed: `generate(seed, &cfg)` with
+//! equal arguments returns structurally equal programs, which is what
+//! makes a failing campaign seed a complete reproduction recipe.
+//!
+//! Composition: two skeletons can be sequenced back to back (each phase on
+//! its own disjoint location region, each thread running its phase-1 code
+//! to completion before starting phase 2). Sequential composition of DRF0
+//! phases on disjoint locations preserves DRF0: a phase-2 data access is
+//! either ordered by its own phase's discipline or touches locations no
+//! other phase names.
+
+use litmus::{Instr, Operand, Program, Reg, Thread};
+use memory_model::{Loc, Value};
+use simx::rng::Xoshiro256;
+
+/// The static classification a skeleton family carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// Every execution of every instance is data-race-free (Definition 3).
+    Drf0,
+    /// Some execution of every instance has a data race.
+    Racy,
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Label::Drf0 => write!(f, "drf0"),
+            Label::Racy => write!(f, "racy"),
+        }
+    }
+}
+
+/// The skeleton families the generator draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Family {
+    /// Bounded-spin message passing: producer writes data then `Set`s a
+    /// sync flag; consumers spin on `Test` and read the data only after
+    /// observing the flag. DRF0.
+    MpHandoff,
+    /// Message passing with the spin unrolled into straight-line `Test`s
+    /// (no loop counter). DRF0 — and the family whose converging read
+    /// histories witness the state-only prune bug.
+    MpUnrolled,
+    /// A bounded `TestAndSet` spinlock protecting counter increments;
+    /// threads that exhaust their spins skip the critical section. DRF0.
+    LockCounter,
+    /// A centralized `FetchAdd` barrier followed by cross-thread slot
+    /// reads, spins bounded, give-up skips the reads. DRF0.
+    BarrierPhase,
+    /// Synchronization operations only (Test/Set/TestAndSet/FetchAdd on
+    /// sync locations). DRF0 trivially: sync-sync pairs never race.
+    SyncOnly,
+    /// Conflicting plain data accesses with no synchronization at all.
+    /// Racy.
+    RacyPlain,
+    /// Message passing through an ordinary *data* flag. Racy.
+    RacyFlag,
+    /// A spinlock-protected counter where one thread also reads the
+    /// counter *outside* the lock. Racy.
+    RacyLeakyLock,
+    /// Dekker-style flags with RP3 fences: fences order only their own
+    /// processor and create no happens-before, so still racy.
+    RacyFenced,
+}
+
+impl Family {
+    /// The family's static classification.
+    #[must_use]
+    pub fn label(self) -> Label {
+        match self {
+            Family::MpHandoff
+            | Family::MpUnrolled
+            | Family::LockCounter
+            | Family::BarrierPhase
+            | Family::SyncOnly => Label::Drf0,
+            Family::RacyPlain
+            | Family::RacyFlag
+            | Family::RacyLeakyLock
+            | Family::RacyFenced => Label::Racy,
+        }
+    }
+
+    /// Every DRF0 family.
+    #[must_use]
+    pub fn drf0_families() -> &'static [Family] {
+        &[
+            Family::MpHandoff,
+            Family::MpUnrolled,
+            Family::LockCounter,
+            Family::BarrierPhase,
+            Family::SyncOnly,
+        ]
+    }
+
+    /// Every racy family.
+    #[must_use]
+    pub fn racy_families() -> &'static [Family] {
+        &[
+            Family::RacyPlain,
+            Family::RacyFlag,
+            Family::RacyLeakyLock,
+            Family::RacyFenced,
+        ]
+    }
+
+    /// A short stable name (used in file names and summaries).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::MpHandoff => "mp_handoff",
+            Family::MpUnrolled => "mp_unrolled",
+            Family::LockCounter => "lock_counter",
+            Family::BarrierPhase => "barrier_phase",
+            Family::SyncOnly => "sync_only",
+            Family::RacyPlain => "racy_plain",
+            Family::RacyFlag => "racy_flag",
+            Family::RacyLeakyLock => "racy_leaky_lock",
+            Family::RacyFenced => "racy_fenced",
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Size and shape knobs for generation. The defaults keep every instance
+/// small enough that exhaustive idealized exploration (the oracle's
+/// reference) completes in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Maximum threads per program (at least 2).
+    pub max_threads: usize,
+    /// Maximum bounded-spin attempts (at least 1).
+    pub max_spins: u64,
+    /// Values are drawn from `1..=max_value`.
+    pub max_value: Value,
+    /// Maximum skeleton phases composed back to back (at least 1).
+    pub max_phases: usize,
+    /// Chance (out of 100) that a seed draws a racy family.
+    pub racy_percent: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_threads: 3,
+            max_spins: 2,
+            max_value: 7,
+            max_phases: 2,
+            racy_percent: 40,
+        }
+    }
+}
+
+/// A generated program with its provenance: the seed that produced it, the
+/// phases it composes, and the static label the oracle will hold it to.
+#[derive(Debug, Clone)]
+pub struct GenProgram {
+    /// The generation seed (full reproduction recipe together with the
+    /// [`GenConfig`]).
+    pub seed: u64,
+    /// The skeleton families composed, in phase order.
+    pub phases: Vec<Family>,
+    /// The static classification (Drf0 iff every phase is Drf0).
+    pub label: Label,
+    /// The program itself.
+    pub program: Program,
+}
+
+impl GenProgram {
+    /// The primary (first-phase) family, used for grouping in summaries.
+    #[must_use]
+    pub fn family(&self) -> Family {
+        self.phases[0]
+    }
+
+    /// A stable name for files and reports: `gen_s<seed>_<families>`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        let phases: Vec<&str> = self.phases.iter().map(|f| f.name()).collect();
+        format!("gen_s{}_{}", self.seed, phases.join("+"))
+    }
+}
+
+/// One skeleton phase before composition: per-thread instruction slices
+/// with targets relative to the phase start, plus the phase's init cells.
+struct Phase {
+    threads: Vec<Vec<Instr>>,
+    init: Vec<(Loc, Value)>,
+}
+
+/// Disjoint location regions for phase `k`: data locations in
+/// `k*10 .. k*10+10`, synchronization locations in `100+k*10 ..`.
+/// Mirrors the corpus convention (data low, sync from `m100`) so data and
+/// sync variables never alias across phases either.
+struct Regions {
+    data_base: u32,
+    sync_base: u32,
+}
+
+impl Regions {
+    fn for_phase(k: usize) -> Self {
+        let k = k as u32;
+        Regions { data_base: k * 10, sync_base: 100 + k * 10 }
+    }
+
+    fn data(&self, i: u32) -> Loc {
+        Loc(self.data_base + i)
+    }
+
+    fn sync(&self, i: u32) -> Loc {
+        Loc(self.sync_base + i)
+    }
+}
+
+/// Generates the program for `seed` under `cfg`. Pure: equal inputs give
+/// structurally equal outputs.
+///
+/// # Examples
+///
+/// ```
+/// use wo_fuzz::gen::{generate, GenConfig};
+///
+/// let cfg = GenConfig::default();
+/// let a = generate(7, &cfg);
+/// let b = generate(7, &cfg);
+/// assert_eq!(a.program, b.program);
+/// assert_eq!(a.phases, b.phases);
+/// ```
+#[must_use]
+pub fn generate(seed: u64, cfg: &GenConfig) -> GenProgram {
+    let mut rng = Xoshiro256::seed_from(seed ^ SEED_SALT);
+    let racy = rng.chance(cfg.racy_percent.min(100), 100);
+    let n_phases = 1 + rng.index(cfg.max_phases.max(1));
+
+    let mut phases = Vec::new();
+    let mut built: Vec<Phase> = Vec::new();
+    for k in 0..n_phases {
+        let regions = Regions::for_phase(k);
+        // Only the first phase of a racy program is racy: one broken rule
+        // per program keeps the race reachable within small explore
+        // budgets, and a single racy phase makes the whole program racy.
+        let family = if racy && k == 0 {
+            pick(&mut rng, Family::racy_families())
+        } else {
+            pick(&mut rng, Family::drf0_families())
+        };
+        phases.push(family);
+        built.push(build_phase(family, &mut rng, &regions, cfg));
+    }
+
+    assemble(seed, phases, built)
+}
+
+/// Generates a single-phase program from one specific `family` — the
+/// label-soundness harness's way of sweeping each family in isolation.
+/// As deterministic as [`generate`].
+#[must_use]
+pub fn generate_family(seed: u64, family: Family, cfg: &GenConfig) -> GenProgram {
+    let mut rng = Xoshiro256::seed_from(seed ^ SEED_SALT);
+    let regions = Regions::for_phase(0);
+    let phase = build_phase(family, &mut rng, &regions, cfg);
+    assemble(seed, vec![family], vec![phase])
+}
+
+fn assemble(seed: u64, phases: Vec<Family>, built: Vec<Phase>) -> GenProgram {
+    let label = if phases.iter().any(|f| f.label() == Label::Racy) {
+        Label::Racy
+    } else {
+        Label::Drf0
+    };
+
+    let num_threads = built.iter().map(|p| p.threads.len()).max().unwrap_or(2);
+    let mut threads: Vec<Vec<Instr>> = vec![Vec::new(); num_threads];
+    let mut init = Vec::new();
+    for phase in built {
+        init.extend(phase.init);
+        for (t, thread) in threads.iter_mut().enumerate() {
+            let offset = thread.len();
+            if let Some(instrs) = phase.threads.get(t) {
+                thread.extend(instrs.iter().map(|i| offset_targets(*i, offset)));
+            }
+        }
+    }
+
+    let program = Program::new(
+        threads
+            .into_iter()
+            .map(|instrs| instrs.into_iter().fold(Thread::new(), Thread::push))
+            .collect(),
+    )
+    .expect("generated skeletons have in-range targets and registers")
+    .with_init(init);
+
+    GenProgram { seed, phases, label, program }
+}
+
+/// Decorrelates the generator's RNG stream from other seeded consumers of
+/// the same small seed integers (fault seeds, shuffles).
+const SEED_SALT: u64 = 0x5EED_F077_C0DE_0001;
+
+fn pick(rng: &mut Xoshiro256, families: &[Family]) -> Family {
+    families[rng.index(families.len())]
+}
+
+fn offset_targets(instr: Instr, offset: usize) -> Instr {
+    match instr {
+        Instr::BranchEq { a, b, target } => {
+            Instr::BranchEq { a, b, target: target + offset }
+        }
+        Instr::BranchNe { a, b, target } => {
+            Instr::BranchNe { a, b, target: target + offset }
+        }
+        Instr::Jump { target } => Instr::Jump { target: target + offset },
+        other => other,
+    }
+}
+
+fn value(rng: &mut Xoshiro256, cfg: &GenConfig) -> Value {
+    rng.range_u64(1, cfg.max_value.max(1) + 1)
+}
+
+fn spins(rng: &mut Xoshiro256, cfg: &GenConfig) -> u64 {
+    rng.range_u64(1, cfg.max_spins.max(1) + 1)
+}
+
+fn build_phase(
+    family: Family,
+    rng: &mut Xoshiro256,
+    regions: &Regions,
+    cfg: &GenConfig,
+) -> Phase {
+    match family {
+        Family::MpHandoff => mp_handoff(rng, regions, cfg),
+        Family::MpUnrolled => mp_unrolled(rng, regions, cfg),
+        Family::LockCounter => lock_counter(rng, regions, cfg),
+        Family::BarrierPhase => barrier_phase(rng, regions, cfg),
+        Family::SyncOnly => sync_only(rng, regions, cfg),
+        Family::RacyPlain => racy_plain(rng, regions, cfg),
+        Family::RacyFlag => racy_flag(rng, regions, cfg),
+        Family::RacyLeakyLock => racy_leaky_lock(rng, regions, cfg),
+        Family::RacyFenced => racy_fenced(rng, regions),
+    }
+}
+
+/// A bounded spin on `Test(loc) == expect`, then fall through to the body.
+/// Emits (relative to the slice start at `base`):
+///
+/// ```text
+/// base+0: r2 := 0
+/// base+1: r0 := Test(loc)
+/// base+2: if r0 == expect goto base+6
+/// base+3: r2 := r2 + 1
+/// base+4: if r2 != spins goto base+1
+/// base+5: goto giveup
+/// base+6: <body follows>
+/// ```
+fn bounded_spin(
+    out: &mut Vec<Instr>,
+    loc: Loc,
+    expect: Value,
+    spins: u64,
+    giveup: usize,
+) {
+    let base = out.len();
+    out.push(Instr::Move { dst: Reg(2), src: Operand::Const(0) });
+    out.push(Instr::SyncRead { loc, dst: Reg(0) });
+    out.push(Instr::BranchEq {
+        a: Operand::Reg(Reg(0)),
+        b: Operand::Const(expect),
+        target: base + 6,
+    });
+    out.push(Instr::Add {
+        dst: Reg(2),
+        a: Operand::Reg(Reg(2)),
+        b: Operand::Const(1),
+    });
+    out.push(Instr::BranchNe {
+        a: Operand::Reg(Reg(2)),
+        b: Operand::Const(spins),
+        target: base + 1,
+    });
+    out.push(Instr::Jump { target: giveup });
+}
+
+fn mp_handoff(rng: &mut Xoshiro256, r: &Regions, cfg: &GenConfig) -> Phase {
+    let data_locs = 1 + rng.index(2) as u32; // 1..=2 payload cells
+    let flag = r.sync(0);
+    let v = value(rng, cfg);
+    let s = spins(rng, cfg);
+    let consumers = 1 + rng.index((cfg.max_threads.max(2) - 1).min(2));
+
+    let mut producer = Vec::new();
+    for i in 0..data_locs {
+        producer.push(Instr::Write { loc: r.data(i), src: Operand::Const(v + u64::from(i)) });
+    }
+    producer.push(Instr::SyncWrite { loc: flag, src: Operand::Const(1) });
+
+    let mut threads = vec![producer];
+    for _ in 0..consumers {
+        let mut t = Vec::new();
+        // give-up target: past the reads (6 spin instrs + data_locs reads).
+        let giveup = 6 + data_locs as usize;
+        bounded_spin(&mut t, flag, 1, s, giveup);
+        for i in 0..data_locs {
+            t.push(Instr::Read { loc: r.data(i), dst: Reg(1) });
+        }
+        threads.push(t);
+    }
+    Phase { threads, init: Vec::new() }
+}
+
+fn mp_unrolled(rng: &mut Xoshiro256, r: &Regions, cfg: &GenConfig) -> Phase {
+    let flag = r.sync(0);
+    let x = r.data(0);
+    let v = value(rng, cfg);
+    let tests = 2 + rng.index(2); // 2..=3 straight-line Tests
+
+    let producer = vec![
+        Instr::Write { loc: x, src: Operand::Const(v) },
+        Instr::SyncWrite { loc: flag, src: Operand::Const(1) },
+    ];
+
+    // 2 instrs per unrolled test, then `goto end`, then the data read.
+    let read_at = tests * 2 + 1;
+    let end = read_at + 1;
+    let mut consumer = Vec::new();
+    for _ in 0..tests {
+        consumer.push(Instr::SyncRead { loc: flag, dst: Reg(0) });
+        consumer.push(Instr::BranchEq {
+            a: Operand::Reg(Reg(0)),
+            b: Operand::Const(1),
+            target: read_at,
+        });
+    }
+    consumer.push(Instr::Jump { target: end });
+    consumer.push(Instr::Read { loc: x, dst: Reg(1) });
+
+    Phase { threads: vec![producer, consumer], init: Vec::new() }
+}
+
+fn lock_counter(rng: &mut Xoshiro256, r: &Regions, cfg: &GenConfig) -> Phase {
+    let lock = r.sync(0);
+    let counter = r.data(0);
+    let s = spins(rng, cfg);
+    let n = 2 + rng.index(cfg.max_threads.max(2) - 1);
+
+    let threads = (0..n)
+        .map(|_| {
+            // 0: r2 := 0
+            // 1: r0 := TestAndSet(lock)
+            // 2: if r0 == 0 goto 6      (acquired)
+            // 3: r2 += 1
+            // 4: if r2 != spins goto 1
+            // 5: goto 10                (gave up)
+            // 6: r1 := R(counter)
+            // 7: r1 += 1
+            // 8: W(counter) := r1
+            // 9: Set(lock) := 0
+            vec![
+                Instr::Move { dst: Reg(2), src: Operand::Const(0) },
+                Instr::TestAndSet { loc: lock, dst: Reg(0) },
+                Instr::BranchEq {
+                    a: Operand::Reg(Reg(0)),
+                    b: Operand::Const(0),
+                    target: 6,
+                },
+                Instr::Add {
+                    dst: Reg(2),
+                    a: Operand::Reg(Reg(2)),
+                    b: Operand::Const(1),
+                },
+                Instr::BranchNe {
+                    a: Operand::Reg(Reg(2)),
+                    b: Operand::Const(s),
+                    target: 1,
+                },
+                Instr::Jump { target: 10 },
+                Instr::Read { loc: counter, dst: Reg(1) },
+                Instr::Add {
+                    dst: Reg(1),
+                    a: Operand::Reg(Reg(1)),
+                    b: Operand::Const(1),
+                },
+                Instr::Write { loc: counter, src: Operand::Reg(Reg(1)) },
+                Instr::SyncWrite { loc: lock, src: Operand::Const(0) },
+            ]
+        })
+        .collect();
+    Phase { threads, init: Vec::new() }
+}
+
+fn barrier_phase(rng: &mut Xoshiro256, r: &Regions, cfg: &GenConfig) -> Phase {
+    let count = r.sync(0);
+    let s = spins(rng, cfg);
+    let n = 2usize; // 2 participants keep exploration affordable
+    let v = value(rng, cfg);
+
+    let threads = (0..n)
+        .map(|i| {
+            let mut t = vec![
+                Instr::Write {
+                    loc: r.data(i as u32),
+                    src: Operand::Const(v + i as u64),
+                },
+                Instr::FetchAdd { loc: count, dst: Reg(0), add: Operand::Const(1) },
+            ];
+            // Spin until the count reaches n, give-up skips the reads.
+            let giveup = 2 + 6 + n; // spin block + n slot reads
+            bounded_spin(&mut t, count, n as u64, s, giveup);
+            for j in 0..n {
+                t.push(Instr::Read { loc: r.data(j as u32), dst: Reg(1) });
+            }
+            t
+        })
+        .collect();
+    Phase { threads, init: Vec::new() }
+}
+
+fn sync_only(rng: &mut Xoshiro256, r: &Regions, cfg: &GenConfig) -> Phase {
+    let n = 2 + rng.index(cfg.max_threads.max(2) - 1);
+    let locs = 1 + rng.index(2) as u32;
+    let threads = (0..n)
+        .map(|_| {
+            let k = 1 + rng.index(3);
+            (0..k)
+                .map(|_| {
+                    let loc = r.sync(rng.index(locs as usize) as u32);
+                    match rng.index(4) {
+                        0 => Instr::SyncRead { loc, dst: Reg(0) },
+                        1 => Instr::SyncWrite {
+                            loc,
+                            src: Operand::Const(rng.range_u64(0, 2)),
+                        },
+                        2 => Instr::TestAndSet { loc, dst: Reg(0) },
+                        _ => Instr::FetchAdd {
+                            loc,
+                            dst: Reg(0),
+                            add: Operand::Const(1),
+                        },
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Phase { threads, init: Vec::new() }
+}
+
+fn racy_plain(rng: &mut Xoshiro256, r: &Regions, cfg: &GenConfig) -> Phase {
+    let n = 2 + rng.index(cfg.max_threads.max(2) - 1);
+    let hot = r.data(0);
+    let v = value(rng, cfg);
+    let threads = (0..n)
+        .map(|i| {
+            let mut t = Vec::new();
+            // Thread 0 always writes the hot cell; later threads read or
+            // write it — a guaranteed statically-reachable conflict.
+            if i == 0 || rng.chance(1, 2) {
+                t.push(Instr::Write { loc: hot, src: Operand::Const(v + i as u64) });
+            } else {
+                t.push(Instr::Read { loc: hot, dst: Reg(0) });
+            }
+            // Optional unrelated private traffic.
+            if rng.chance(1, 2) {
+                t.push(Instr::Write {
+                    loc: r.data(1 + i as u32),
+                    src: Operand::Const(v),
+                });
+            }
+            t
+        })
+        .collect();
+    Phase { threads, init: Vec::new() }
+}
+
+fn racy_flag(rng: &mut Xoshiro256, r: &Regions, cfg: &GenConfig) -> Phase {
+    let x = r.data(0);
+    let flag = r.data(1); // the bug: the flag is an ordinary data cell
+    let v = value(rng, cfg);
+    Phase {
+        threads: vec![
+            vec![
+                Instr::Write { loc: x, src: Operand::Const(v) },
+                Instr::Write { loc: flag, src: Operand::Const(1) },
+            ],
+            vec![
+                Instr::Read { loc: flag, dst: Reg(0) },
+                Instr::Read { loc: x, dst: Reg(1) },
+            ],
+        ],
+        init: Vec::new(),
+    }
+}
+
+fn racy_leaky_lock(rng: &mut Xoshiro256, r: &Regions, cfg: &GenConfig) -> Phase {
+    let mut phase = lock_counter(rng, r, cfg);
+    // The leak: thread 0 also reads the counter before taking the lock.
+    phase.threads[0].insert(0, Instr::Read { loc: r.data(0), dst: Reg(3) });
+    for instr in &mut phase.threads[0][1..] {
+        *instr = offset_targets(*instr, 1);
+    }
+    Phase { threads: phase.threads, init: phase.init }
+}
+
+fn racy_fenced(rng: &mut Xoshiro256, r: &Regions) -> Phase {
+    let (x, y) = (r.data(0), r.data(1));
+    let fence_both = rng.chance(1, 2);
+    let mk = |w: Loc, rd: Loc, fenced: bool| {
+        let mut t = vec![Instr::Write { loc: w, src: Operand::Const(1) }];
+        if fenced {
+            t.push(Instr::Fence);
+        }
+        t.push(Instr::Read { loc: rd, dst: Reg(0) });
+        t
+    };
+    Phase {
+        threads: vec![mk(x, y, true), mk(y, x, fence_both)],
+        init: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        for seed in 0..50 {
+            let a = generate(seed, &cfg);
+            let b = generate(seed, &cfg);
+            assert_eq!(a.program, b.program, "seed {seed}");
+            assert_eq!(a.phases, b.phases, "seed {seed}");
+            assert_eq!(a.label, b.label, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn labels_follow_phases() {
+        let cfg = GenConfig::default();
+        for seed in 0..200 {
+            let g = generate(seed, &cfg);
+            let any_racy = g.phases.iter().any(|f| f.label() == Label::Racy);
+            assert_eq!(g.label == Label::Racy, any_racy, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn both_labels_and_every_family_appear() {
+        let cfg = GenConfig::default();
+        let mut seen = std::collections::HashSet::new();
+        let mut drf0 = 0;
+        let mut racy = 0;
+        for seed in 0..400 {
+            let g = generate(seed, &cfg);
+            for f in &g.phases {
+                seen.insert(*f);
+            }
+            match g.label {
+                Label::Drf0 => drf0 += 1,
+                Label::Racy => racy += 1,
+            }
+        }
+        assert!(drf0 > 50, "DRF0 programs should be common: {drf0}");
+        assert!(racy > 50, "racy programs should be common: {racy}");
+        for f in Family::drf0_families().iter().chain(Family::racy_families()) {
+            assert!(seen.contains(f), "family {f} never generated");
+        }
+    }
+
+    #[test]
+    fn generated_programs_stay_small() {
+        let cfg = GenConfig::default();
+        for seed in 0..200 {
+            let g = generate(seed, &cfg);
+            assert!(g.program.num_threads() <= cfg.max_threads.max(2) + 1);
+            assert!(
+                g.program.static_memory_ops() <= 40,
+                "seed {seed}: {} static ops",
+                g.program.static_memory_ops()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_stable_and_distinct_per_seed() {
+        let cfg = GenConfig::default();
+        let a = generate(3, &cfg);
+        assert!(a.name().starts_with("gen_s3_"));
+    }
+}

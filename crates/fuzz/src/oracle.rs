@@ -1,0 +1,534 @@
+//! The differential oracle: one generated program in, a verdict out.
+//!
+//! For every seed the oracle performs three independent checks:
+//!
+//! * **Label soundness** — the generator's construction-time DRF0/racy
+//!   claim is replayed against [`litmus::explore::drf0_verdict`], which
+//!   drives the dynamic vector-clock race detector over every idealized
+//!   interleaving. A mismatch is a bug in the generator's reasoning (or
+//!   the detector) and fails the seed.
+//! * **Definition 2** — DRF0-labeled programs are run on the three
+//!   weak-ordering machine classes under fault-injecting interconnects.
+//!   Every completed run must pass the `check_sc` appearance test and
+//!   produce a result inside the idealized SC outcome set. Structured
+//!   aborts are tolerated only under message-losing profiles; panics
+//!   never are.
+//! * **Racy shakeout** — racy-labeled programs get one plain machine run
+//!   purely to catch panics; no SC assertion is made (Definition 2
+//!   promises nothing for racy software).
+//!
+//! Programs whose interleaving space outgrows the exploration budget are
+//! reported as [`SeedVerdict::BudgetExceeded`], not failures.
+//!
+//! # The injected bug
+//!
+//! [`OracleConfig::inject_prune_bug`] swaps the SC reference enumeration
+//! for [`buggy_sc_outcomes`], a faithful re-implementation of a real
+//! historical defect: pruning the result-set DFS on architectural state
+//! alone. Two paths that converge on the same (threads, memory) state but
+//! carry different read-value histories represent *different results*;
+//! state-only pruning silently drops one of them, so a perfectly legal
+//! machine run is then flagged as "outside the SC set". The campaign must
+//! catch this and shrink it to a tiny repro — that is the end-to-end test
+//! that the whole apparatus actually detects oracle-level defects.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use litmus::explore::{
+    drf0_verdict, sc_outcomes, Drf0Verdict, ExploreConfig, IncompleteReason,
+    ScOutcomes,
+};
+use litmus::ideal::{IdealState, StepOutcome};
+use litmus::Program;
+use memory_model::sc::{check_sc, ScCheckConfig};
+use memory_model::ExecutionResult;
+use memsim::{presets, FaultConfig, Machine, MachineConfig, Policy, RunError};
+use simx::rng::SplitMix64;
+
+use crate::gen::{GenProgram, Label};
+
+/// Oracle knobs. The defaults match the chaos-litmus sweep.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Exploration budget for both the DRF0 verdict and the SC reference.
+    pub explore: ExploreConfig,
+    /// Fault-plan seeds per (machine, profile); derived deterministically
+    /// from the generation seed.
+    pub fault_seeds: u64,
+    /// Replace the SC reference enumeration with the historical
+    /// state-only-pruning bug (see module docs). Test/demo only.
+    pub inject_prune_bug: bool,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            explore: ExploreConfig {
+                max_ops_per_execution: 64,
+                max_total_steps: 3_000_000,
+                ..ExploreConfig::default()
+            },
+            fault_seeds: 1,
+            inject_prune_bug: false,
+        }
+    }
+}
+
+/// What went wrong for a failing seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FindingKind {
+    /// The static label disagreed with the dynamic race verdict.
+    LabelMismatch {
+        /// What the generator claimed.
+        claimed: Label,
+        /// What exploration + the vector-clock detector concluded.
+        dynamic: Drf0Verdict,
+    },
+    /// A completed machine run failed the SC appearance test.
+    NotSc,
+    /// A completed machine run produced a result outside the reference SC
+    /// outcome set — a Definition 2 violation (or, with the injected bug,
+    /// a hole in the reference).
+    OutsideScSet,
+    /// The machine aborted where the fault profile cannot justify it.
+    UnexpectedAbort {
+        /// The structured error, rendered.
+        error: String,
+    },
+    /// The machine panicked. Never acceptable.
+    Panic,
+    /// The machine returned without completing all program threads.
+    Incomplete,
+}
+
+impl std::fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FindingKind::LabelMismatch { claimed, dynamic } => {
+                write!(f, "label mismatch: claimed {claimed}, dynamic {dynamic}")
+            }
+            FindingKind::NotSc => write!(f, "completed run failed check_sc"),
+            FindingKind::OutsideScSet => {
+                write!(f, "completed run outside the SC outcome set")
+            }
+            FindingKind::UnexpectedAbort { error } => {
+                write!(f, "unexpected abort: {error}")
+            }
+            FindingKind::Panic => write!(f, "machine panicked"),
+            FindingKind::Incomplete => write!(f, "machine run incomplete"),
+        }
+    }
+}
+
+/// A concrete failure with everything needed to replay it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The failure class.
+    pub kind: FindingKind,
+    /// Machine preset name, when a machine run was involved.
+    pub machine: Option<&'static str>,
+    /// Fault profile name, when a machine run was involved.
+    pub profile: Option<&'static str>,
+    /// Fault-plan seed, when a machine run was involved.
+    pub fault_seed: Option<u64>,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.kind)?;
+        if let (Some(m), Some(p), Some(s)) =
+            (self.machine, self.profile, self.fault_seed)
+        {
+            write!(f, " [machine={m} profile={p} fault_seed={s}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// The oracle's verdict for one seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeedVerdict {
+    /// Every check passed.
+    Pass,
+    /// The exploration budget gave out before a verdict; not a failure.
+    BudgetExceeded(IncompleteReason),
+    /// At least one check failed.
+    Fail(Vec<Finding>),
+}
+
+impl SeedVerdict {
+    /// Whether this verdict is a real failure.
+    #[must_use]
+    pub fn is_fail(&self) -> bool {
+        matches!(self, SeedVerdict::Fail(_))
+    }
+}
+
+/// Machine presets swept for DRF0-labeled programs.
+#[must_use]
+pub fn machines() -> Vec<(&'static str, Policy)> {
+    vec![
+        ("def2", presets::wo_def2()),
+        ("def2opt", presets::wo_def2_optimized()),
+        ("def2queued", presets::wo_def2_queued()),
+    ]
+}
+
+/// Fault profiles swept, with whether each may legitimately wedge a run.
+#[must_use]
+pub fn profiles() -> Vec<(&'static str, FaultConfig, bool)> {
+    vec![
+        ("latency", FaultConfig::latency_heavy(), false),
+        ("dup", FaultConfig::dup_heavy(), false),
+        ("drop", FaultConfig::drop_heavy(), true),
+    ]
+}
+
+/// Runs the full oracle against one generated program.
+#[must_use]
+pub fn check_seed(gp: &GenProgram, cfg: &OracleConfig) -> SeedVerdict {
+    // 1. Label soundness: static claim vs dynamic vector-clock verdict.
+    let dynamic = drf0_verdict(&gp.program, &cfg.explore);
+    match (&gp.label, &dynamic) {
+        (_, Drf0Verdict::BudgetExceeded(reason)) => {
+            return SeedVerdict::BudgetExceeded(*reason);
+        }
+        (Label::Drf0, Drf0Verdict::Racy) | (Label::Racy, Drf0Verdict::Drf0) => {
+            return SeedVerdict::Fail(vec![Finding {
+                kind: FindingKind::LabelMismatch { claimed: gp.label, dynamic },
+                machine: None,
+                profile: None,
+                fault_seed: None,
+            }]);
+        }
+        _ => {}
+    }
+
+    match gp.label {
+        Label::Drf0 => check_drf0_program(gp, cfg),
+        Label::Racy => racy_shakeout(gp),
+    }
+}
+
+/// The Definition 2 sweep for a DRF0-labeled program.
+fn check_drf0_program(gp: &GenProgram, cfg: &OracleConfig) -> SeedVerdict {
+    let reference = reference_outcomes(&gp.program, cfg);
+    if !reference.complete {
+        return SeedVerdict::BudgetExceeded(IncompleteReason::MaxTotalSteps);
+    }
+
+    let mut findings = Vec::new();
+    for (machine, policy) in machines() {
+        for (profile, fault, may_wedge) in profiles() {
+            for k in 0..cfg.fault_seeds.max(1) {
+                let fault_seed = derive_fault_seed(gp.seed, machine, profile, k);
+                if let Some(kind) = run_one(
+                    &gp.program,
+                    policy,
+                    fault,
+                    may_wedge,
+                    fault_seed,
+                    &reference,
+                ) {
+                    findings.push(Finding {
+                        kind,
+                        machine: Some(machine),
+                        profile: Some(profile),
+                        fault_seed: Some(fault_seed),
+                    });
+                }
+            }
+        }
+    }
+    if findings.is_empty() {
+        SeedVerdict::Pass
+    } else {
+        SeedVerdict::Fail(findings)
+    }
+}
+
+/// Re-runs only the named (machine, profile, fault_seed) triples against a
+/// fresh reference for `program`. The shrinker's fast path: a candidate
+/// program is re-checked against the handful of runs that originally
+/// failed instead of the full 9-triple sweep.
+pub(crate) fn recheck_triples(
+    program: &Program,
+    cfg: &OracleConfig,
+    triples: &[(&'static str, &'static str, u64)],
+) -> Vec<FindingKind> {
+    let reference = reference_outcomes(program, cfg);
+    if !reference.complete {
+        return Vec::new();
+    }
+    let machines = machines();
+    let profiles = profiles();
+    triples
+        .iter()
+        .filter_map(|&(machine, profile, fault_seed)| {
+            let policy = machines.iter().find(|(m, _)| *m == machine)?.1;
+            let &(_, fault, may_wedge) =
+                profiles.iter().find(|(p, _, _)| *p == profile)?;
+            run_one(program, policy, fault, may_wedge, fault_seed, &reference)
+        })
+        .collect()
+}
+
+/// One machine run under one fault plan, checked against the reference.
+/// Returns `None` when the run is acceptable.
+fn run_one(
+    program: &Program,
+    policy: Policy,
+    fault: FaultConfig,
+    may_wedge: bool,
+    fault_seed: u64,
+    reference: &ScOutcomes,
+) -> Option<FindingKind> {
+    let cfg = MachineConfig {
+        chaos: Some(fault),
+        ..presets::network_cached(program.num_threads(), policy, fault_seed)
+    };
+    match catch_unwind(AssertUnwindSafe(|| Machine::run_program(program, &cfg))) {
+        Err(_) => Some(FindingKind::Panic),
+        Ok(Err(err)) => {
+            if may_wedge && !matches!(err, RunError::Protocol { .. }) {
+                None // a lossy profile may wedge, structured abort tolerated
+            } else {
+                Some(FindingKind::UnexpectedAbort { error: err.to_string() })
+            }
+        }
+        Ok(Ok(result)) => {
+            if !result.completed {
+                return Some(FindingKind::Incomplete);
+            }
+            let appears_sc = check_sc(
+                &result.observation(),
+                &program.initial_memory(),
+                &ScCheckConfig::default(),
+            )
+            .is_consistent();
+            if !appears_sc {
+                return Some(FindingKind::NotSc);
+            }
+            if !reference.allows(&result.execution_result()) {
+                return Some(FindingKind::OutsideScSet);
+            }
+            None
+        }
+    }
+}
+
+/// One plain (fault-free) run of a racy program to shake out panics. No SC
+/// assertion: Definition 2 promises nothing for racy software.
+fn racy_shakeout(gp: &GenProgram) -> SeedVerdict {
+    let cfg = presets::network_cached(
+        gp.program.num_threads(),
+        presets::wo_def2(),
+        gp.seed,
+    );
+    match catch_unwind(AssertUnwindSafe(|| {
+        Machine::run_program(&gp.program, &cfg)
+    })) {
+        Err(_) => SeedVerdict::Fail(vec![Finding {
+            kind: FindingKind::Panic,
+            machine: Some("def2"),
+            profile: Some("none"),
+            fault_seed: Some(gp.seed),
+        }]),
+        Ok(_) => SeedVerdict::Pass,
+    }
+}
+
+/// The SC reference set, honest or deliberately buggy.
+pub(crate) fn reference_outcomes(
+    program: &Program,
+    cfg: &OracleConfig,
+) -> ScOutcomes {
+    if cfg.inject_prune_bug {
+        buggy_sc_outcomes(program, &cfg.explore)
+    } else {
+        sc_outcomes(program, &cfg.explore)
+    }
+}
+
+/// Deterministic per-run fault seed: a hash of the generation seed, the
+/// machine and profile names, and the fault-seed index. Stable across
+/// thread counts and platforms.
+fn derive_fault_seed(
+    gen_seed: u64,
+    machine: &str,
+    profile: &str,
+    k: u64,
+) -> u64 {
+    let mut h = SplitMix64::new(gen_seed ^ 0x0FAC_57A7_E5EE_D000);
+    let mut acc = h.next_u64();
+    for b in machine.bytes().chain(profile.bytes()) {
+        acc = acc.wrapping_mul(0x100_0000_01b3).wrapping_add(u64::from(b));
+    }
+    SplitMix64::new(acc.wrapping_add(k)).next_u64()
+}
+
+/// The historical prune bug, preserved as a specimen: enumerate reachable
+/// results with a DFS pruned on **architectural state alone** — thread
+/// states plus memory, *without* the read-value history.
+///
+/// Why that is wrong: a result (Lamport's observable) includes every value
+/// returned by every read. Two interleavings can converge on the same
+/// architectural state while having returned different values along the
+/// way — e.g. a consumer whose two `Test(s)` reads saw `(0, 1)` on one
+/// path and `(1, 1)` on another, both ending with the flag set and the
+/// same registers. State-only pruning visits the converged state once and
+/// records one result; the other reachable result is silently dropped
+/// from the reference set, and a machine run that legally produces it is
+/// then misreported as a Definition 2 violation.
+///
+/// The honest enumeration ([`sc_outcomes`]) keys the DFS on state *plus*
+/// read history.
+#[must_use]
+pub fn buggy_sc_outcomes(program: &Program, cfg: &ExploreConfig) -> ScOutcomes {
+    let mut results = HashSet::new();
+    let mut visited = HashSet::new();
+    let mut steps = 0usize;
+    let mut complete = true;
+    buggy_dfs(
+        program,
+        IdealState::new(program),
+        cfg,
+        &mut visited,
+        &mut results,
+        &mut steps,
+        &mut complete,
+    );
+    ScOutcomes { results, initial: program.initial_memory(), complete }
+}
+
+type BuggyKey = (
+    litmus::ideal::ThreadStateKey,
+    Vec<(memory_model::Loc, memory_model::Value)>,
+    // Read history deliberately omitted — that is the bug.
+);
+
+#[allow(clippy::too_many_arguments)]
+fn buggy_dfs(
+    program: &Program,
+    state: IdealState<'_>,
+    cfg: &ExploreConfig,
+    visited: &mut HashSet<BuggyKey>,
+    results: &mut HashSet<ExecutionResult>,
+    steps: &mut usize,
+    complete: &mut bool,
+) {
+    *steps += 1;
+    if results.len() >= cfg.max_executions || *steps >= cfg.max_total_steps {
+        *complete = false;
+        return;
+    }
+    if !visited.insert(state.state_key()) {
+        return;
+    }
+    let runnable = state.runnable_threads();
+    if runnable.is_empty() {
+        results.insert(state.into_execution().result(&program.initial_memory()));
+        return;
+    }
+    if state.ops().len() >= cfg.max_ops_per_execution {
+        *complete = false;
+        return;
+    }
+    for &t in &runnable {
+        let mut next = state.clone();
+        match next.step(t) {
+            StepOutcome::Performed(_) => {
+                buggy_dfs(program, next, cfg, visited, results, steps, complete);
+            }
+            StepOutcome::Halted => {
+                buggy_dfs(program, next, cfg, visited, results, steps, complete);
+                return;
+            }
+            StepOutcome::StepLimit => {
+                *complete = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use litmus::{Reg, Thread};
+    use memory_model::Loc;
+
+    /// The minimal witness of the prune bug: a consumer issuing two
+    /// `Test(s)` reads while a producer `Set`s the flag. Read histories
+    /// (0,1) and (1,1) converge on the same final state, so state-only
+    /// pruning drops one of the two results.
+    fn prune_bug_witness() -> Program {
+        let s = Loc(100);
+        Program::new(vec![
+            Thread::new().test_and_set(s, Reg(0)).test_and_set(s, Reg(0)),
+            Thread::new().sync_write(s, 1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn buggy_enumeration_drops_a_reachable_result() {
+        let p = prune_bug_witness();
+        let cfg = ExploreConfig::default();
+        let honest = sc_outcomes(&p, &cfg);
+        let buggy = buggy_sc_outcomes(&p, &cfg);
+        assert!(honest.complete && buggy.complete);
+        assert!(
+            buggy.results.len() < honest.results.len(),
+            "state-only pruning should lose a result: honest {} vs buggy {}",
+            honest.results.len(),
+            buggy.results.len()
+        );
+        for r in &buggy.results {
+            assert!(honest.allows(r), "the bug loses results, never invents them");
+        }
+    }
+
+    #[test]
+    fn oracle_passes_a_small_seed_range_without_injection() {
+        let gen_cfg = GenConfig::default();
+        let oracle_cfg = OracleConfig {
+            explore: ExploreConfig {
+                max_ops_per_execution: 48,
+                max_total_steps: 150_000,
+                ..ExploreConfig::default()
+            },
+            ..OracleConfig::default()
+        };
+        let mut passes = 0;
+        for seed in 0..8 {
+            let gp = generate(seed, &gen_cfg);
+            match check_seed(&gp, &oracle_cfg) {
+                SeedVerdict::Fail(findings) => panic!(
+                    "seed {seed} ({}) failed: {}",
+                    gp.name(),
+                    findings
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                ),
+                SeedVerdict::Pass => passes += 1,
+                SeedVerdict::BudgetExceeded(_) => {}
+            }
+        }
+        assert!(passes > 0, "at least one seed should fully pass");
+    }
+
+    #[test]
+    fn fault_seeds_are_deterministic_and_spread() {
+        let a = derive_fault_seed(7, "def2", "latency", 0);
+        let b = derive_fault_seed(7, "def2", "latency", 0);
+        let c = derive_fault_seed(7, "def2", "drop", 0);
+        let d = derive_fault_seed(8, "def2", "latency", 0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+}

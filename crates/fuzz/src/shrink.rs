@@ -1,0 +1,356 @@
+//! Greedy failure minimization.
+//!
+//! Given a failing program and a predicate that re-checks the failure, the
+//! shrinker repeatedly tries structure-reducing edits — drop a thread,
+//! drop an instruction (with branch-target remapping), drop an init cell,
+//! shrink a constant — keeping an edit whenever the smaller program still
+//! fails, until a full pass of candidates yields no progress (a local
+//! minimum, the classic delta-debugging fixpoint).
+//!
+//! The predicate sees candidate programs that are always structurally
+//! valid ([`litmus::Program::new`] re-validates every candidate); edits
+//! that break branch targets or registers are discarded before the
+//! predicate runs. Predicates are typically *slow* (each re-runs the
+//! differential oracle), so the move order tries the biggest reductions
+//! first.
+
+use litmus::{Instr, Program, Thread};
+
+/// The result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The smallest failing program found.
+    pub program: Program,
+    /// Edits accepted (each one removed a thread/instruction/init cell or
+    /// shrank a constant while preserving the failure).
+    pub accepted_edits: usize,
+    /// Candidate programs tried in total.
+    pub candidates_tried: usize,
+}
+
+/// Minimizes `program` while `still_fails` holds.
+///
+/// `still_fails` must be true of `program` itself (debug-asserted); the
+/// returned program also satisfies it.
+pub fn shrink(
+    program: &Program,
+    mut still_fails: impl FnMut(&Program) -> bool,
+) -> ShrinkOutcome {
+    debug_assert!(still_fails(program), "shrink needs a failing input");
+    let mut current = program.clone();
+    let mut accepted = 0usize;
+    let mut tried = 0usize;
+
+    loop {
+        let mut progressed = false;
+        for candidate in candidates(&current) {
+            tried += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                accepted += 1;
+                progressed = true;
+                break; // restart candidate enumeration from the smaller program
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    ShrinkOutcome { program: current, accepted_edits: accepted, candidates_tried: tried }
+}
+
+/// All one-edit reductions of `program`, biggest reductions first.
+fn candidates(program: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+
+    // 1. Drop a whole thread (only while at least 2 remain: the machines
+    //    and the explorer both want a parallel program).
+    if program.num_threads() > 2 {
+        for t in 0..program.num_threads() {
+            let threads = program
+                .threads()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != t)
+                .map(|(_, th)| rebuild(th.instrs().to_vec()))
+                .collect();
+            push_valid(&mut out, threads, program.init().to_vec());
+        }
+    }
+
+    // 2. Drop a single instruction, remapping branch targets across the gap.
+    for t in 0..program.num_threads() {
+        let instrs = program.threads()[t].instrs();
+        for i in 0..instrs.len() {
+            let mut edited = Vec::with_capacity(instrs.len() - 1);
+            let mut ok = true;
+            for (j, instr) in instrs.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                match remap_target(*instr, i) {
+                    Some(ins) => edited.push(ins),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let threads = replace_thread(program, t, edited);
+            push_valid(&mut out, threads, program.init().to_vec());
+        }
+    }
+
+    // 3. Drop an init cell.
+    for i in 0..program.init().len() {
+        let mut init = program.init().to_vec();
+        init.remove(i);
+        let threads =
+            program.threads().iter().map(|th| rebuild(th.instrs().to_vec())).collect();
+        push_valid(&mut out, threads, init);
+    }
+
+    // 4. Shrink constants toward 0 (covers spin bounds, payload values,
+    //    and init values).
+    for t in 0..program.num_threads() {
+        let instrs = program.threads()[t].instrs();
+        for i in 0..instrs.len() {
+            for smaller in shrunk_consts(&instrs[i]) {
+                let mut edited = instrs.to_vec();
+                edited[i] = smaller;
+                let threads = replace_thread(program, t, edited);
+                push_valid(&mut out, threads, program.init().to_vec());
+            }
+        }
+    }
+    for i in 0..program.init().len() {
+        let (loc, v) = program.init()[i];
+        for smaller in smaller_values(v) {
+            let mut init = program.init().to_vec();
+            init[i] = (loc, smaller);
+            let threads = program
+                .threads()
+                .iter()
+                .map(|th| rebuild(th.instrs().to_vec()))
+                .collect();
+            push_valid(&mut out, threads, init);
+        }
+    }
+
+    out
+}
+
+fn rebuild(instrs: Vec<Instr>) -> Thread {
+    instrs.into_iter().fold(Thread::new(), Thread::push)
+}
+
+fn replace_thread(program: &Program, t: usize, instrs: Vec<Instr>) -> Vec<Thread> {
+    program
+        .threads()
+        .iter()
+        .enumerate()
+        .map(|(i, th)| {
+            if i == t {
+                rebuild(instrs.clone())
+            } else {
+                rebuild(th.instrs().to_vec())
+            }
+        })
+        .collect()
+}
+
+fn push_valid(
+    out: &mut Vec<Program>,
+    threads: Vec<Thread>,
+    init: Vec<(memory_model::Loc, memory_model::Value)>,
+) {
+    if let Ok(p) = Program::new(threads) {
+        out.push(p.with_init(init));
+    }
+}
+
+/// Removing instruction `removed` shifts every later instruction up by
+/// one. A branch *to* the removed slot retargets to its successor (the
+/// natural fall-through). Targets before the gap are unchanged.
+fn remap_target(instr: Instr, removed: usize) -> Option<Instr> {
+    let remap = |target: usize| {
+        if target > removed {
+            target - 1
+        } else {
+            target
+        }
+    };
+    Some(match instr {
+        Instr::BranchEq { a, b, target } => {
+            Instr::BranchEq { a, b, target: remap(target) }
+        }
+        Instr::BranchNe { a, b, target } => {
+            Instr::BranchNe { a, b, target: remap(target) }
+        }
+        Instr::Jump { target } => Instr::Jump { target: remap(target) },
+        other => other,
+    })
+}
+
+fn smaller_values(v: memory_model::Value) -> Vec<memory_model::Value> {
+    let mut out = Vec::new();
+    if v > 0 {
+        out.push(0);
+    }
+    if v > 1 {
+        out.push(1);
+        out.push(v / 2);
+    }
+    out.dedup();
+    out
+}
+
+fn shrunk_consts(instr: &Instr) -> Vec<Instr> {
+    use litmus::Operand;
+    let shrink_op = |op: Operand| -> Vec<Operand> {
+        match op {
+            Operand::Const(v) => {
+                smaller_values(v).into_iter().map(Operand::Const).collect()
+            }
+            Operand::Reg(_) => Vec::new(),
+        }
+    };
+    match *instr {
+        Instr::Write { loc, src } => shrink_op(src)
+            .into_iter()
+            .map(|src| Instr::Write { loc, src })
+            .collect(),
+        Instr::SyncWrite { loc, src } => shrink_op(src)
+            .into_iter()
+            .map(|src| Instr::SyncWrite { loc, src })
+            .collect(),
+        Instr::Move { dst, src } => shrink_op(src)
+            .into_iter()
+            .map(|src| Instr::Move { dst, src })
+            .collect(),
+        Instr::Add { dst, a, b } => {
+            let mut out: Vec<Instr> = shrink_op(a)
+                .into_iter()
+                .map(|a| Instr::Add { dst, a, b })
+                .collect();
+            out.extend(shrink_op(b).into_iter().map(|b| Instr::Add { dst, a, b }));
+            out
+        }
+        Instr::FetchAdd { loc, dst, add } => shrink_op(add)
+            .into_iter()
+            .map(|add| Instr::FetchAdd { loc, dst, add })
+            .collect(),
+        Instr::BranchEq { a, b, target } => {
+            let mut out: Vec<Instr> = shrink_op(a)
+                .into_iter()
+                .map(|a| Instr::BranchEq { a, b, target })
+                .collect();
+            out.extend(
+                shrink_op(b).into_iter().map(|b| Instr::BranchEq { a, b, target }),
+            );
+            out
+        }
+        Instr::BranchNe { a, b, target } => {
+            let mut out: Vec<Instr> = shrink_op(a)
+                .into_iter()
+                .map(|a| Instr::BranchNe { a, b, target })
+                .collect();
+            out.extend(
+                shrink_op(b).into_iter().map(|b| Instr::BranchNe { a, b, target }),
+            );
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litmus::Reg;
+    use memory_model::Loc;
+
+    /// Shrinking a 3-thread program under "has at least 2 threads touching
+    /// Loc(0)" should drop the unrelated thread and the unrelated ops.
+    #[test]
+    fn shrinks_to_the_conflicting_core() {
+        let p = Program::new(vec![
+            Thread::new().write(Loc(0), 1).write(Loc(5), 3),
+            Thread::new().read(Loc(0), Reg(0)).read(Loc(6), Reg(1)),
+            Thread::new().write(Loc(7), 9),
+        ])
+        .unwrap();
+        let touches_hot = |p: &Program| {
+            let n = p
+                .threads()
+                .iter()
+                .filter(|t| {
+                    t.instrs().iter().any(|i| {
+                        matches!(
+                            i,
+                            Instr::Write { loc: Loc(0), .. }
+                                | Instr::Read { loc: Loc(0), .. }
+                        )
+                    })
+                })
+                .count();
+            n >= 2
+        };
+        let out = shrink(&p, touches_hot);
+        assert!(touches_hot(&out.program));
+        assert_eq!(out.program.num_threads(), 2);
+        assert_eq!(out.program.static_memory_ops(), 2);
+        assert!(out.accepted_edits >= 3);
+    }
+
+    /// Branch targets survive instruction deletion: removing the dead
+    /// `Move` must retarget the jump over the gap.
+    #[test]
+    fn branch_targets_are_remapped() {
+        let p = Program::new(vec![
+            Thread::new()
+                .mov(Reg(3), 0) // dead: removable
+                .write(Loc(0), 1)
+                .jump(4)
+                .write(Loc(1), 9) // skipped by the jump
+                .read(Loc(0), Reg(0)),
+            Thread::new().write(Loc(0), 2),
+        ])
+        .unwrap();
+        let fails = |p: &Program| {
+            p.threads()[0]
+                .instrs()
+                .iter()
+                .any(|i| matches!(i, Instr::Read { loc: Loc(0), .. }))
+        };
+        let out = shrink(&p, fails);
+        assert!(fails(&out.program));
+        // The jump and its skipped write are removable too once targets
+        // remap; the fixpoint keeps only what the predicate demands.
+        assert!(out.program.threads()[0].instrs().len() <= 2);
+    }
+
+    #[test]
+    fn constants_shrink_toward_zero() {
+        let p = Program::new(vec![
+            Thread::new().write(Loc(0), 64),
+            Thread::new().read(Loc(0), Reg(0)),
+        ])
+        .unwrap();
+        let fails = |p: &Program| {
+            p.threads()
+                .iter()
+                .any(|t| t.instrs().iter().any(|i| matches!(i, Instr::Write { .. })))
+        };
+        let out = shrink(&p, fails);
+        let wrote = out.program.threads()[0].instrs()[0];
+        assert!(
+            matches!(wrote, Instr::Write { src: litmus::Operand::Const(0), .. }),
+            "constant should shrink to 0, got {wrote:?}"
+        );
+    }
+}

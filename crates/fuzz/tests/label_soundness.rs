@@ -1,0 +1,96 @@
+//! Label soundness across every generator family: the construction-time
+//! DRF0/racy classification must agree with the dynamic vector-clock race
+//! detector on every instance the exploration budget can decide.
+//!
+//! This is the generator's correctness contract. A DRF0-labeled instance
+//! that races would let a genuine Definition 2 violation masquerade as a
+//! label bug (or vice versa); a racy-labeled instance that is secretly
+//! race-free would silently shrink the racy sample.
+
+use litmus::explore::{drf0_verdict, Drf0Verdict, ExploreConfig};
+use wo_fuzz::gen::{generate, generate_family, Family, GenConfig, Label};
+
+const SEEDS_PER_FAMILY: u64 = 12;
+
+fn budget() -> ExploreConfig {
+    ExploreConfig {
+        max_ops_per_execution: 48,
+        max_total_steps: 150_000,
+        ..ExploreConfig::default()
+    }
+}
+
+/// Sweeps one family; returns (conclusive, budget_exceeded) counts and
+/// panics on any label/verdict disagreement.
+fn sweep(family: Family) -> (u64, u64) {
+    let cfg = GenConfig::default();
+    let explore_cfg = budget();
+    let (mut conclusive, mut exceeded) = (0, 0);
+    for seed in 0..SEEDS_PER_FAMILY {
+        let gp = generate_family(seed, family, &cfg);
+        match (gp.label, drf0_verdict(&gp.program, &explore_cfg)) {
+            (Label::Drf0, Drf0Verdict::Drf0) | (Label::Racy, Drf0Verdict::Racy) => {
+                conclusive += 1;
+            }
+            (_, Drf0Verdict::BudgetExceeded(_)) => exceeded += 1,
+            (label, verdict) => panic!(
+                "{family} seed {seed}: labeled {label} but explorer says {verdict}\n{}",
+                gp.program
+            ),
+        }
+    }
+    (conclusive, exceeded)
+}
+
+#[test]
+fn drf0_families_are_race_free_under_idealized_exploration() {
+    for &family in Family::drf0_families() {
+        let (conclusive, exceeded) = sweep(family);
+        assert!(
+            conclusive >= SEEDS_PER_FAMILY / 2,
+            "{family}: too few conclusive verdicts ({conclusive} conclusive, \
+             {exceeded} budget-exceeded) — shrink the family or raise the budget"
+        );
+    }
+}
+
+#[test]
+fn racy_families_race_under_idealized_exploration() {
+    for &family in Family::racy_families() {
+        let (conclusive, exceeded) = sweep(family);
+        // Racy verdicts are cheap (a racy prefix decides), so the budget
+        // should essentially never give out here.
+        assert!(
+            conclusive == SEEDS_PER_FAMILY,
+            "{family}: expected every instance to be conclusively racy, got \
+             {conclusive} conclusive / {exceeded} budget-exceeded"
+        );
+    }
+}
+
+/// Composed programs inherit their label soundly too: whatever `generate`
+/// labels a multi-phase program must survive the same dynamic check.
+#[test]
+fn composed_programs_keep_their_labels() {
+    let cfg = GenConfig::default();
+    let explore_cfg = budget();
+    let mut checked = 0;
+    for seed in 0..60 {
+        let gp = generate(seed, &cfg);
+        if gp.phases.len() < 2 {
+            continue;
+        }
+        match (gp.label, drf0_verdict(&gp.program, &explore_cfg)) {
+            (Label::Drf0, Drf0Verdict::Drf0) | (Label::Racy, Drf0Verdict::Racy) => {
+                checked += 1;
+            }
+            (_, Drf0Verdict::BudgetExceeded(_)) => {}
+            (label, verdict) => panic!(
+                "seed {seed} ({}): labeled {label} but explorer says {verdict}\n{}",
+                gp.name(),
+                gp.program
+            ),
+        }
+    }
+    assert!(checked >= 10, "too few composed programs decided: {checked}");
+}

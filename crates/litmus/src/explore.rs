@@ -79,6 +79,36 @@ pub struct Outcome {
     pub final_memory: Vec<(memory_model::Loc, memory_model::Value)>,
 }
 
+/// Why an exploration stopped short of covering every interleaving.
+///
+/// Spin-heavy generated programs can blow the interleaving count past any
+/// practical budget; the explorer guarantees termination by construction
+/// (every limit in [`ExploreConfig`] is finite) and reports *which* budget
+/// gave out so callers can surface a clear "Budget Exceeded" verdict
+/// instead of guessing from a bare `complete == false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IncompleteReason {
+    /// [`ExploreConfig::max_executions`] was reached.
+    MaxExecutions,
+    /// [`ExploreConfig::max_total_steps`] was reached.
+    MaxTotalSteps,
+    /// Some execution hit [`ExploreConfig::max_ops_per_execution`] or the
+    /// per-thread local-step limit and was truncated.
+    TruncatedExecution,
+}
+
+impl std::fmt::Display for IncompleteReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IncompleteReason::MaxExecutions => write!(f, "execution cap reached"),
+            IncompleteReason::MaxTotalSteps => write!(f, "DFS step budget exhausted"),
+            IncompleteReason::TruncatedExecution => {
+                write!(f, "an execution exceeded the per-execution op budget")
+            }
+        }
+    }
+}
+
 /// The aggregate outcome of an exploration.
 #[derive(Debug, Clone)]
 pub struct ExploreReport {
@@ -100,6 +130,8 @@ pub struct ExploreReport {
     /// Whether the exploration covered every interleaving to completion
     /// (no execution cap hit, no truncated executions).
     pub complete: bool,
+    /// When `complete` is false, the first budget that gave out.
+    pub incomplete: Option<IncompleteReason>,
     /// DFS steps (states) visited.
     pub steps: usize,
 }
@@ -110,6 +142,11 @@ impl ExploreReport {
     #[must_use]
     pub fn race_free(&self) -> bool {
         self.races.is_empty()
+    }
+
+    fn mark_incomplete(&mut self, reason: IncompleteReason) {
+        self.complete = false;
+        self.incomplete.get_or_insert(reason);
     }
 }
 
@@ -143,6 +180,7 @@ pub fn explore(program: &Program, cfg: &ExploreConfig) -> ExploreReport {
         execution_count: 0,
         truncated_executions: 0,
         complete: true,
+        incomplete: None,
         steps: 0,
     };
     let state = IdealState::new(program);
@@ -159,9 +197,12 @@ fn dfs(
     report: &mut ExploreReport,
 ) {
     report.steps += 1;
-    if report.execution_count >= cfg.max_executions || report.steps >= cfg.max_total_steps
-    {
-        report.complete = false;
+    if report.execution_count >= cfg.max_executions {
+        report.mark_incomplete(IncompleteReason::MaxExecutions);
+        return;
+    }
+    if report.steps >= cfg.max_total_steps {
+        report.mark_incomplete(IncompleteReason::MaxTotalSteps);
         return;
     }
     let runnable = state.runnable_threads();
@@ -180,7 +221,7 @@ fn dfs(
     }
     if state.ops().len() >= cfg.max_ops_per_execution {
         report.truncated_executions += 1;
-        report.complete = false;
+        report.mark_incomplete(IncompleteReason::TruncatedExecution);
         // Truncated executions still contribute their races: a race in a
         // prefix is a race of the program.
         for race in detector.races() {
@@ -207,7 +248,7 @@ fn dfs(
             }
             StepOutcome::StepLimit => {
                 report.truncated_executions += 1;
-                report.complete = false;
+                report.mark_incomplete(IncompleteReason::TruncatedExecution);
             }
         }
     }
@@ -235,6 +276,7 @@ pub fn explore_results(program: &Program, cfg: &ExploreConfig) -> ExploreReport 
         execution_count: 0,
         truncated_executions: 0,
         complete: true,
+        incomplete: None,
         steps: 0,
     };
     let mut visited = HashSet::new();
@@ -272,9 +314,12 @@ fn dfs_pruned(
     report: &mut ExploreReport,
 ) {
     report.steps += 1;
-    if report.execution_count >= cfg.max_executions || report.steps >= cfg.max_total_steps
-    {
-        report.complete = false;
+    if report.execution_count >= cfg.max_executions {
+        report.mark_incomplete(IncompleteReason::MaxExecutions);
+        return;
+    }
+    if report.steps >= cfg.max_total_steps {
+        report.mark_incomplete(IncompleteReason::MaxTotalSteps);
         return;
     }
     if !visited.insert(key_of(&state)) {
@@ -293,7 +338,7 @@ fn dfs_pruned(
     }
     if state.ops().len() >= cfg.max_ops_per_execution {
         report.truncated_executions += 1;
-        report.complete = false;
+        report.mark_incomplete(IncompleteReason::TruncatedExecution);
         return;
     }
     for &t in &runnable {
@@ -308,7 +353,7 @@ fn dfs_pruned(
             }
             StepOutcome::StepLimit => {
                 report.truncated_executions += 1;
-                report.complete = false;
+                report.mark_incomplete(IncompleteReason::TruncatedExecution);
             }
         }
     }
@@ -336,6 +381,54 @@ pub fn program_is_drf0(program: &Program, cfg: &ExploreConfig) -> bool {
 #[must_use]
 pub fn reachable_results(program: &Program, cfg: &ExploreConfig) -> HashSet<ExecutionResult> {
     explore_results(program, cfg).results
+}
+
+/// The program-level DRF0 verdict with an explicit budget outcome.
+///
+/// Unlike [`program_is_drf0`], this never panics: a program whose
+/// interleaving space outgrows the configured budget (large spin bounds
+/// are the classic cause) yields [`Drf0Verdict::BudgetExceeded`] naming
+/// the limit that gave out — callers pick a bigger [`ExploreConfig`] or
+/// report the program as unclassifiable.
+///
+/// A race found before the budget ran out is conclusive either way: a
+/// racy prefix is a racy program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Drf0Verdict {
+    /// Every idealized execution is race-free (exploration completed).
+    Drf0,
+    /// Some idealized execution (possibly truncated) has a data race.
+    Racy,
+    /// The exploration budget gave out with no race found.
+    BudgetExceeded(IncompleteReason),
+}
+
+impl std::fmt::Display for Drf0Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Drf0Verdict::Drf0 => write!(f, "drf0"),
+            Drf0Verdict::Racy => write!(f, "racy"),
+            Drf0Verdict::BudgetExceeded(reason) => {
+                write!(f, "budget exceeded ({reason})")
+            }
+        }
+    }
+}
+
+/// Classifies `program` under DRF0 within the given budget.
+#[must_use]
+pub fn drf0_verdict(program: &Program, cfg: &ExploreConfig) -> Drf0Verdict {
+    let report = explore(program, cfg);
+    if !report.race_free() {
+        return Drf0Verdict::Racy;
+    }
+    if report.complete {
+        Drf0Verdict::Drf0
+    } else {
+        Drf0Verdict::BudgetExceeded(
+            report.incomplete.unwrap_or(IncompleteReason::MaxTotalSteps),
+        )
+    }
 }
 
 /// All results of a program together with the initial memory used — the
@@ -561,5 +654,67 @@ mod tests {
     fn reachable_results_shortcut() {
         let p = Program::new(vec![Thread::new().read(Loc(0), Reg(0))]).unwrap();
         assert_eq!(reachable_results(&p, &cfg()).len(), 1);
+    }
+
+    #[test]
+    fn incomplete_reason_names_the_budget() {
+        // Execution cap.
+        let p = Program::new(vec![
+            Thread::new().write(Loc(0), 1).write(Loc(1), 1),
+            Thread::new().write(Loc(2), 1).write(Loc(3), 1),
+        ])
+        .unwrap();
+        let report = explore(&p, &ExploreConfig { max_executions: 2, ..cfg() });
+        assert_eq!(report.incomplete, Some(IncompleteReason::MaxExecutions));
+
+        // Per-execution op budget (unbounded spin).
+        let spin = Program::new(vec![Thread::new()
+            .sync_read(Loc(0), Reg(0))
+            .branch_ne(Reg(0), 1u64, 0)])
+        .unwrap();
+        let report =
+            explore(&spin, &ExploreConfig { max_ops_per_execution: 8, ..cfg() });
+        assert_eq!(report.incomplete, Some(IncompleteReason::TruncatedExecution));
+
+        // Global step budget.
+        let report = explore(&p, &ExploreConfig { max_total_steps: 3, ..cfg() });
+        assert_eq!(report.incomplete, Some(IncompleteReason::MaxTotalSteps));
+
+        // Complete explorations carry no reason.
+        let report = explore(&p, &cfg());
+        assert!(report.complete);
+        assert_eq!(report.incomplete, None);
+    }
+
+    #[test]
+    fn drf0_verdict_classifies_without_panicking() {
+        assert_eq!(
+            drf0_verdict(&crate::corpus::message_passing_sync(2), &cfg()),
+            Drf0Verdict::Drf0
+        );
+        assert_eq!(
+            drf0_verdict(&crate::corpus::message_passing_data(), &cfg()),
+            Drf0Verdict::Racy
+        );
+        // A spin bound far past any budget: a clear BudgetExceeded, not a
+        // panic or a hang.
+        let spinny = crate::corpus::message_passing_sync(1_000_000);
+        let tiny = ExploreConfig { max_total_steps: 10_000, ..cfg() };
+        assert!(matches!(
+            drf0_verdict(&spinny, &tiny),
+            Drf0Verdict::BudgetExceeded(_)
+        ));
+    }
+
+    #[test]
+    fn drf0_verdict_racy_wins_over_budget() {
+        // A racy program under a budget too small to finish: the race
+        // found in the explored prefix is conclusive.
+        let p = crate::corpus::racy_counter(3);
+        let tiny = ExploreConfig { max_total_steps: 2_000, ..cfg() };
+        let report = explore(&p, &tiny);
+        if !report.race_free() {
+            assert_eq!(drf0_verdict(&p, &tiny), Drf0Verdict::Racy);
+        }
     }
 }

@@ -48,5 +48,6 @@ pub mod corpus;
 pub mod explore;
 pub mod ideal;
 pub mod parse;
+pub mod serialize;
 
 pub use program::{Instr, Operand, Program, ProgramError, Reg, Thread, NUM_REGS};

@@ -1,0 +1,114 @@
+//! The `.litmus` file serializer — the inverse of [`crate::parse`].
+//!
+//! [`Program`]'s `Display` impl already renders the instruction body in
+//! the textual format `parse_program` reads back. This module wraps that
+//! rendering into the full on-disk `.litmus` convention used by
+//! `litmus-tests/`: a `# <name>` title line, a machine-readable
+//! `# expect:` classification header, and the program body. Every
+//! serialized program re-parses to a structurally equal [`Program`] — the
+//! fuzz crate's seeded roundtrip tests (generate → serialize → parse →
+//! compare) hold the two sides of the format together.
+
+use std::fmt::Write as _;
+
+use crate::Program;
+
+/// The `# expect:` classification header of a `.litmus` file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Expectation {
+    /// Every idealized execution is data-race-free (Definition 3).
+    Drf0,
+    /// Some idealized execution has a data race.
+    Racy,
+    /// Classification is budgeted out (spin-heavy programs).
+    Unknown,
+}
+
+impl Expectation {
+    /// The header token, matching what `tests/litmus_files.rs` asserts.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Expectation::Drf0 => "drf0",
+            Expectation::Racy => "racy",
+            Expectation::Unknown => "unknown",
+        }
+    }
+}
+
+/// Renders `program` as a complete `.litmus` file: title comment,
+/// `# expect:` header, then the parseable body.
+///
+/// # Examples
+///
+/// ```
+/// use litmus::serialize::{to_litmus, Expectation};
+/// use litmus::{Program, Thread, Reg};
+/// use memory_model::Loc;
+///
+/// let p = Program::new(vec![
+///     Thread::new().write(Loc(0), 1),
+///     Thread::new().read(Loc(0), Reg(0)),
+/// ]).unwrap();
+/// let text = to_litmus(&p, "tiny_mp", Expectation::Racy);
+/// assert!(text.starts_with("# tiny_mp\n# expect: racy\n"));
+/// let again = litmus::parse::parse_program(&text).unwrap();
+/// assert_eq!(p, again);
+/// ```
+#[must_use]
+pub fn to_litmus(program: &Program, name: &str, expect: Expectation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {name}");
+    let _ = writeln!(out, "# expect: {}", expect.as_str());
+    let _ = write!(out, "{program}");
+    out
+}
+
+/// Renders just the parseable body (init line plus threads) with no
+/// comment headers — identical to the `Display` rendering, exposed under a
+/// serialization-intent name so callers don't depend on `Display` staying
+/// parseable by accident.
+#[must_use]
+pub fn to_litmus_body(program: &Program) -> String {
+    program.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+    use crate::{corpus, Reg, Thread};
+    use memory_model::Loc;
+
+    #[test]
+    fn serialized_files_reparse_equal() {
+        for (name, p) in corpus::drf0_suite() {
+            let text = to_litmus(&p, name, Expectation::Drf0);
+            let parsed = parse_program(&text).unwrap();
+            assert_eq!(p, parsed, "{name}");
+        }
+    }
+
+    #[test]
+    fn expectation_tokens_are_stable() {
+        assert_eq!(Expectation::Drf0.as_str(), "drf0");
+        assert_eq!(Expectation::Racy.as_str(), "racy");
+        assert_eq!(Expectation::Unknown.as_str(), "unknown");
+    }
+
+    #[test]
+    fn body_matches_display() {
+        let p = Program::new(vec![Thread::new().write(Loc(0), 1).read(Loc(1), Reg(0))])
+            .unwrap()
+            .with_init(vec![(Loc(1), 3)]);
+        assert_eq!(to_litmus_body(&p), p.to_string());
+    }
+
+    #[test]
+    fn init_cells_survive_the_roundtrip() {
+        let p = corpus::fig3_handoff_bounded(1, 2);
+        assert!(!p.init().is_empty());
+        let text = to_litmus(&p, "fig3", Expectation::Drf0);
+        assert_eq!(parse_program(&text).unwrap().init(), p.init());
+    }
+}

@@ -177,13 +177,13 @@ impl RaceDetector {
     /// race-free (same verdict as [`crate::drf0::is_data_race_free`]).
     #[must_use]
     pub fn check_execution(exec: &Execution) -> bool {
-        let num_procs = exec
-            .procs()
-            .iter()
-            .map(|p| p.index() + 1)
-            .max()
-            .unwrap_or(0);
-        let mut det = RaceDetector::new(num_procs);
+        RaceDetector::check_execution_with_mode(exec, SyncMode::Drf0)
+    }
+
+    /// [`RaceDetector::check_execution`] under an explicit [`SyncMode`].
+    #[must_use]
+    pub fn check_execution_with_mode(exec: &Execution, mode: SyncMode) -> bool {
+        let mut det = RaceDetector::with_mode(procs_of(exec), mode);
         for op in exec.ops() {
             if !det.observe(op).is_empty() {
                 return false;
@@ -191,6 +191,38 @@ impl RaceDetector {
         }
         true
     }
+}
+
+fn procs_of(exec: &Execution) -> usize {
+    exec.procs().iter().map(|p| p.index() + 1).max().unwrap_or(0)
+}
+
+/// Every race of `exec` under `mode`, in observation order — the full
+/// dynamic evidence (not just a verdict), so differential harnesses can
+/// cross-check a static DRF0 label against the racing operation pairs and
+/// print them in a repro.
+///
+/// # Examples
+///
+/// ```
+/// use memory_model::race::races_of;
+/// use memory_model::{Execution, Loc, Operation, OpId, ProcId, SyncMode};
+///
+/// let exec = Execution::new(vec![
+///     Operation::data_write(OpId(0), ProcId(0), Loc(0), 1),
+///     Operation::data_read(OpId(1), ProcId(1), Loc(0), 1),
+/// ]).unwrap();
+/// let races = races_of(&exec, SyncMode::Drf0);
+/// assert_eq!(races.len(), 1);
+/// assert_eq!(races[0].loc, Loc(0));
+/// ```
+#[must_use]
+pub fn races_of(exec: &Execution, mode: SyncMode) -> Vec<Race> {
+    let mut det = RaceDetector::with_mode(procs_of(exec), mode);
+    for op in exec.ops() {
+        det.observe(op);
+    }
+    det.races
 }
 
 #[cfg(test)]
@@ -311,5 +343,40 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn observe_rejects_out_of_range_proc() {
         RaceDetector::new(1).observe(&w(0, 5, 0));
+    }
+
+    #[test]
+    fn races_of_returns_the_full_evidence() {
+        // Two independent races: W/W on m0, W/R on m1.
+        let exec = Execution::new(vec![
+            w(0, 0, 0),
+            w(1, 1, 0),
+            w(2, 0, 1),
+            r(3, 1, 1),
+        ])
+        .unwrap();
+        let races = races_of(&exec, crate::SyncMode::Drf0);
+        assert_eq!(races.len(), 2);
+        assert!(races.contains(&Race { first: OpId(0), second: OpId(1), loc: Loc(0) }));
+        assert!(races.contains(&Race { first: OpId(2), second: OpId(3), loc: Loc(1) }));
+    }
+
+    #[test]
+    fn mode_changes_the_verdict_for_read_only_sync_handoff() {
+        // Hand-off through a read-only sync op: releases under DRF0, does
+        // not under the Section 6 refinement.
+        let exec = Execution::new(vec![
+            w(0, 0, 0),
+            sr(1, 0, 9),
+            sr(2, 1, 9),
+            r(3, 1, 0),
+        ])
+        .unwrap();
+        assert!(RaceDetector::check_execution_with_mode(&exec, crate::SyncMode::Drf0));
+        assert!(!RaceDetector::check_execution_with_mode(
+            &exec,
+            crate::SyncMode::ReleaseWrites
+        ));
+        assert_eq!(races_of(&exec, crate::SyncMode::ReleaseWrites).len(), 1);
     }
 }

@@ -1,0 +1,28 @@
+//! Exports the fixed-seed sample of wo-fuzz generator output as `.litmus`
+//! files under `litmus-tests/gen/` — the checked-in generated corpus that
+//! the file-based harness and the chaos sweep regress against.
+//!
+//! The selection lives in `wo_fuzz::export::gen_file_set` and is fully
+//! deterministic; the `gen_files_are_current` test in `wo-fuzz` fails
+//! whenever disk and generator drift apart, and re-running this example
+//! re-syncs them.
+//!
+//! Run with: `cargo run --release --example export_gen_litmus`
+
+use std::fs;
+use std::path::Path;
+
+use weak_ordering::wo_fuzz::export::gen_file_set;
+
+fn main() -> std::io::Result<()> {
+    let dir = Path::new("litmus-tests/gen");
+    fs::create_dir_all(dir)?;
+    let files = gen_file_set();
+    for (seed, name, text) in &files {
+        let path = dir.join(name);
+        fs::write(&path, text)?;
+        println!("wrote {} (seed {seed})", path.display());
+    }
+    println!("\n{} generated litmus files exported.", files.len());
+    Ok(())
+}

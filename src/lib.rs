@@ -10,3 +10,4 @@ pub use memory_model;
 pub use memsim;
 pub use simx;
 pub use weakord;
+pub use wo_fuzz;

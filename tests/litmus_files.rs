@@ -9,10 +9,19 @@ use weak_ordering::weakord::{Drf0, ModelVerdict, SynchronizationModel};
 fn shipped_litmus_files_parse_and_match_their_expectations() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("litmus-tests");
     let mut checked = 0;
-    for entry in std::fs::read_dir(&dir).expect("litmus-tests directory exists") {
+    let mut generated = 0;
+    // The hand-written corpus plus the checked-in sample of wo-fuzz
+    // generator output in gen/.
+    let entries = std::fs::read_dir(&dir)
+        .expect("litmus-tests directory exists")
+        .chain(std::fs::read_dir(dir.join("gen")).expect("litmus-tests/gen exists"));
+    for entry in entries {
         let path = entry.unwrap().path();
         if path.extension().is_none_or(|e| e != "litmus") {
             continue;
+        }
+        if path.parent().is_some_and(|p| p.ends_with("gen")) {
+            generated += 1;
         }
         let text = std::fs::read_to_string(&path).unwrap();
         let expect = text
@@ -41,6 +50,10 @@ fn shipped_litmus_files_parse_and_match_their_expectations() {
         checked += 1;
     }
     assert!(checked >= 15, "expected the full shipped corpus, saw {checked}");
+    assert!(
+        generated >= 10,
+        "expected the checked-in generated sample, saw {generated}"
+    );
 }
 
 #[test]
