@@ -1,11 +1,14 @@
-//! Ablation: full interleaving enumeration vs converged-state pruning
-//! (DESIGN.md decision 3).
+//! Ablation: full interleaving enumeration vs converged-state pruning vs
+//! sleep-set DPOR, sequential and parallel (DESIGN.md decisions 3 and 9).
 //!
-//! Full enumeration is required for race soundness; pruning is sound for
-//! reachable-result collection only. The gap is the price of race
-//! checking.
+//! Converged-state pruning is sound for reachable-result collection only;
+//! DPOR preserves races too, so it is the strategy the DRF0 verdicts run
+//! on. The full/dpor gap is the payoff of partial-order reduction, the
+//! full/pruned gap the (smaller) payoff of state convergence.
 
-use litmus::explore::{explore, explore_results, ExploreConfig};
+use litmus::explore::{
+    explore, explore_dpor, explore_parallel, explore_results, ExploreConfig,
+};
 use litmus::{corpus, Program, Thread};
 use memory_model::Loc;
 use std::hint::black_box;
@@ -41,6 +44,12 @@ fn bench_strategies(h: &mut Harness) {
         });
         group.bench(&format!("pruned/{name}"), || {
             black_box(explore_results(black_box(program), &cfg));
+        });
+        group.bench(&format!("dpor/{name}"), || {
+            black_box(explore_dpor(black_box(program), &cfg));
+        });
+        group.bench(&format!("dpor_par/{name}"), || {
+            black_box(explore_parallel(black_box(program), &cfg, 0));
         });
     }
     group.finish();

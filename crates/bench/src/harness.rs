@@ -57,10 +57,25 @@ impl Group {
                 "{:<36} {:>12} {:>12} {:>12}",
                 case.label,
                 fmt_ns(case.samples[0]),
-                fmt_ns(case.samples[n / 2]),
+                fmt_ns(median(&case.samples)),
                 fmt_ns(case.samples[n - 1]),
             );
         }
+    }
+}
+
+/// Median of a sorted, non-empty sample vector. For even counts this is
+/// the midpoint average of the two middle samples — `samples[n / 2]`
+/// alone is an upper-median, which biased every default-sized (10-sample)
+/// group high.
+fn median(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        let lo = sorted[n / 2 - 1];
+        let hi = sorted[n / 2];
+        lo + (hi - lo) / 2
     }
 }
 
@@ -127,6 +142,19 @@ mod tests {
         assert_eq!(g.cases.len(), 1);
         assert_eq!(g.cases[0].samples.len(), 3);
         g.finish();
+    }
+
+    #[test]
+    fn median_averages_the_middle_pair_for_even_counts() {
+        assert_eq!(median(&[7]), 7);
+        assert_eq!(median(&[1, 3]), 2);
+        assert_eq!(median(&[1, 2, 3]), 2);
+        // The original bug: samples[n / 2] would report 40 here.
+        assert_eq!(median(&[10, 20, 40, 100]), 30);
+        // Ten samples (the default sample_size): middle pair is (5, 6).
+        assert_eq!(median(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]), 5);
+        // Midpoint rounding never overflows near u64::MAX.
+        assert_eq!(median(&[u64::MAX - 2, u64::MAX]), u64::MAX - 1);
     }
 
     #[test]

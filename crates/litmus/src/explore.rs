@@ -1,7 +1,7 @@
 //! Exhaustive exploration of idealized executions.
 //!
 //! DRF0 (Definition 3) and Definition 2 both quantify over **all**
-//! executions of a program. [`explore`] enumerates every interleaving of
+//! executions of a program. The explorers here enumerate interleavings of
 //! memory operations on the idealized architecture up to a budget,
 //! aggregating:
 //!
@@ -10,24 +10,41 @@
 //! * every data race found (so a program-level DRF0 verdict can be made),
 //! * optionally, the executions themselves.
 //!
-//! Two exploration strategies are provided and compared in the
-//! `explore_ablation` benchmark:
+//! Three exploration strategies are provided and compared in the
+//! `explore_ablation` benchmark and the `explore_bench` binary:
 //!
-//! * [`explore`] — full DFS over interleavings, **no state pruning**. This
-//!   is the strategy race checking requires: merging converged states is
-//!   unsound for race detection, because a pruned history can race with a
-//!   future that its surviving twin does not (they may have synchronized
-//!   differently on the way in).
-//! * [`explore_results`] — DFS **with** converged-state pruning. Sound for
+//! * [`explore`] — full DFS over interleavings, no reduction. The
+//!   ground-truth baseline every reduced strategy is differentially
+//!   checked against.
+//! * [`explore_dpor`] — sleep-set dynamic partial-order reduction in the
+//!   style of Flanagan & Godefroid (POPL 2005): interleavings that differ
+//!   only in the order of *independent* (non-conflicting, non-so-related)
+//!   operations are explored once. Sound for `results`, `outcomes`, *and*
+//!   `races` — see [`explore_dpor`] for the argument — and exponentially
+//!   faster on programs with per-thread-disjoint locations.
+//!   [`explore_parallel`] runs the same reduction across a work-stealing
+//!   pool with a deterministic merge.
+//! * [`explore_results`] — DFS with converged-state pruning. Sound for
 //!   collecting the set of reachable results and final states (identical
-//!   architectural states have identical futures), and far faster; unsound
-//!   for race detection, so it reports no races.
+//!   architectural states *plus read histories* have identical futures),
+//!   and unsound for race detection, so it reports no races: a pruned
+//!   history can race with a future that its surviving twin does not
+//!   (they may have synchronized differently on the way in).
+//!
+//! All strategies use an undo log ([`IdealState::step_undoable`],
+//! [`RaceDetector::observe_undoable`]) instead of cloning state per
+//! transition, so a DFS allocates O(depth), and all account budgets the
+//! same way: [`ExploreReport::steps`] counts **states expanded**, with
+//! deduplicated or sleep-set-skipped states counted in
+//! [`ExploreReport::pruned`], so [`IncompleteReason`] boundaries are
+//! comparable across strategies.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use memory_model::drf0::Race;
 use memory_model::race::RaceDetector;
-use memory_model::{ExecutionResult, Memory, SyncMode};
+use memory_model::{ExecutionResult, Memory, Operation, SyncMode};
 
 use crate::ideal::{IdealState, StepOutcome};
 use crate::Program;
@@ -49,10 +66,17 @@ pub struct ExploreConfig {
     /// synchronization operation releases) or the Section 6 refinement
     /// (only writing synchronization operations release).
     pub sync_mode: SyncMode,
-    /// Global budget on DFS steps (states visited), bounding even the
-    /// truncated-path combinatorics of spin loops. When exhausted,
+    /// Global budget on states expanded, bounding even the truncated-path
+    /// combinatorics of spin loops. When exhausted,
     /// [`ExploreReport::complete`] is `false`.
     pub max_total_steps: usize,
+    /// Memory budget: cap on the converged-state `visited` set of
+    /// [`explore_results`]. The set used to grow without bound and
+    /// invisibly — a chaos or fuzz sweep over a state-dense program could
+    /// be OOM-killed with no budget ever reporting exhaustion. When the
+    /// cap is hit the exploration stops expanding new states and reports
+    /// [`IncompleteReason::MaxVisitedStates`].
+    pub max_visited_states: usize,
 }
 
 impl Default for ExploreConfig {
@@ -63,6 +87,7 @@ impl Default for ExploreConfig {
             keep_executions: false,
             sync_mode: SyncMode::Drf0,
             max_total_steps: 50_000_000,
+            max_visited_states: 4_000_000,
         }
     }
 }
@@ -95,6 +120,9 @@ pub enum IncompleteReason {
     /// Some execution hit [`ExploreConfig::max_ops_per_execution`] or the
     /// per-thread local-step limit and was truncated.
     TruncatedExecution,
+    /// [`ExploreConfig::max_visited_states`] was reached — the memory
+    /// budget for the converged-state set gave out.
+    MaxVisitedStates,
 }
 
 impl std::fmt::Display for IncompleteReason {
@@ -104,6 +132,9 @@ impl std::fmt::Display for IncompleteReason {
             IncompleteReason::MaxTotalSteps => write!(f, "DFS step budget exhausted"),
             IncompleteReason::TruncatedExecution => {
                 write!(f, "an execution exceeded the per-execution op budget")
+            }
+            IncompleteReason::MaxVisitedStates => {
+                write!(f, "visited-state memory budget exhausted")
             }
         }
     }
@@ -132,11 +163,38 @@ pub struct ExploreReport {
     pub complete: bool,
     /// When `complete` is false, the first budget that gave out.
     pub incomplete: Option<IncompleteReason>,
-    /// DFS steps (states) visited.
+    /// States expanded. Uniform across strategies: a state counts exactly
+    /// once, when it is entered and processed; duplicate hits and
+    /// sleep-set skips count in [`ExploreReport::pruned`] instead, so
+    /// budget boundaries are comparable between the full, DPOR-reduced,
+    /// and converged-state explorers.
     pub steps: usize,
+    /// States *not* expanded thanks to reduction: converged-state
+    /// duplicates in [`explore_results`], sleep-set skips in
+    /// [`explore_dpor`]/[`explore_parallel`], zero for [`explore`].
+    pub pruned: usize,
+    /// Peak size of the converged-state `visited` set (zero for the
+    /// strategies that keep none) — the memory-side budget surface.
+    pub peak_visited: usize,
 }
 
 impl ExploreReport {
+    fn empty() -> Self {
+        ExploreReport {
+            results: HashSet::new(),
+            outcomes: HashSet::new(),
+            races: HashSet::new(),
+            executions: Vec::new(),
+            execution_count: 0,
+            truncated_executions: 0,
+            complete: true,
+            incomplete: None,
+            steps: 0,
+            pruned: 0,
+            peak_visited: 0,
+        }
+    }
+
     /// Whether every explored execution was free of data races — the
     /// program-level DRF0 condition (2), provided `complete` is `true`.
     #[must_use]
@@ -148,10 +206,79 @@ impl ExploreReport {
         self.complete = false;
         self.incomplete.get_or_insert(reason);
     }
+
+    /// Unified per-state budget gate: `true` when the caller may expand
+    /// one more state (and accounts for it), `false` when a budget gave
+    /// out (and records which).
+    fn admit_state(&mut self, cfg: &ExploreConfig) -> bool {
+        if self.execution_count >= cfg.max_executions {
+            self.mark_incomplete(IncompleteReason::MaxExecutions);
+            return false;
+        }
+        if self.steps >= cfg.max_total_steps {
+            self.mark_incomplete(IncompleteReason::MaxTotalSteps);
+            return false;
+        }
+        self.steps += 1;
+        true
+    }
+
+    /// Records a completed execution at a leaf state.
+    fn record_leaf(
+        &mut self,
+        state: &IdealState<'_>,
+        program: &Program,
+        races: Option<&[Race]>,
+        cfg: &ExploreConfig,
+    ) {
+        self.execution_count += 1;
+        if let Some(races) = races {
+            self.races.extend(races.iter().copied());
+        }
+        self.outcomes.insert(outcome_of(state, program));
+        let exec = state.execution();
+        self.results.insert(exec.result(&program.initial_memory()));
+        if cfg.keep_executions {
+            self.executions.push(exec);
+        }
+    }
+
+    /// Records a truncated execution: races found in the prefix still
+    /// count (a race in a prefix is a race of the program).
+    fn record_truncation(&mut self, races: Option<&[Race]>) {
+        self.truncated_executions += 1;
+        self.mark_incomplete(IncompleteReason::TruncatedExecution);
+        if let Some(races) = races {
+            self.races.extend(races.iter().copied());
+        }
+    }
+
+    /// Merges `sub` into `self` — set unions, counter sums, and the first
+    /// incomplete reason in merge order. Used by [`explore_parallel`],
+    /// which merges subtree reports in frontier order so the result is
+    /// independent of worker count.
+    fn merge(&mut self, sub: ExploreReport) {
+        self.results.extend(sub.results);
+        self.outcomes.extend(sub.outcomes);
+        self.races.extend(sub.races);
+        self.executions.extend(sub.executions);
+        self.execution_count += sub.execution_count;
+        self.truncated_executions += sub.truncated_executions;
+        self.steps += sub.steps;
+        self.pruned += sub.pruned;
+        self.peak_visited = self.peak_visited.max(sub.peak_visited);
+        if !sub.complete {
+            self.complete = false;
+            if self.incomplete.is_none() {
+                self.incomplete = sub.incomplete;
+            }
+        }
+    }
 }
 
-/// Fully enumerates the interleavings of `program` (no state pruning) and
-/// aggregates results and races.
+/// Fully enumerates the interleavings of `program` (no reduction) and
+/// aggregates results and races — the differential baseline for
+/// [`explore_dpor`] and [`explore_results`].
 ///
 /// # Examples
 ///
@@ -172,70 +299,40 @@ impl ExploreReport {
 /// ```
 #[must_use]
 pub fn explore(program: &Program, cfg: &ExploreConfig) -> ExploreReport {
-    let mut report = ExploreReport {
-        results: HashSet::new(),
-        outcomes: HashSet::new(),
-        races: HashSet::new(),
-        executions: Vec::new(),
-        execution_count: 0,
-        truncated_executions: 0,
-        complete: true,
-        incomplete: None,
-        steps: 0,
-    };
-    let state = IdealState::new(program);
-    let detector = RaceDetector::with_mode(program.num_threads(), cfg.sync_mode);
-    dfs(program, state, detector, cfg, &mut report);
+    let mut report = ExploreReport::empty();
+    let mut state = IdealState::new(program);
+    let mut detector = RaceDetector::with_mode(program.num_threads(), cfg.sync_mode);
+    dfs(program, &mut state, &mut detector, cfg, &mut report);
     report
 }
 
 fn dfs(
     program: &Program,
-    state: IdealState<'_>,
-    detector: RaceDetector,
+    state: &mut IdealState<'_>,
+    detector: &mut RaceDetector,
     cfg: &ExploreConfig,
     report: &mut ExploreReport,
 ) {
-    report.steps += 1;
-    if report.execution_count >= cfg.max_executions {
-        report.mark_incomplete(IncompleteReason::MaxExecutions);
-        return;
-    }
-    if report.steps >= cfg.max_total_steps {
-        report.mark_incomplete(IncompleteReason::MaxTotalSteps);
+    if !report.admit_state(cfg) {
         return;
     }
     let runnable = state.runnable_threads();
     if runnable.is_empty() {
-        report.execution_count += 1;
-        for race in detector.races() {
-            report.races.insert(*race);
-        }
-        report.outcomes.insert(outcome_of(&state, program));
-        let exec = state.into_execution();
-        report.results.insert(exec.result(&program.initial_memory()));
-        if cfg.keep_executions {
-            report.executions.push(exec);
-        }
+        report.record_leaf(state, program, Some(detector.races()), cfg);
         return;
     }
     if state.ops().len() >= cfg.max_ops_per_execution {
-        report.truncated_executions += 1;
-        report.mark_incomplete(IncompleteReason::TruncatedExecution);
-        // Truncated executions still contribute their races: a race in a
-        // prefix is a race of the program.
-        for race in detector.races() {
-            report.races.insert(*race);
-        }
+        report.record_truncation(Some(detector.races()));
         return;
     }
     for &t in &runnable {
-        let mut next = state.clone();
-        let mut det = detector.clone();
-        match next.step(t) {
+        let (outcome, undo) = state.step_undoable(t);
+        match outcome {
             StepOutcome::Performed(op) => {
-                det.observe(&op);
-                dfs(program, next, det, cfg, report);
+                let det_undo = detector.observe_undoable(&op);
+                dfs(program, state, detector, cfg, report);
+                detector.undo(det_undo);
+                state.undo(undo);
             }
             StepOutcome::Halted => {
                 // The thread ran local-only instructions to completion:
@@ -243,12 +340,328 @@ fn dfs(
                 // thread's ops. Exploring this one order covers all
                 // interleavings; trying other threads from the parent state
                 // would only double-count.
-                dfs(program, next, det, cfg, report);
+                dfs(program, state, detector, cfg, report);
+                state.undo(undo);
                 return;
             }
             StepOutcome::StepLimit => {
-                report.truncated_executions += 1;
-                report.mark_incomplete(IncompleteReason::TruncatedExecution);
+                state.undo(undo);
+                report.record_truncation(None);
+            }
+        }
+    }
+}
+
+/// Whether the order of two operations matters to any observable the
+/// explorers aggregate — the *dependence* relation sleep sets prune
+/// against.
+///
+/// Two operations are dependent when they access the same location and
+/// either conflicts (at least one writes — their order changes read values
+/// and final memory) **or both are synchronization operations** (their
+/// order is a synchronization-order edge: under DRF0's happens-before even
+/// a read-only `Test` releases, so swapping two same-location sync reads
+/// changes which accesses are ordered and therefore which races exist —
+/// conflict information alone would wrongly commute them and lose races).
+fn dependent(a: &Operation, b: &Operation) -> bool {
+    a.conflicts_with(b) || a.so_related(b)
+}
+
+/// Enumerates the interleavings of `program` with sleep-set dynamic
+/// partial-order reduction, preserving the full observable surface of
+/// [`explore`]: `results`, `outcomes`, and `races`.
+///
+/// Why the reduction is sound for races, not just final states: sleep
+/// sets skip an interleaving only when it differs from an explored one by
+/// the order of *independent* operations ([`dependent`] pairs — conflicts
+/// and same-location synchronization pairs — are never commuted). The
+/// happens-before relation, and hence the set of racing pairs the
+/// vector-clock detector reports, is a function of program order plus the
+/// order of dependent pairs only, so every pruned interleaving reports
+/// exactly the races of the explored representative it is equivalent to.
+/// Read values and final memory are likewise functions of the
+/// conflicting-pair order, so `results` and `outcomes` are preserved too.
+/// The differential property tests in `wo-fuzz` cross-check this against
+/// [`explore`] on the full litmus corpus plus 500 generated seeds.
+///
+/// On budget-limited (incomplete) explorations the guarantee weakens: the
+/// two strategies truncate different portions of the tree, so only
+/// complete reports are comparable.
+#[must_use]
+pub fn explore_dpor(program: &Program, cfg: &ExploreConfig) -> ExploreReport {
+    let mut report = ExploreReport::empty();
+    let mut state = IdealState::new(program);
+    let mut detector = RaceDetector::with_mode(program.num_threads(), cfg.sync_mode);
+    dfs_dpor(program, &mut state, &mut detector, cfg, Vec::new(), &mut report);
+    report
+}
+
+fn dfs_dpor(
+    program: &Program,
+    state: &mut IdealState<'_>,
+    detector: &mut RaceDetector,
+    cfg: &ExploreConfig,
+    sleep: Vec<Operation>,
+    report: &mut ExploreReport,
+) {
+    if !report.admit_state(cfg) {
+        return;
+    }
+    let runnable = state.runnable_threads();
+    if runnable.is_empty() {
+        report.record_leaf(state, program, Some(detector.races()), cfg);
+        return;
+    }
+    if state.ops().len() >= cfg.max_ops_per_execution {
+        report.record_truncation(Some(detector.races()));
+        return;
+    }
+    // `sleep` holds, for each sleeping thread, the operation it is poised
+    // to perform (performed and rolled back in an already-explored sibling
+    // branch). A sleeping thread's pending operation is stable: its
+    // (location, kind) depend only on its own registers and pc, and any
+    // conflicting operation by another thread removes it from the set.
+    let mut sleep = sleep;
+    for &t in &runnable {
+        if sleep.iter().any(|op| op.proc.index() == t) {
+            report.pruned += 1;
+            continue;
+        }
+        let (outcome, undo) = state.step_undoable(t);
+        match outcome {
+            StepOutcome::Performed(op) => {
+                let det_undo = detector.observe_undoable(&op);
+                let child_sleep: Vec<Operation> =
+                    sleep.iter().filter(|o| !dependent(o, &op)).copied().collect();
+                dfs_dpor(program, state, detector, cfg, child_sleep, report);
+                detector.undo(det_undo);
+                state.undo(undo);
+                // Future sibling branches need not re-explore t first: every
+                // interleaving starting with t's op is covered by the branch
+                // just explored until some dependent op wakes t up.
+                sleep.push(op);
+            }
+            StepOutcome::Halted => {
+                // A halt performs no memory operation, so it is independent
+                // of everything: the inherited sleep set passes through
+                // unchanged and this one order covers all interleavings.
+                let child_sleep = sleep.clone();
+                dfs_dpor(program, state, detector, cfg, child_sleep, report);
+                state.undo(undo);
+                return;
+            }
+            StepOutcome::StepLimit => {
+                state.undo(undo);
+                report.record_truncation(None);
+            }
+        }
+    }
+}
+
+/// A node on the parallel split frontier: the schedule replaying the path
+/// from the root plus the sleep set sequential DPOR would carry there.
+struct FrontierTask {
+    schedule: Vec<usize>,
+    sleep: Vec<Operation>,
+}
+
+/// [`explore_dpor`] across a work-stealing thread pool.
+///
+/// The interleaving tree is split at a fixed depth: a sequential DPOR pass
+/// enumerates the top of the tree (recording any shallow leaves in the
+/// base report) and emits one task per frontier node, carrying the exact
+/// sleep set the sequential search would arrive with. Workers then grab
+/// tasks off a shared atomic cursor — the same dynamic work-stealing
+/// pattern as the fuzz campaign driver, so one hot subtree never stalls
+/// the pool behind a static partition — replay the schedule, and run the
+/// sequential DPOR DFS on their subtree.
+///
+/// **Determinism:** the frontier and each subtree report are pure
+/// functions of `(program, cfg)`; workers only decide *who* computes each
+/// subtree, never *what* it contains. Reports merge in frontier order, so
+/// any `threads` value (including 1, which short-circuits to
+/// [`explore_dpor`]) yields an identical report. Budgets are applied per
+/// subtree: the merged counters are sums, and `max_total_steps` bounds
+/// each task rather than the whole exploration (a deliberate trade — a
+/// shared global budget would make the report depend on scheduling).
+///
+/// `threads == 0` means "available parallelism".
+#[must_use]
+pub fn explore_parallel(
+    program: &Program,
+    cfg: &ExploreConfig,
+    threads: usize,
+) -> ExploreReport {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    let n = program.num_threads();
+    if threads <= 1 || n <= 1 {
+        return explore_dpor(program, cfg);
+    }
+
+    // Fixed split depth (independent of worker count, so reports are
+    // too): deep enough that the frontier comfortably outnumbers any
+    // realistic pool, shallow enough that the sequential prefix is cheap.
+    let mut depth = 1usize;
+    let mut width = n;
+    while width < 64 && depth < 8 {
+        width *= n;
+        depth += 1;
+    }
+
+    let mut report = ExploreReport::empty();
+    let mut tasks: Vec<FrontierTask> = Vec::new();
+    {
+        let mut state = IdealState::new(program);
+        let mut detector = RaceDetector::with_mode(n, cfg.sync_mode);
+        let mut path = Vec::new();
+        dfs_frontier(
+            program,
+            &mut state,
+            &mut detector,
+            cfg,
+            Vec::new(),
+            depth,
+            &mut path,
+            &mut tasks,
+            &mut report,
+        );
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(tasks.len().max(1));
+    let mut subreports: Vec<(usize, ExploreReport)> = Vec::with_capacity(tasks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let tasks = &tasks;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            break;
+                        }
+                        local.push((i, run_frontier_task(program, cfg, &tasks[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            subreports.extend(handle.join().expect("explore worker panicked"));
+        }
+    });
+    subreports.sort_by_key(|&(i, _)| i);
+    for (_, sub) in subreports {
+        report.merge(sub);
+    }
+    report
+}
+
+fn run_frontier_task(
+    program: &Program,
+    cfg: &ExploreConfig,
+    task: &FrontierTask,
+) -> ExploreReport {
+    let mut report = ExploreReport::empty();
+    let mut state = IdealState::new(program);
+    let mut detector = RaceDetector::with_mode(program.num_threads(), cfg.sync_mode);
+    for &t in &task.schedule {
+        if let StepOutcome::Performed(op) = state.step(t) {
+            detector.observe(&op);
+        }
+    }
+    dfs_dpor(program, &mut state, &mut detector, cfg, task.sleep.clone(), &mut report);
+    report
+}
+
+/// The phase-1 pass of [`explore_parallel`]: identical to [`dfs_dpor`]
+/// except that nodes at the split depth become [`FrontierTask`]s instead
+/// of being expanded (their subtree, including the budget gate for the
+/// node itself, runs on a worker).
+#[allow(clippy::too_many_arguments)]
+fn dfs_frontier(
+    program: &Program,
+    state: &mut IdealState<'_>,
+    detector: &mut RaceDetector,
+    cfg: &ExploreConfig,
+    sleep: Vec<Operation>,
+    depth_limit: usize,
+    path: &mut Vec<usize>,
+    tasks: &mut Vec<FrontierTask>,
+    report: &mut ExploreReport,
+) {
+    if path.len() >= depth_limit {
+        tasks.push(FrontierTask { schedule: path.clone(), sleep });
+        return;
+    }
+    if !report.admit_state(cfg) {
+        return;
+    }
+    let runnable = state.runnable_threads();
+    if runnable.is_empty() {
+        report.record_leaf(state, program, Some(detector.races()), cfg);
+        return;
+    }
+    if state.ops().len() >= cfg.max_ops_per_execution {
+        report.record_truncation(Some(detector.races()));
+        return;
+    }
+    let mut sleep = sleep;
+    for &t in &runnable {
+        if sleep.iter().any(|op| op.proc.index() == t) {
+            report.pruned += 1;
+            continue;
+        }
+        let (outcome, undo) = state.step_undoable(t);
+        match outcome {
+            StepOutcome::Performed(op) => {
+                let det_undo = detector.observe_undoable(&op);
+                let child_sleep: Vec<Operation> =
+                    sleep.iter().filter(|o| !dependent(o, &op)).copied().collect();
+                path.push(t);
+                dfs_frontier(
+                    program,
+                    state,
+                    detector,
+                    cfg,
+                    child_sleep,
+                    depth_limit,
+                    path,
+                    tasks,
+                    report,
+                );
+                path.pop();
+                detector.undo(det_undo);
+                state.undo(undo);
+                sleep.push(op);
+            }
+            StepOutcome::Halted => {
+                let child_sleep = sleep.clone();
+                path.push(t);
+                dfs_frontier(
+                    program,
+                    state,
+                    detector,
+                    cfg,
+                    child_sleep,
+                    depth_limit,
+                    path,
+                    tasks,
+                    report,
+                );
+                path.pop();
+                state.undo(undo);
+                return;
+            }
+            StepOutcome::StepLimit => {
+                state.undo(undo);
+                report.record_truncation(None);
             }
         }
     }
@@ -264,23 +677,14 @@ fn outcome_of(state: &IdealState<'_>, program: &Program) -> Outcome {
 }
 
 /// Enumerates reachable *results* with converged-state pruning. Much faster
-/// than [`explore`], but performs no race detection (see module docs for
-/// why pruning is unsound for races).
+/// than [`explore`] on state-converging programs, but performs no race
+/// detection (see module docs for why pruning is unsound for races).
 #[must_use]
 pub fn explore_results(program: &Program, cfg: &ExploreConfig) -> ExploreReport {
-    let mut report = ExploreReport {
-        results: HashSet::new(),
-        outcomes: HashSet::new(),
-        races: HashSet::new(),
-        executions: Vec::new(),
-        execution_count: 0,
-        truncated_executions: 0,
-        complete: true,
-        incomplete: None,
-        steps: 0,
-    };
+    let mut report = ExploreReport::empty();
     let mut visited = HashSet::new();
-    dfs_pruned(program, IdealState::new(program), cfg, &mut visited, &mut report);
+    let mut state = IdealState::new(program);
+    dfs_pruned(program, &mut state, cfg, &mut visited, &mut report);
     report
 }
 
@@ -308,52 +712,49 @@ fn key_of(state: &IdealState<'_>) -> StateKey {
 
 fn dfs_pruned(
     program: &Program,
-    state: IdealState<'_>,
+    state: &mut IdealState<'_>,
     cfg: &ExploreConfig,
     visited: &mut HashSet<StateKey>,
     report: &mut ExploreReport,
 ) {
-    report.steps += 1;
-    if report.execution_count >= cfg.max_executions {
-        report.mark_incomplete(IncompleteReason::MaxExecutions);
+    let key = key_of(state);
+    if visited.contains(&key) {
+        report.pruned += 1;
         return;
     }
-    if report.steps >= cfg.max_total_steps {
-        report.mark_incomplete(IncompleteReason::MaxTotalSteps);
+    if visited.len() >= cfg.max_visited_states {
+        report.mark_incomplete(IncompleteReason::MaxVisitedStates);
         return;
     }
-    if !visited.insert(key_of(&state)) {
+    if !report.admit_state(cfg) {
         return;
     }
+    visited.insert(key);
+    report.peak_visited = report.peak_visited.max(visited.len());
     let runnable = state.runnable_threads();
     if runnable.is_empty() {
-        report.execution_count += 1;
-        report.outcomes.insert(outcome_of(&state, program));
-        let exec = state.into_execution();
-        report.results.insert(exec.result(&program.initial_memory()));
-        if cfg.keep_executions {
-            report.executions.push(exec);
-        }
+        report.record_leaf(state, program, None, cfg);
         return;
     }
     if state.ops().len() >= cfg.max_ops_per_execution {
-        report.truncated_executions += 1;
-        report.mark_incomplete(IncompleteReason::TruncatedExecution);
+        report.record_truncation(None);
         return;
     }
     for &t in &runnable {
-        let mut next = state.clone();
-        match next.step(t) {
+        let (outcome, undo) = state.step_undoable(t);
+        match outcome {
             StepOutcome::Performed(_) => {
-                dfs_pruned(program, next, cfg, visited, report);
+                dfs_pruned(program, state, cfg, visited, report);
+                state.undo(undo);
             }
             StepOutcome::Halted => {
-                dfs_pruned(program, next, cfg, visited, report);
+                dfs_pruned(program, state, cfg, visited, report);
+                state.undo(undo);
                 return;
             }
             StepOutcome::StepLimit => {
-                report.truncated_executions += 1;
-                report.mark_incomplete(IncompleteReason::TruncatedExecution);
+                state.undo(undo);
+                report.record_truncation(None);
             }
         }
     }
@@ -361,15 +762,17 @@ fn dfs_pruned(
 
 /// Convenience: whether every idealized execution of `program` is free of
 /// data races — the program-level DRF0 verdict (Definition 3, condition 2).
+/// Uses the DPOR-reduced explorer (race-set preserving; see
+/// [`explore_dpor`]).
 ///
 /// # Panics
 ///
 /// Panics if the exploration budget is exhausted before the answer is
-/// known; raise the limits in [`ExploreConfig`] and use [`explore`]
+/// known; raise the limits in [`ExploreConfig`] and use [`explore_dpor`]
 /// directly for large programs.
 #[must_use]
 pub fn program_is_drf0(program: &Program, cfg: &ExploreConfig) -> bool {
-    let report = explore(program, cfg);
+    let report = explore_dpor(program, cfg);
     assert!(
         report.complete,
         "exploration budget exhausted before a DRF0 verdict was reached"
@@ -415,10 +818,18 @@ impl std::fmt::Display for Drf0Verdict {
     }
 }
 
-/// Classifies `program` under DRF0 within the given budget.
+/// Classifies `program` under DRF0 within the given budget, via the
+/// DPOR-reduced explorer (this is what the fuzz oracle and chaos sweeps
+/// run; the reduction preserves the race set, so the verdict matches the
+/// unreduced explorer whenever both complete).
 #[must_use]
 pub fn drf0_verdict(program: &Program, cfg: &ExploreConfig) -> Drf0Verdict {
-    let report = explore(program, cfg);
+    verdict_of(&explore_dpor(program, cfg))
+}
+
+/// The DRF0 verdict a finished [`ExploreReport`] supports.
+#[must_use]
+pub fn verdict_of(report: &ExploreReport) -> Drf0Verdict {
     if !report.race_free() {
         return Drf0Verdict::Racy;
     }
@@ -479,6 +890,21 @@ mod tests {
         ExploreConfig::default()
     }
 
+    /// Each thread writes its own disjoint locations: every cross-thread
+    /// pair of ops is independent, the DPOR stress case.
+    fn independent_writers(threads: usize, writes: u32) -> Program {
+        let ts = (0..threads)
+            .map(|t| {
+                let mut th = Thread::new();
+                for i in 0..writes {
+                    th = th.write(Loc(t as u32 * 100 + i), u64::from(i) + 1);
+                }
+                th
+            })
+            .collect();
+        Program::new(ts).unwrap()
+    }
+
     #[test]
     fn dekker_has_three_sc_outcomes_for_the_read_pair() {
         let (x, y) = (Loc(0), Loc(1));
@@ -529,6 +955,151 @@ mod tests {
         assert!(full.complete && pruned.complete);
         assert_eq!(full.results, pruned.results);
         assert!(pruned.steps <= full.steps, "pruning still helps");
+    }
+
+    #[test]
+    fn dpor_and_full_agree_on_dekker() {
+        let p = crate::corpus::fig1_dekker();
+        let full = explore(&p, &cfg());
+        let dpor = explore_dpor(&p, &cfg());
+        assert!(full.complete && dpor.complete);
+        assert_eq!(full.results, dpor.results);
+        assert_eq!(full.outcomes, dpor.outcomes);
+        assert_eq!(full.races, dpor.races);
+        assert!(dpor.steps <= full.steps);
+    }
+
+    #[test]
+    fn dpor_strictly_reduces_independent_writers() {
+        let p = independent_writers(3, 2);
+        let full = explore(&p, &cfg());
+        let dpor = explore_dpor(&p, &cfg());
+        assert!(full.complete && dpor.complete);
+        assert_eq!(full.results, dpor.results);
+        assert_eq!(full.outcomes, dpor.outcomes);
+        assert_eq!(full.races, dpor.races);
+        assert!(
+            dpor.steps < full.steps,
+            "3 threads of disjoint writes must prune: dpor {} vs full {}",
+            dpor.steps,
+            full.steps
+        );
+        assert!(dpor.pruned > 0);
+        // All 6 ops commute: exactly one complete execution survives.
+        assert_eq!(dpor.execution_count, 1);
+    }
+
+    #[test]
+    fn dpor_treats_same_location_sync_reads_as_dependent() {
+        // Two sync reads of s never *conflict* (both reads), but under
+        // DRF0's happens-before a sync read releases, so their order
+        // decides whether P1 acquires P0's write of x. Conflict-only
+        // independence would commute them and lose the race; the
+        // so-related clause must keep both orders.
+        let (x, s) = (Loc(0), Loc(9));
+        let p = Program::new(vec![
+            Thread::new().write(x, 1).sync_read(s, Reg(0)),
+            Thread::new().sync_read(s, Reg(0)).read(x, Reg(1)),
+        ])
+        .unwrap();
+        let full = explore(&p, &cfg());
+        let dpor = explore_dpor(&p, &cfg());
+        assert!(full.complete && dpor.complete);
+        assert!(!full.race_free(), "some order leaves the read unsynchronized");
+        assert_eq!(full.races, dpor.races);
+        assert_eq!(full.results, dpor.results);
+    }
+
+    #[test]
+    fn dpor_agrees_across_the_corpus() {
+        for (name, p) in
+            crate::corpus::drf0_suite().iter().chain(crate::corpus::racy_suite().iter())
+        {
+            let budget = ExploreConfig {
+                max_total_steps: 500_000,
+                ..ExploreConfig::default()
+            };
+            let full = explore(p, &budget);
+            let dpor = explore_dpor(p, &budget);
+            if full.complete && dpor.complete {
+                assert_eq!(full.results, dpor.results, "{name}: results");
+                assert_eq!(full.outcomes, dpor.outcomes, "{name}: outcomes");
+                assert_eq!(full.races, dpor.races, "{name}: races");
+                assert!(dpor.steps <= full.steps, "{name}: reduction never grows");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_report_is_independent_of_thread_count() {
+        for p in [
+            crate::corpus::fig1_dekker(),
+            independent_writers(3, 2),
+            crate::corpus::message_passing_sync(2),
+        ] {
+            let sequential = explore_dpor(&p, &cfg());
+            for threads in [1, 2, 4, 7] {
+                let par = explore_parallel(&p, &cfg(), threads);
+                assert_eq!(par.results, sequential.results, "threads={threads}");
+                assert_eq!(par.outcomes, sequential.outcomes, "threads={threads}");
+                assert_eq!(par.races, sequential.races, "threads={threads}");
+                assert_eq!(
+                    par.execution_count, sequential.execution_count,
+                    "threads={threads}"
+                );
+                assert_eq!(par.steps, sequential.steps, "threads={threads}");
+                assert_eq!(par.complete, sequential.complete, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_accounting_is_uniform_across_strategies() {
+        // Regression: the full DFS used to count budget per recursive call
+        // while the pruned DFS counted per deduplicated state, so the two
+        // exhausted `max_total_steps` at wildly different effective depths
+        // and their `IncompleteReason`s were not comparable. On a
+        // single-path program (one thread, no branching) all strategies
+        // must now expand identical state counts and report the identical
+        // budget boundary.
+        let mut th = Thread::new();
+        for i in 0..12 {
+            th = th.write(Loc(i), u64::from(i) + 1);
+        }
+        let p = Program::new(vec![th]).unwrap();
+        for budget in 1..16 {
+            let limited = ExploreConfig { max_total_steps: budget, ..cfg() };
+            let full = explore(&p, &limited);
+            let pruned = explore_results(&p, &limited);
+            let dpor = explore_dpor(&p, &limited);
+            assert_eq!(full.steps, pruned.steps, "budget {budget}");
+            assert_eq!(full.steps, dpor.steps, "budget {budget}");
+            assert_eq!(full.incomplete, pruned.incomplete, "budget {budget}");
+            assert_eq!(full.incomplete, dpor.incomplete, "budget {budget}");
+            assert_eq!(full.complete, pruned.complete, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn visited_set_is_tracked_and_budgeted() {
+        let p = crate::corpus::fig1_dekker();
+        let unbounded = explore_results(&p, &cfg());
+        assert!(unbounded.complete);
+        assert_eq!(
+            unbounded.peak_visited, unbounded.steps,
+            "every expanded state is retained in the visited set"
+        );
+        assert!(unbounded.pruned > 0, "dekker has converging paths");
+
+        let capped = explore_results(
+            &p,
+            &ExploreConfig { max_visited_states: 4, ..cfg() },
+        );
+        assert!(!capped.complete);
+        assert_eq!(capped.incomplete, Some(IncompleteReason::MaxVisitedStates));
+        assert!(capped.peak_visited <= 4);
+        // The memory budget is visible in Display for report surfaces.
+        assert!(IncompleteReason::MaxVisitedStates.to_string().contains("memory"));
     }
 
     #[test]
@@ -712,7 +1283,7 @@ mod tests {
         // found in the explored prefix is conclusive.
         let p = crate::corpus::racy_counter(3);
         let tiny = ExploreConfig { max_total_steps: 2_000, ..cfg() };
-        let report = explore(&p, &tiny);
+        let report = explore_dpor(&p, &tiny);
         if !report.race_free() {
             assert_eq!(drf0_verdict(&p, &tiny), Drf0Verdict::Racy);
         }

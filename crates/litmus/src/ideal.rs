@@ -7,7 +7,7 @@
 //! *memory* operation, the only granularity that matters for the memory
 //! model.
 
-use memory_model::{Execution, Memory, OpId, Operation, ProcId, Value};
+use memory_model::{Execution, Loc, Memory, OpId, Operation, ProcId, Value};
 
 use crate::{Instr, Operand, Program, NUM_REGS};
 
@@ -74,6 +74,24 @@ pub struct IdealState<'p> {
     /// Per-thread budget of local instructions, guarding against loops
     /// that never touch memory.
     local_step_limit: u64,
+    /// The memory cell overwritten by the most recent step, captured so
+    /// [`IdealState::step_undoable`] can hand out an O(1) undo record.
+    last_write_undo: Option<(Loc, Value)>,
+}
+
+/// An O(1)-sized record reversing one [`IdealState::step_undoable`] call.
+///
+/// Exhaustive exploration used to clone the whole state (threads, memory,
+/// op history) per transition — O(states × threads) allocation. An undo
+/// log stores only what one step can touch: one thread's registers, one
+/// memory cell, one op-sequence counter. The DFS now allocates O(depth).
+#[derive(Debug)]
+pub struct StepUndo {
+    thread: usize,
+    prev_thread: ThreadState,
+    prev_mem: Option<(Loc, Value)>,
+    performed_op: bool,
+    prev_seq: u32,
 }
 
 impl<'p> IdealState<'p> {
@@ -90,6 +108,7 @@ impl<'p> IdealState<'p> {
             ops: Vec::new(),
             next_seq: vec![0; program.num_threads()],
             local_step_limit: Self::DEFAULT_LOCAL_STEP_LIMIT,
+            last_write_undo: None,
         }
     }
 
@@ -122,6 +141,7 @@ impl<'p> IdealState<'p> {
     ///
     /// Panics if `t` is out of range.
     pub fn step(&mut self, t: usize) -> StepOutcome {
+        self.last_write_undo = None;
         let thread = &self.program.threads()[t];
         loop {
             let state = &mut self.threads[t];
@@ -186,6 +206,7 @@ impl<'p> IdealState<'p> {
             }
             Instr::Write { loc, src } => {
                 let v = eval(&regs, src);
+                self.last_write_undo = Some((loc, self.memory.read(loc)));
                 self.memory.write(loc, v);
                 Operation::data_write(id, proc, loc, v)
             }
@@ -196,11 +217,13 @@ impl<'p> IdealState<'p> {
             }
             Instr::SyncWrite { loc, src } => {
                 let v = eval(&regs, src);
+                self.last_write_undo = Some((loc, self.memory.read(loc)));
                 self.memory.write(loc, v);
                 Operation::sync_write(id, proc, loc, v)
             }
             Instr::TestAndSet { loc, dst } => {
                 let old = self.memory.read(loc);
+                self.last_write_undo = Some((loc, old));
                 self.memory.write(loc, 1);
                 self.threads[t].regs[dst.index()] = old;
                 Operation::sync_rmw(id, proc, loc, old, 1)
@@ -208,11 +231,66 @@ impl<'p> IdealState<'p> {
             Instr::FetchAdd { loc, dst, add } => {
                 let old = self.memory.read(loc);
                 let new = old.wrapping_add(eval(&regs, add));
+                self.last_write_undo = Some((loc, old));
                 self.memory.write(loc, new);
                 self.threads[t].regs[dst.index()] = old;
                 Operation::sync_rmw(id, proc, loc, old, new)
             }
             _ => unreachable!("caller checked is_memory_op"),
+        }
+    }
+
+    /// Like [`IdealState::step`], but also returns a [`StepUndo`] that
+    /// reverses the step via [`IdealState::undo`]. A step touches exactly
+    /// one thread's local state, at most one memory cell, and appends at
+    /// most one operation, so the record is O(1) regardless of program
+    /// size — the backbone of the exploration undo log.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use litmus::ideal::IdealState;
+    /// use litmus::{Program, Thread};
+    /// use memory_model::Loc;
+    ///
+    /// let program = Program::new(vec![Thread::new().write(Loc(0), 7)])?;
+    /// let mut state = IdealState::new(&program);
+    /// let (_, undo) = state.step_undoable(0);
+    /// assert_eq!(state.memory().read(Loc(0)), 7);
+    /// state.undo(undo);
+    /// assert_eq!(state.memory().read(Loc(0)), 0);
+    /// assert!(state.runnable(0));
+    /// # Ok::<(), litmus::ProgramError>(())
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn step_undoable(&mut self, t: usize) -> (StepOutcome, StepUndo) {
+        let prev_thread = self.threads[t].clone();
+        let prev_seq = self.next_seq[t];
+        let outcome = self.step(t);
+        let undo = StepUndo {
+            thread: t,
+            prev_thread,
+            prev_mem: self.last_write_undo.take(),
+            performed_op: matches!(outcome, StepOutcome::Performed(_)),
+            prev_seq,
+        };
+        (outcome, undo)
+    }
+
+    /// Reverses the step that produced `undo`. Undo records must be
+    /// applied in LIFO order (most recent step first); the exploration DFS
+    /// guarantees that by construction.
+    pub fn undo(&mut self, undo: StepUndo) {
+        self.threads[undo.thread] = undo.prev_thread;
+        self.next_seq[undo.thread] = undo.prev_seq;
+        if undo.performed_op {
+            self.ops.pop();
+        }
+        if let Some((loc, v)) = undo.prev_mem {
+            self.memory.write(loc, v);
         }
     }
 
@@ -242,6 +320,14 @@ impl<'p> IdealState<'p> {
     #[must_use]
     pub fn into_execution(self) -> Execution {
         Execution::new(self.ops).expect("interpreter assigns unique ids")
+    }
+
+    /// The [`Execution`] performed so far, without consuming the state —
+    /// what the undo-log DFS uses at each completed leaf (the state is
+    /// about to be rolled back, not dropped).
+    #[must_use]
+    pub fn execution(&self) -> Execution {
+        Execution::new(self.ops.clone()).expect("interpreter assigns unique ids")
     }
 
     /// A hashable key identifying the architectural state (pcs, registers,
@@ -444,6 +530,68 @@ mod tests {
         let exec = IdealState::run_round_robin(&two_thread_handoff()).unwrap();
         assert_eq!(exec.len(), 4);
         assert!(exec.validate_atomic_semantics(&Memory::new()).is_ok());
+    }
+
+    #[test]
+    fn undo_restores_state_and_op_sequence() {
+        let p = two_thread_handoff();
+        let mut s = IdealState::new(&p);
+        s.step(0); // W(x)=1 performed for real
+        let key_before = s.state_key();
+        let ops_before = s.ops().len();
+
+        let (out, undo) = s.step_undoable(0); // S.w(s)=1
+        assert!(matches!(out, StepOutcome::Performed(_)));
+        s.undo(undo);
+        assert_eq!(s.state_key(), key_before);
+        assert_eq!(s.ops().len(), ops_before);
+
+        // Stepping again after undo replays the identical operation id.
+        let (StepOutcome::Performed(a), undo) = s.step_undoable(0) else {
+            panic!()
+        };
+        s.undo(undo);
+        let (StepOutcome::Performed(b), _) = s.step_undoable(0) else {
+            panic!()
+        };
+        assert_eq!(a, b, "undo restores the per-thread op sequence");
+    }
+
+    #[test]
+    fn undo_restores_rmw_and_register_effects() {
+        let c = Loc(0);
+        let p = Program::new(vec![Thread::new().fetch_add(c, Reg(0), 2)]).unwrap();
+        let mut s = IdealState::new(&p);
+        let (_, undo) = s.step_undoable(0);
+        assert_eq!(s.memory().read(c), 2);
+        s.undo(undo);
+        assert_eq!(s.memory().read(c), 0);
+        assert_eq!(s.thread(0).regs[0], 0);
+        assert!(s.runnable(0));
+    }
+
+    #[test]
+    fn undo_restores_halted_local_execution() {
+        // A thread of pure locals: stepping halts it, undo revives it.
+        let p = Program::new(vec![Thread::new().mov(Reg(0), 5)]).unwrap();
+        let mut s = IdealState::new(&p);
+        let (out, undo) = s.step_undoable(0);
+        assert_eq!(out, StepOutcome::Halted);
+        assert!(!s.runnable(0));
+        s.undo(undo);
+        assert!(s.runnable(0));
+        assert_eq!(s.thread(0).regs[0], 0);
+    }
+
+    #[test]
+    fn execution_matches_into_execution() {
+        let p = two_thread_handoff();
+        let mut s = IdealState::new(&p);
+        s.step(0);
+        s.step(1);
+        let borrowed = s.execution();
+        let owned = s.into_execution();
+        assert_eq!(borrowed.ops(), owned.ops());
     }
 
     #[test]

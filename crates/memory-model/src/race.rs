@@ -31,6 +31,24 @@ struct LocHistory {
     write_sync: HashMap<usize, Access>,
 }
 
+/// An O(procs)-sized record reversing one
+/// [`RaceDetector::observe_undoable`] call.
+#[derive(Debug)]
+pub struct ObserveUndo {
+    p: usize,
+    loc: Loc,
+    prev_clock: VectorClock,
+    /// `Some(displaced)` when the read history slot was written.
+    prev_read: Option<Option<Access>>,
+    read_sync: bool,
+    /// `Some(displaced)` when the write history slot was written.
+    prev_write: Option<Option<Access>>,
+    write_sync: bool,
+    /// `Some(displaced)` when the operation released (published a clock).
+    prev_sync_clock: Option<Option<VectorClock>>,
+    races_len: usize,
+}
+
 /// An online detector of DRF0 violations.
 ///
 /// Feed operations in completion order via [`RaceDetector::observe`]; each
@@ -89,8 +107,26 @@ impl RaceDetector {
     ///
     /// Panics if `op.proc` is outside the range given to [`RaceDetector::new`].
     pub fn observe(&mut self, op: &Operation) -> Vec<Race> {
+        let undo = self.observe_undoable(op);
+        self.races[undo.races_len..].to_vec()
+    }
+
+    /// Like [`RaceDetector::observe`], but returns an [`ObserveUndo`] that
+    /// reverses the observation via [`RaceDetector::undo`].
+    ///
+    /// One observation touches one processor clock, at most one
+    /// `sync_clock` entry, and at most two history slots, so the record is
+    /// O(procs) — the exploration DFS uses it instead of cloning the whole
+    /// detector (O(procs² + locations)) per transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op.proc` is outside the range given to [`RaceDetector::new`].
+    pub fn observe_undoable(&mut self, op: &Operation) -> ObserveUndo {
         let p = op.proc.index();
         assert!(p < self.proc_clock.len(), "processor {} out of range", op.proc);
+        let prev_clock = self.proc_clock[p].clone();
+        let races_len = self.races.len();
 
         // A synchronization operation acquires the happens-before knowledge
         // published by every earlier synchronization on the same location
@@ -136,13 +172,15 @@ impl RaceDetector {
 
         // Record this access, then advance local time.
         let stamp = clock.component(p) + 1; // component after the tick below
+        let mut prev_read = None;
         if op.kind.is_read() {
             let map = if cur_sync { &mut hist.read_sync } else { &mut hist.read_data };
-            map.insert(p, (stamp, op.id));
+            prev_read = Some(map.insert(p, (stamp, op.id)));
         }
+        let mut prev_write = None;
         if op.kind.is_write() {
             let map = if cur_sync { &mut hist.write_sync } else { &mut hist.write_data };
-            map.insert(p, (stamp, op.id));
+            prev_write = Some(map.insert(p, (stamp, op.id)));
         }
 
         self.proc_clock[p].tick(p);
@@ -151,14 +189,76 @@ impl RaceDetector {
                 SyncMode::Drf0 => true,
                 SyncMode::ReleaseWrites => op.kind.is_write(),
             };
-        if releases {
-            self.sync_clock.insert(op.loc, self.proc_clock[p].clone());
-        }
+        let prev_sync_clock = if releases {
+            Some(self.sync_clock.insert(op.loc, self.proc_clock[p].clone()))
+        } else {
+            None
+        };
 
         found.sort_by_key(|r| (r.first, r.second));
         found.dedup();
         self.races.extend(found.iter().copied());
-        found
+        ObserveUndo {
+            p,
+            loc: op.loc,
+            prev_clock,
+            prev_read,
+            read_sync: cur_sync,
+            prev_write,
+            write_sync: cur_sync,
+            prev_sync_clock,
+            races_len,
+        }
+    }
+
+    /// Reverses the observation that produced `undo`. Undo records must be
+    /// applied in LIFO order (most recent observation first).
+    pub fn undo(&mut self, undo: ObserveUndo) {
+        self.proc_clock[undo.p] = undo.prev_clock;
+        self.races.truncate(undo.races_len);
+        if let Some(prev) = undo.prev_sync_clock {
+            match prev {
+                Some(vc) => {
+                    self.sync_clock.insert(undo.loc, vc);
+                }
+                None => {
+                    self.sync_clock.remove(&undo.loc);
+                }
+            }
+        }
+        if undo.prev_read.is_some() || undo.prev_write.is_some() {
+            let hist = self
+                .history
+                .get_mut(&undo.loc)
+                .expect("observation touched this location's history");
+            if let Some(prev) = undo.prev_read {
+                let map =
+                    if undo.read_sync { &mut hist.read_sync } else { &mut hist.read_data };
+                match prev {
+                    Some(a) => {
+                        map.insert(undo.p, a);
+                    }
+                    None => {
+                        map.remove(&undo.p);
+                    }
+                }
+            }
+            if let Some(prev) = undo.prev_write {
+                let map = if undo.write_sync {
+                    &mut hist.write_sync
+                } else {
+                    &mut hist.write_data
+                };
+                match prev {
+                    Some(a) => {
+                        map.insert(undo.p, a);
+                    }
+                    None => {
+                        map.remove(&undo.p);
+                    }
+                }
+            }
+        }
     }
 
     /// All races reported so far.
@@ -343,6 +443,58 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn observe_rejects_out_of_range_proc() {
         RaceDetector::new(1).observe(&w(0, 5, 0));
+    }
+
+    /// Exhaustive undo check: observing then undoing any prefix of an
+    /// execution leaves the detector reporting exactly what a fresh
+    /// detector would on the shorter prefix.
+    #[test]
+    fn undo_restores_detector_verdicts() {
+        let script = [
+            w(0, 0, 0),
+            s(1, 0, 9),
+            sr(2, 1, 9),
+            r(3, 1, 0),
+            w(4, 2, 0), // races with op 0 and op 3
+            sr(5, 2, 8),
+        ];
+        for cut in 0..script.len() {
+            let mut det = RaceDetector::new(3);
+            for op in &script[..cut] {
+                det.observe(op);
+            }
+            let races_before = det.races().to_vec();
+            // Observe the rest undoably, then roll all of it back.
+            let undos: Vec<_> =
+                script[cut..].iter().map(|op| det.observe_undoable(op)).collect();
+            for undo in undos.into_iter().rev() {
+                det.undo(undo);
+            }
+            assert_eq!(det.races(), races_before.as_slice(), "cut at {cut}");
+            // Replaying the suffix after the rollback matches a straight run.
+            for op in &script[cut..] {
+                det.observe(op);
+            }
+            let mut fresh = RaceDetector::new(3);
+            for op in &script {
+                fresh.observe(op);
+            }
+            assert_eq!(det.races(), fresh.races(), "replay after cut {cut}");
+        }
+    }
+
+    #[test]
+    fn undo_restores_release_clocks() {
+        // Undoing a releasing sync op must also retract its published
+        // clock, or a later acquire would see into the undone future.
+        let mut det = RaceDetector::new(2);
+        det.observe(&w(0, 0, 0));
+        let undo = det.observe_undoable(&s(1, 0, 9));
+        det.undo(undo);
+        // P1 acquires on loc 9: nothing was (still) published there, so
+        // the data read must race.
+        det.observe(&sr(2, 1, 9));
+        assert_eq!(det.observe(&r(3, 1, 0)).len(), 1);
     }
 
     #[test]
