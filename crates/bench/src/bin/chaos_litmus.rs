@@ -26,12 +26,12 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use litmus::explore::{sc_outcomes, ExploreConfig, ScOutcomes};
 use litmus::Program;
 use memory_model::sc::{check_sc, ScCheckConfig};
-use memsim::{presets, FaultConfig, Machine, MachineConfig, Policy, RunError};
+use memsim::sweep::{sweep, Cell, CellOutcome};
+use memsim::{presets, FaultConfig, MachineConfig, Policy, RunError};
 use wo_bench::table;
 
 struct Args {
@@ -164,21 +164,37 @@ fn main() {
         if !reference.complete {
             println!("  note: {name}: SC outcome enumeration incomplete; containment check skipped");
         }
-        for &(machine, policy) in &machines {
-            for &(profile, fault, may_wedge) in &profiles {
+        // One work-stealing sweep per program over the machine × profile
+        // × seed grid; outcomes come back in cell order, so the tallies
+        // fill exactly as the former inline loop did. Per-cell panics are
+        // already caught (and the panicking worker machine dropped) by
+        // the engine.
+        let cells: Vec<Cell> = machines
+            .iter()
+            .flat_map(|&(_, policy)| {
+                profiles.iter().flat_map(move |&(_, fault, _)| {
+                    (args.seed_base..args.seed_base + args.seeds).map(move |seed| Cell {
+                        program,
+                        config: MachineConfig {
+                            chaos: Some(fault),
+                            ..presets::network_cached(program.num_threads(), policy, seed)
+                        },
+                    })
+                })
+            })
+            .collect();
+        let mut outcomes = sweep(&cells, 0).into_iter();
+        for &(machine, _) in &machines {
+            for &(profile, _, may_wedge) in &profiles {
                 let tally = tallies.entry(((*name).to_string(), profile)).or_default();
                 for seed in args.seed_base..args.seed_base + args.seeds {
-                    let cfg = MachineConfig {
-                        chaos: Some(fault),
-                        ..presets::network_cached(program.num_threads(), policy, seed)
-                    };
                     tally.runs += 1;
                     let repro = format!("{name} machine={machine} profile={profile} seed={seed}");
-                    match catch_unwind(AssertUnwindSafe(|| Machine::run_program(program, &cfg))) {
-                        Err(_) => {
+                    match outcomes.next().expect("one outcome per cell") {
+                        CellOutcome::Panicked(_) => {
                             tally.failures.push(format!("PANIC: {repro}"));
                         }
-                        Ok(Err(err)) => {
+                        CellOutcome::Err(err) => {
                             if may_wedge && !matches!(err, RunError::Protocol { .. }) {
                                 // A lossy profile may wedge the machine —
                                 // but only into a structured, diagnosable
@@ -191,7 +207,7 @@ fn main() {
                                 tally.failures.push(format!("UNEXPECTED ABORT: {repro}: {err}"));
                             }
                         }
-                        Ok(Ok(result)) => {
+                        CellOutcome::Ok(result) => {
                             if let Some(chaos) = result.stats.chaos {
                                 tally.retries += chaos.retries;
                             }

@@ -47,22 +47,18 @@ fn fig3_program(work: u32) -> Program {
         .with_init(vec![(corpus::LOC_S, 1)])
 }
 
-fn run_policy(
-    program: &Program,
-    policy: Policy,
-    ack_delay: u64,
-    seed: u64,
-) -> (u64, u64, u64, u64) {
-    let cfg = MachineConfig {
+fn cell_config(policy: Policy, ack_delay: u64, seed: u64) -> MachineConfig {
+    MachineConfig {
         interconnect: InterconnectConfig::Network {
             min_latency: 4,
             max_latency: 8,
             ack_extra_delay: ack_delay,
         },
         ..presets::network_cached(3, policy, seed)
-    };
-    let result = memsim::Machine::run_program(program, &cfg)
-        .expect("harness config is valid");
+    }
+}
+
+fn stall_summary(result: &memsim::RunResult) -> (u64, u64, u64, u64) {
     assert!(result.completed, "fig3 run must complete");
     assert_eq!(result.outcome.regs[1][1], 1, "hand-off must observe x == 1");
     let p0 = &result.stats.procs[0];
@@ -76,20 +72,43 @@ fn run_policy(
     (p0_sync_stall, p1_sync_stall, p0.finish_time, p1.finish_time)
 }
 
+const ACK_DELAYS: [u64; 5] = [0, 100, 200, 400, 800];
+
 fn main() {
     let program = fig3_program(3);
     let seeds: Vec<u64> = (0..10).collect();
-    let mut rows = Vec::new();
 
-    for ack_delay in [0u64, 100, 200, 400, 800] {
-        for (name, policy) in [("WO-Def1", presets::wo_def1()), ("WO-Def2", presets::wo_def2())]
-        {
+    // The full (ack delay × policy × seed) grid as one work-stealing
+    // sweep; cell order matches the nested loops below.
+    let policies = [("WO-Def1", presets::wo_def1()), ("WO-Def2", presets::wo_def2())];
+    let mut cells = Vec::new();
+    for ack_delay in ACK_DELAYS {
+        for (_, policy) in policies {
+            for &seed in &seeds {
+                cells.push(memsim::sweep::Cell {
+                    program: &program,
+                    config: cell_config(policy, ack_delay, seed),
+                });
+            }
+        }
+    }
+    let outcomes = memsim::sweep::sweep(&cells, 0);
+    let mut next = outcomes.into_iter();
+
+    let mut rows = Vec::new();
+    for ack_delay in ACK_DELAYS {
+        for (name, _) in policies {
             let mut p0_stall = 0.0;
             let mut p1_stall = 0.0;
             let mut p0_finish = 0.0;
             let mut p1_finish = 0.0;
-            for &seed in &seeds {
-                let (s0, s1, f0, f1) = run_policy(&program, policy, ack_delay, seed);
+            for _ in &seeds {
+                let result = next
+                    .next()
+                    .expect("one outcome per cell")
+                    .into_result()
+                    .expect("harness config is valid");
+                let (s0, s1, f0, f1) = stall_summary(&result);
                 p0_stall += s0 as f64;
                 p1_stall += s1 as f64;
                 p0_finish += f0 as f64;

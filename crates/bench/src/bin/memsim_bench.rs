@@ -1,0 +1,228 @@
+//! Machine-simulator performance baseline + determinism gate.
+//!
+//! Times the full PERF grid (the [`wo_bench::perf_grid`] cells behind
+//! `perf_comparison`) three ways:
+//!
+//! * `serial_cold` — one freshly constructed [`memsim::Machine`] per
+//!   cell, run on the calling thread: the pre-sweep-engine baseline path;
+//! * `serial_reused` — the sweep engine at one thread, recycling a single
+//!   machine across every cell (`Machine::reset` + `run_once`);
+//! * `parallel` — the work-stealing sweep across all available cores,
+//!   one recycled machine per worker.
+//!
+//! Every run cross-checks all three modes cell-by-cell: results must be
+//! identical down to the Debug rendering (cycles, records, stall
+//! breakdowns, event-queue counters). Any divergence means machine
+//! recycling or the parallel merge changed simulation behavior — the
+//! binary exits nonzero so CI fails.
+//!
+//! Writes a machine-readable `BENCH_memsim.json` with wall-clock numbers,
+//! speedups, and the grid's observability counters (events popped, peak
+//! event-queue length, interconnect messages) so later PRs have a perf
+//! trajectory to beat.
+//!
+//! Usage:
+//!
+//! ```text
+//! memsim_bench [--smoke] [--threads N] [--reps N] [--out PATH]
+//!   --smoke        CI variant: one row per sweep section, 2 seeds
+//!   --threads N    worker threads for the parallel mode (default: available)
+//!   --reps N       timed repetitions per mode, best-of-N (default 3)
+//!   --out PATH     where to write the JSON (default BENCH_memsim.json)
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use memsim::sweep::{sweep, CellOutcome};
+use memsim::Machine;
+use wo_bench::perf_grid::PerfGrid;
+
+struct Args {
+    smoke: bool,
+    threads: usize,
+    reps: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { smoke: false, threads: 0, reps: 3, out: PathBuf::from("BENCH_memsim.json") };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"));
+            }
+            "--reps" => {
+                args.reps = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--reps needs a positive number"));
+            }
+            "--out" => {
+                args.out = it.next().map(PathBuf::from).unwrap_or_else(|| usage("--out needs a path"));
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    args
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("memsim_bench: {msg}");
+    eprintln!("usage: memsim_bench [--smoke] [--threads N] [--reps N] [--out PATH]");
+    std::process::exit(2);
+}
+
+/// A comparable rendering of one cell's result, shared by all three
+/// modes. Panics have no stable rendering across modes, so they keep a
+/// fixed tag (and will differ from any real result, which is the point).
+fn render(outcome: &CellOutcome) -> String {
+    match outcome {
+        CellOutcome::Ok(r) => format!("Ok({r:?})"),
+        CellOutcome::Err(e) => format!("Err({e:?})"),
+        CellOutcome::Panicked(_) => "Panicked".to_string(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let grid = if args.smoke { PerfGrid::smoke() } else { PerfGrid::full() };
+    let cells = grid.cells();
+    let threads = if args.threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        args.threads
+    };
+    println!(
+        "memsim_bench: {} cells ({} rows x 4 policies x {} seeds){}, {threads} threads, best of {} reps",
+        cells.len(),
+        grid.rows.len(),
+        grid.seeds.len(),
+        if args.smoke { " (smoke)" } else { "" },
+        args.reps
+    );
+
+    // Each repetition times all three modes and cross-checks them
+    // cell-for-cell; reported seconds are the best of the repetitions.
+    let mut cold_secs = f64::INFINITY;
+    let mut reused_secs = f64::INFINITY;
+    let mut parallel_secs = f64::INFINITY;
+    let mut divergences: Vec<String> = Vec::new();
+    let mut parallel = Vec::new();
+    for rep in 0..args.reps {
+        // Mode 1: the baseline path — fresh machine per cell, serial.
+        let start = Instant::now();
+        let cold: Vec<CellOutcome> = cells
+            .iter()
+            .map(|cell| match Machine::run_program(cell.program, &cell.config) {
+                Ok(r) => CellOutcome::Ok(r),
+                Err(e) => CellOutcome::Err(e),
+            })
+            .collect();
+        cold_secs = cold_secs.min(start.elapsed().as_secs_f64());
+
+        // Mode 2: the sweep engine at one thread — machine recycling only.
+        let start = Instant::now();
+        let reused = sweep(&cells, 1);
+        reused_secs = reused_secs.min(start.elapsed().as_secs_f64());
+
+        // Mode 3: the work-stealing sweep across all threads.
+        let start = Instant::now();
+        let par = sweep(&cells, threads);
+        parallel_secs = parallel_secs.min(start.elapsed().as_secs_f64());
+
+        // Cross-check: all three modes must agree cell-for-cell, every rep.
+        for (i, ((c, r), p)) in cold.iter().zip(&reused).zip(&par).enumerate() {
+            let cold_key = render(c);
+            if cold_key != render(r) {
+                divergences
+                    .push(format!("rep {rep} cell {i}: recycled machine diverged from cold run"));
+            }
+            if cold_key != render(p) {
+                divergences
+                    .push(format!("rep {rep} cell {i}: parallel sweep diverged from cold run"));
+            }
+        }
+        parallel = par;
+    }
+
+    // Observability counters, summed over the grid.
+    let mut events_popped = 0u64;
+    let mut peak_queue = 0u64;
+    let mut messages = 0u64;
+    let mut completed = 0usize;
+    for outcome in &parallel {
+        if let Some(r) = outcome.ok() {
+            events_popped += r.stats.events_popped;
+            peak_queue = peak_queue.max(r.stats.peak_queue_len);
+            messages += r.stats.messages;
+            if r.completed {
+                completed += 1;
+            }
+        }
+    }
+
+    let n = cells.len();
+    let reuse_speedup = if reused_secs > 0.0 { cold_secs / reused_secs } else { f64::INFINITY };
+    let parallel_speedup =
+        if parallel_secs > 0.0 { cold_secs / parallel_secs } else { f64::INFINITY };
+    let cps = |secs: f64| if secs > 0.0 { n as f64 / secs } else { f64::INFINITY };
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"workload\": \"perf-grid\",");
+    let _ = writeln!(json, "  \"cells\": {n},");
+    let _ = writeln!(json, "  \"rows\": {},", grid.rows.len());
+    let _ = writeln!(json, "  \"seeds\": {},", grid.seeds.len());
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"reps\": {},", args.reps);
+    let _ = writeln!(json, "  \"divergences\": {},", divergences.len());
+    let _ = writeln!(json, "  \"completed_cells\": {completed},");
+    for (key, secs) in [
+        ("serial_cold", cold_secs),
+        ("serial_reused", reused_secs),
+        ("parallel", parallel_secs),
+    ] {
+        let _ = writeln!(json, "  \"{key}\": {{");
+        let _ = writeln!(json, "    \"seconds\": {secs:.6},");
+        let _ = writeln!(json, "    \"cells_per_sec\": {:.3}", cps(secs));
+        let _ = writeln!(json, "  }},");
+    }
+    let _ = writeln!(json, "  \"reuse_speedup_vs_cold\": {reuse_speedup:.3},");
+    let _ = writeln!(json, "  \"parallel_speedup_vs_cold\": {parallel_speedup:.3},");
+    let _ = writeln!(json, "  \"events_popped_total\": {events_popped},");
+    let _ = writeln!(json, "  \"peak_queue_len_max\": {peak_queue},");
+    let _ = writeln!(json, "  \"interconnect_messages_total\": {messages}");
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).expect("write BENCH_memsim.json");
+
+    println!("\nwrote {}", args.out.display());
+    println!(
+        "serial cold {cold_secs:.3}s ({:.1} cells/s)   reused {reused_secs:.3}s ({:.1} cells/s)   parallel {parallel_secs:.3}s ({:.1} cells/s)",
+        cps(cold_secs),
+        cps(reused_secs),
+        cps(parallel_secs),
+    );
+    println!(
+        "speedup: reuse {reuse_speedup:.2}x   parallel+reuse {parallel_speedup:.2}x (vs the fresh-machine serial baseline)"
+    );
+    println!(
+        "grid work: {events_popped} events popped, peak queue {peak_queue}, {messages} interconnect messages, {completed}/{n} cells completed"
+    );
+    if !divergences.is_empty() {
+        eprintln!("\nDETERMINISM DIVERGENCE ({}):", divergences.len());
+        for d in &divergences {
+            eprintln!("  {d}");
+        }
+        std::process::exit(1);
+    }
+    println!("determinism check: all three modes agree on every cell");
+}

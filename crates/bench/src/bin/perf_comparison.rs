@@ -14,129 +14,89 @@
 //! 3. **Processor count** — contention on the shared lock.
 //!
 //! Reported numbers are total cycles to finish the kernel (mean over
-//! seeds), normalized speedup over SC.
+//! seeds), normalized speedup over SC; the CSV additionally carries the
+//! midpoint-median per policy. The whole grid comes from
+//! [`wo_bench::perf_grid`] and runs on the work-stealing
+//! [`memsim::sweep`] engine, so the tables are identical at any thread
+//! count.
 
-use memsim::workload::{doall_kernel, drf_kernel, pipeline_kernel, DrfKernelConfig};
+use memsim::sweep::sweep;
+use memsim::workload::{drf_kernel, DrfKernelConfig};
 use memsim::{presets, InterconnectConfig, Machine, MachineConfig};
-use wo_bench::table;
-
-fn mean_cycles(program: &litmus::Program, base: &MachineConfig, seeds: &[u64]) -> f64 {
-    let mut total = 0.0;
-    for &seed in seeds {
-        let cfg = MachineConfig { seed, ..*base };
-        let r = Machine::run_program(program, &cfg).expect("harness config is valid");
-        assert!(r.completed, "kernel must finish");
-        total += r.cycles as f64;
-    }
-    total / seeds.len() as f64
-}
-
-fn sweep_row(
-    label: String,
-    program: &litmus::Program,
-    procs: usize,
-    ic: InterconnectConfig,
-    seeds: &[u64],
-) -> Vec<String> {
-    let mut row = vec![label];
-    let sc_base = MachineConfig {
-        interconnect: ic,
-        ..presets::network_cached(procs, presets::sc(), 0)
-    };
-    let sc_cycles = mean_cycles(program, &sc_base, seeds);
-    row.push(format!("{sc_cycles:.0}"));
-    for policy in [presets::wo_def1(), presets::wo_def2(), presets::wo_def2_optimized()] {
-        let base = MachineConfig { interconnect: ic, ..presets::network_cached(procs, policy, 0) };
-        let cycles = mean_cycles(program, &base, seeds);
-        row.push(format!("{cycles:.0} ({:.2}x)", sc_cycles / cycles));
-    }
-    row
-}
+use wo_bench::perf_grid::{policies, PerfGrid};
+use wo_bench::{harness, table};
 
 fn main() {
-    let seeds: Vec<u64> = (0..5).collect();
+    let grid = PerfGrid::full();
+    let cells = grid.cells();
+    let outcomes = sweep(&cells, 0);
+
+    // Per (row, policy): sorted per-seed cycle counts.
+    let samples: Vec<Vec<Vec<u64>>> = (0..grid.rows.len())
+        .map(|ri| {
+            (0..policies().len())
+                .map(|pi| {
+                    let mut cycles: Vec<u64> = (0..grid.seeds.len())
+                        .map(|si| {
+                            let r = outcomes[grid.cell_index(ri, pi, si)]
+                                .ok()
+                                .expect("harness config is valid");
+                            assert!(r.completed, "kernel must finish");
+                            r.cycles
+                        })
+                        .collect();
+                    cycles.sort_unstable();
+                    cycles
+                })
+                .collect()
+        })
+        .collect();
+    let mean = |xs: &[u64]| xs.iter().sum::<u64>() as f64 / xs.len() as f64;
+
     let header = ["sweep point", "SC cycles", "WO-Def1", "WO-Def2", "WO-Def2-opt"];
-    let mut all_rows: Vec<Vec<String>> = Vec::new();
-
-    // ---- Sweep 1: synchronization frequency ---------------------------
-    println!("Performance comparison (Section 7's proposed study)");
-    println!("\nSweep 1: data accesses per critical section (4 procs, net 8-24cy):");
-    let mut rows = Vec::new();
-    for accesses in [4u32, 8, 16, 32, 64] {
-        let kernel = drf_kernel(&DrfKernelConfig {
-            threads: 4,
-            phases: 4,
-            accesses_per_phase: accesses,
-            ..Default::default()
-        });
-        rows.push(sweep_row(
-            format!("{accesses} accesses/sync"),
-            &kernel,
-            4,
-            InterconnectConfig::network(),
-            &seeds,
-        ));
-    }
-    println!("{}", table(&header, &rows));
-    all_rows.extend(rows.iter().cloned());
-
-    // ---- Sweep 2: write global-perform latency -------------------------
-    println!("Sweep 2: invalidation-ack delay (4 procs, 16 accesses/sync):");
-    let kernel = drf_kernel(&DrfKernelConfig { threads: 4, phases: 4, ..Default::default() });
-    let mut rows = Vec::new();
-    for ack in [0u64, 50, 100, 200, 400] {
-        let ic = InterconnectConfig::Network {
-            min_latency: 8,
-            max_latency: 24,
-            ack_extra_delay: ack,
-        };
-        rows.push(sweep_row(format!("ack +{ack}cy"), &kernel, 4, ic, &seeds));
-    }
-    println!("{}", table(&header, &rows));
-    all_rows.extend(rows.iter().cloned());
-
-    // ---- Sweep 3: processor count --------------------------------------
-    println!("Sweep 3: processor count (16 accesses/sync):");
-    let mut rows = Vec::new();
-    for procs in [2usize, 4, 8, 16] {
-        let kernel = drf_kernel(&DrfKernelConfig {
-            threads: procs,
-            phases: 4,
-            ..Default::default()
-        });
-        rows.push(sweep_row(
-            format!("{procs} procs"),
-            &kernel,
-            procs,
-            InterconnectConfig::network(),
-            &seeds,
-        ));
-    }
-    println!("{}", table(&header, &rows));
-
-    all_rows.extend(rows.iter().cloned());
-
-    // ---- Sweep 4: workload class (Section 7's paradigms) ----------------
-    println!("Sweep 4: workload class (4 procs):");
-    let classes: Vec<(&str, litmus::Program)> = vec![
-        ("lock kernel", drf_kernel(&DrfKernelConfig { threads: 4, phases: 4, ..Default::default() })),
-        ("do-all sweep", doall_kernel(4, 24, 3)),
-        ("pipeline", pipeline_kernel(4, 6)),
+    let csv_header = [
+        "sweep point",
+        "SC cycles",
+        "WO-Def1",
+        "WO-Def2",
+        "WO-Def2-opt",
+        "SC median",
+        "WO-Def1 median",
+        "WO-Def2 median",
+        "WO-Def2-opt median",
     ];
-    let mut rows = Vec::new();
-    for (name, program) in &classes {
-        rows.push(sweep_row(
-            (*name).to_string(),
-            program,
-            4,
-            InterconnectConfig::network(),
-            &seeds,
-        ));
-    }
-    println!("{}", table(&header, &rows));
-    all_rows.extend(rows.iter().cloned());
+    let sweep_titles = [
+        "\nSweep 1: data accesses per critical section (4 procs, net 8-24cy):",
+        "Sweep 2: invalidation-ack delay (4 procs, 16 accesses/sync):",
+        "Sweep 3: processor count (16 accesses/sync):",
+        "Sweep 4: workload class (4 procs):",
+    ];
 
-    if let Ok(path) = wo_bench::write_csv("perf_comparison", &header, &all_rows) {
+    println!("Performance comparison (Section 7's proposed study)");
+    let mut all_rows: Vec<Vec<String>> = Vec::new();
+    for (si, title) in sweep_titles.iter().enumerate() {
+        println!("{title}");
+        let mut rows = Vec::new();
+        for (ri, grid_row) in grid.rows.iter().enumerate() {
+            if grid_row.sweep != si + 1 {
+                continue;
+            }
+            let sc_cycles = mean(&samples[ri][0]);
+            let mut row = vec![grid_row.label.clone(), format!("{sc_cycles:.0}")];
+            for policy_samples in &samples[ri][1..] {
+                let cycles = mean(policy_samples);
+                row.push(format!("{cycles:.0} ({:.2}x)", sc_cycles / cycles));
+            }
+            rows.push(row.clone());
+            for policy_samples in &samples[ri] {
+                row.push(format!("{}", harness::median(policy_samples)));
+            }
+            all_rows.push(row);
+        }
+        println!("{}", table(&header, &rows));
+    }
+
+    if let Ok(path) = wo_bench::write_csv("perf_comparison", &csv_header, &all_rows) {
         println!("(csv: {})\n", path.display());
     }
     println!("Expected shape: the weak orderings beat SC everywhere; Def2 ≥ Def1 when");

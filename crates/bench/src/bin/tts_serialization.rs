@@ -8,46 +8,101 @@
 //! ping-pong the lock line in exclusive state: "this can lead to a
 //! significant performance degradation". The optimized variant lets
 //! `Test`s share the line, restoring the point of test-and-test&set.
+//!
+//! All three tables plus the ablation run as **one** work-stealing
+//! [`memsim::sweep`] grid; cells are consumed in construction order, so
+//! the tables are identical to the former run-at-a-time loop.
 
 use litmus::corpus;
-use memsim::{presets, Machine, MachineConfig};
+use memsim::sweep::{sweep, Cell};
+use memsim::{presets, MachineConfig, RunResult};
 use wo_bench::table;
 
-fn run(
-    program: &litmus::Program,
-    procs: usize,
-    policy: memsim::Policy,
-    seeds: &[u64],
-) -> (f64, f64, f64) {
+fn spin_config(procs: usize, policy: memsim::Policy, seed: u64) -> MachineConfig {
+    MachineConfig { seed, ..presets::network_cached(procs, policy, 0) }
+}
+
+fn slow_ack_config(policy: memsim::Policy, seed: u64) -> MachineConfig {
+    MachineConfig {
+        interconnect: memsim::InterconnectConfig::Network {
+            min_latency: 8,
+            max_latency: 24,
+            ack_extra_delay: 200,
+        },
+        seed,
+        ..presets::network_cached(4, policy, 0)
+    }
+}
+
+/// Mean (cycles, exclusive transfers, recalls) over one (program, policy)
+/// group of per-seed results.
+fn summarize(results: &[RunResult]) -> (f64, f64, f64) {
     let mut cycles = 0.0;
     let mut getx = 0.0;
     let mut recalls = 0.0;
-    for &seed in seeds {
-        let cfg = MachineConfig { seed, ..presets::network_cached(procs, policy, 0) };
-        let r = Machine::run_program(program, &cfg).expect("harness config is valid");
+    for r in results {
         assert!(r.completed);
         let dir = r.stats.directory.as_ref().expect("cached machine");
         cycles += r.cycles as f64;
         getx += dir.get_exclusive as f64;
         recalls += dir.recalls as f64;
     }
-    let n = seeds.len() as f64;
+    let n = results.len() as f64;
     (cycles / n, getx / n, recalls / n)
 }
 
+const PROC_COUNTS: [usize; 3] = [2, 4, 8];
+
 fn main() {
     let seeds: Vec<u64> = (0..5).collect();
+    let spin_policies = [
+        ("WO-Def2 (plain)", presets::wo_def2()),
+        ("WO-Def2-opt", presets::wo_def2_optimized()),
+    ];
+    let ablation_policies = [
+        ("NACK + retry", presets::wo_def2()),
+        ("queue at owner", presets::wo_def2_queued()),
+    ];
+
+    // Programs first (cells borrow them), then every cell of the report in
+    // table order, then one sweep.
+    let tts_programs: Vec<_> = PROC_COUNTS.iter().map(|&p| corpus::tts_spinlock(p, 2)).collect();
+    let ablation_program = corpus::spinlock(4, 2);
+    let tas_programs: Vec<_> = PROC_COUNTS.iter().map(|&p| corpus::spinlock(p, 2)).collect();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (program, &procs) in tts_programs.iter().zip(&PROC_COUNTS) {
+        for (_, policy) in spin_policies {
+            for &seed in &seeds {
+                cells.push(Cell { program, config: spin_config(procs, policy, seed) });
+            }
+        }
+    }
+    for (_, policy) in ablation_policies {
+        for &seed in &seeds {
+            cells.push(Cell { program: &ablation_program, config: slow_ack_config(policy, seed) });
+        }
+    }
+    for (program, &procs) in tas_programs.iter().zip(&PROC_COUNTS) {
+        for (_, policy) in spin_policies {
+            for &seed in &seeds {
+                cells.push(Cell { program, config: spin_config(procs, policy, seed) });
+            }
+        }
+    }
+
+    let mut results = sweep(&cells, 0)
+        .into_iter()
+        .map(|o| o.into_result().expect("harness config is valid"));
+    let mut take_group = || -> Vec<RunResult> { results.by_ref().take(seeds.len()).collect() };
+
     println!("Section 6 — serialization of read-only synchronization (Test) operations");
     println!("Workload: test-and-TestAndSet spinlock, 2 increments per processor\n");
 
     let mut rows = Vec::new();
-    for procs in [2usize, 4, 8] {
-        let program = corpus::tts_spinlock(procs, 2);
-        for (name, policy) in [
-            ("WO-Def2 (plain)", presets::wo_def2()),
-            ("WO-Def2-opt", presets::wo_def2_optimized()),
-        ] {
-            let (cycles, getx, recalls) = run(&program, procs, policy, &seeds);
+    for procs in PROC_COUNTS {
+        for (name, _) in spin_policies {
+            let (cycles, getx, recalls) = summarize(&take_group());
             rows.push(vec![
                 format!("{procs} procs"),
                 name.to_string(),
@@ -70,39 +125,24 @@ fn main() {
     // counter reads zero.
     println!("Stalled-sync handling ablation (TAS spinlock, 4 procs, slow acks):");
     let mut rows = Vec::new();
-    {
-        let program = corpus::spinlock(4, 2);
-        for (name, policy) in [
-            ("NACK + retry", presets::wo_def2()),
-            ("queue at owner", presets::wo_def2_queued()),
-        ] {
-            let mut cycles = 0.0;
-            let mut messages = 0.0;
-            let mut nacks = 0.0;
-            for &seed in &seeds {
-                let cfg = MachineConfig {
-                    interconnect: memsim::InterconnectConfig::Network {
-                        min_latency: 8,
-                        max_latency: 24,
-                        ack_extra_delay: 200,
-                    },
-                    seed,
-                    ..presets::network_cached(4, policy, 0)
-                };
-                let r = Machine::run_program(&program, &cfg).expect("valid config");
-                assert!(r.completed);
-                cycles += r.cycles as f64;
-                messages += r.stats.messages as f64;
-                nacks += r.stats.directory.as_ref().unwrap().nacks as f64;
-            }
-            let n = seeds.len() as f64;
-            rows.push(vec![
-                name.to_string(),
-                format!("{:.0}", cycles / n),
-                format!("{:.0}", messages / n),
-                format!("{:.0}", nacks / n),
-            ]);
+    for (name, _) in ablation_policies {
+        let group = take_group();
+        let mut cycles = 0.0;
+        let mut messages = 0.0;
+        let mut nacks = 0.0;
+        for r in &group {
+            assert!(r.completed);
+            cycles += r.cycles as f64;
+            messages += r.stats.messages as f64;
+            nacks += r.stats.directory.as_ref().unwrap().nacks as f64;
         }
+        let n = group.len() as f64;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.0}", cycles / n),
+            format!("{:.0}", messages / n),
+            format!("{:.0}", nacks / n),
+        ]);
     }
     println!(
         "{}",
@@ -111,13 +151,9 @@ fn main() {
 
     println!("Plain TestAndSet spinlock (no Test), for reference:");
     let mut rows = Vec::new();
-    for procs in [2usize, 4, 8] {
-        let program = corpus::spinlock(procs, 2);
-        for (name, policy) in [
-            ("WO-Def2 (plain)", presets::wo_def2()),
-            ("WO-Def2-opt", presets::wo_def2_optimized()),
-        ] {
-            let (cycles, getx, recalls) = run(&program, procs, policy, &seeds);
+    for procs in PROC_COUNTS {
+        for (name, _) in spin_policies {
+            let (cycles, getx, recalls) = summarize(&take_group());
             rows.push(vec![
                 format!("{procs} procs"),
                 name.to_string(),

@@ -68,7 +68,11 @@ impl Group {
 /// the midpoint average of the two middle samples — `samples[n / 2]`
 /// alone is an upper-median, which biased every default-sized (10-sample)
 /// group high.
-fn median(sorted: &[u64]) -> u64 {
+///
+/// Public so report binaries (e.g. `perf_comparison`) share the corrected
+/// midpoint-median instead of re-deriving a biased one.
+#[must_use]
+pub fn median(sorted: &[u64]) -> u64 {
     let n = sorted.len();
     if n % 2 == 1 {
         sorted[n / 2]

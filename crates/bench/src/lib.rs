@@ -4,6 +4,7 @@
 #![deny(missing_docs)]
 
 pub mod harness;
+pub mod perf_grid;
 
 use litmus::Program;
 use memory_model::sc::{check_sc, ScCheckConfig, ScVerdict};

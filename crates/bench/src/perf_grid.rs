@@ -1,0 +1,207 @@
+//! The **PERF grid**: the declarative (workload × machine shape) ×
+//! policy × seed grid behind the Section-7 performance study.
+//!
+//! `perf_comparison` (the report binary) and `memsim_bench` (the
+//! wall-clock benchmark) both iterate this exact grid, so the numbers in
+//! `BENCH_memsim.json` time the same cells the published tables are
+//! computed from. The grid flattens to [`memsim::sweep::Cell`]s in a
+//! fixed row-major order — row, then policy column, then seed — and
+//! [`PerfGrid::cell_index`] recovers a cell's position from its
+//! coordinates, so callers can aggregate a merged sweep report without
+//! bookkeeping of their own.
+
+use litmus::Program;
+use memsim::sweep::Cell;
+use memsim::workload::{doall_kernel, drf_kernel, pipeline_kernel, DrfKernelConfig};
+use memsim::{presets, InterconnectConfig, MachineConfig, Policy};
+
+/// Policy column labels, in grid (and report) order.
+pub const POLICY_NAMES: [&str; 4] = ["SC", "WO-Def1", "WO-Def2", "WO-Def2-opt"];
+
+/// The policy columns of the grid, in [`POLICY_NAMES`] order.
+#[must_use]
+pub fn policies() -> [Policy; 4] {
+    [
+        presets::sc(),
+        presets::wo_def1(),
+        presets::wo_def2(),
+        presets::wo_def2_optimized(),
+    ]
+}
+
+/// One grid row: a workload on a machine shape, swept over every policy
+/// column and seed.
+#[derive(Debug)]
+pub struct GridRow {
+    /// Which sweep section (1–4) of the performance study the row
+    /// belongs to.
+    pub sweep: usize,
+    /// Human-readable sweep-point label ("16 accesses/sync", "8 procs").
+    pub label: String,
+    /// The kernel the row runs.
+    pub program: Program,
+    /// Processor count of the machine.
+    pub procs: usize,
+    /// Interconnect of the machine.
+    pub interconnect: InterconnectConfig,
+}
+
+/// The whole grid: rows × [`policies()`] × seeds.
+#[derive(Debug)]
+pub struct PerfGrid {
+    /// The sweep rows, in report order.
+    pub rows: Vec<GridRow>,
+    /// The seeds every (row, policy) pair is averaged over.
+    pub seeds: Vec<u64>,
+}
+
+impl PerfGrid {
+    /// The full study grid: 17 rows × 4 policies × 5 seeds = 340 cells.
+    #[must_use]
+    pub fn full() -> Self {
+        let mut rows = Vec::new();
+        // Sweep 1: synchronization frequency (4 procs, net 8-24cy).
+        for accesses in [4u32, 8, 16, 32, 64] {
+            rows.push(GridRow {
+                sweep: 1,
+                label: format!("{accesses} accesses/sync"),
+                program: drf_kernel(&DrfKernelConfig {
+                    threads: 4,
+                    phases: 4,
+                    accesses_per_phase: accesses,
+                    ..Default::default()
+                }),
+                procs: 4,
+                interconnect: InterconnectConfig::network(),
+            });
+        }
+        // Sweep 2: write global-perform latency (invalidation-ack delay).
+        for ack in [0u64, 50, 100, 200, 400] {
+            rows.push(GridRow {
+                sweep: 2,
+                label: format!("ack +{ack}cy"),
+                program: drf_kernel(&DrfKernelConfig { threads: 4, phases: 4, ..Default::default() }),
+                procs: 4,
+                interconnect: InterconnectConfig::Network {
+                    min_latency: 8,
+                    max_latency: 24,
+                    ack_extra_delay: ack,
+                },
+            });
+        }
+        // Sweep 3: processor count.
+        for procs in [2usize, 4, 8, 16] {
+            rows.push(GridRow {
+                sweep: 3,
+                label: format!("{procs} procs"),
+                program: drf_kernel(&DrfKernelConfig {
+                    threads: procs,
+                    phases: 4,
+                    ..Default::default()
+                }),
+                procs,
+                interconnect: InterconnectConfig::network(),
+            });
+        }
+        // Sweep 4: workload class (Section 7's paradigms).
+        let classes: Vec<(&str, Program)> = vec![
+            (
+                "lock kernel",
+                drf_kernel(&DrfKernelConfig { threads: 4, phases: 4, ..Default::default() }),
+            ),
+            ("do-all sweep", doall_kernel(4, 24, 3)),
+            ("pipeline", pipeline_kernel(4, 6)),
+        ];
+        for (name, program) in classes {
+            rows.push(GridRow {
+                sweep: 4,
+                label: name.to_string(),
+                program,
+                procs: 4,
+                interconnect: InterconnectConfig::network(),
+            });
+        }
+        PerfGrid { rows, seeds: (0..5).collect() }
+    }
+
+    /// A CI-sized subset — one cheap row per sweep section, two seeds —
+    /// exercising every code path of the full grid in a few seconds.
+    #[must_use]
+    pub fn smoke() -> Self {
+        let mut grid = Self::full();
+        let keep = ["4 accesses/sync", "ack +50cy", "2 procs", "do-all sweep"];
+        grid.rows.retain(|row| keep.contains(&row.label.as_str()));
+        grid.seeds.truncate(2);
+        grid
+    }
+
+    /// Machine configuration of one cell.
+    #[must_use]
+    pub fn config(&self, row: usize, policy: usize, seed: u64) -> MachineConfig {
+        let r = &self.rows[row];
+        MachineConfig {
+            interconnect: r.interconnect,
+            seed,
+            ..presets::network_cached(r.procs, policies()[policy], 0)
+        }
+    }
+
+    /// Flattens the grid to sweep cells in row-major (row, policy, seed)
+    /// order.
+    #[must_use]
+    pub fn cells(&self) -> Vec<Cell<'_>> {
+        let mut cells = Vec::with_capacity(self.cell_count());
+        for (ri, row) in self.rows.iter().enumerate() {
+            for pi in 0..policies().len() {
+                for &seed in &self.seeds {
+                    cells.push(Cell { program: &row.program, config: self.config(ri, pi, seed) });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Total number of cells.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.rows.len() * policies().len() * self.seeds.len()
+    }
+
+    /// Index into [`PerfGrid::cells`] of the cell at (row, policy
+    /// column, seed position).
+    #[must_use]
+    pub fn cell_index(&self, row: usize, policy: usize, seed_idx: usize) -> usize {
+        (row * policies().len() + policy) * self.seeds.len() + seed_idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_math_matches_flattening_order() {
+        let grid = PerfGrid::smoke();
+        let cells = grid.cells();
+        assert_eq!(cells.len(), grid.cell_count());
+        for ri in 0..grid.rows.len() {
+            for pi in 0..policies().len() {
+                for (si, &seed) in grid.seeds.iter().enumerate() {
+                    let cell = &cells[grid.cell_index(ri, pi, si)];
+                    assert_eq!(cell.config.seed, seed);
+                    assert_eq!(cell.config.num_procs, grid.rows[ri].procs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_grid_has_the_study_shape() {
+        let grid = PerfGrid::full();
+        assert_eq!(grid.rows.len(), 17);
+        assert_eq!(grid.seeds.len(), 5);
+        assert_eq!(grid.cell_count(), 340);
+        assert_eq!(grid.rows.iter().filter(|r| r.sweep == 1).count(), 5);
+        assert_eq!(grid.rows.iter().filter(|r| r.sweep == 4).count(), 3);
+    }
+}

@@ -401,6 +401,24 @@ impl CacheController {
     ) -> Result<(Vec<CacheEvent>, Vec<CacheToDir>), ProtocolError> {
         let mut events = Vec::new();
         let mut replies = Vec::new();
+        self.handle_into(msg, &mut events, &mut replies)?;
+        Ok((events, replies))
+    }
+
+    /// [`CacheController::handle`] with caller-supplied output buffers, so
+    /// a simulator processing millions of messages can reuse two
+    /// allocations instead of paying for fresh `Vec`s per message. Events
+    /// and replies are *appended*; the buffers are not cleared.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CacheController::handle`].
+    pub fn handle_into(
+        &mut self,
+        msg: DirToCache,
+        events: &mut Vec<CacheEvent>,
+        replies: &mut Vec<CacheToDir>,
+    ) -> Result<(), ProtocolError> {
         match msg {
             DirToCache::DataShared { loc, value, req } => {
                 let Some(pending) = self.pending.get(&loc).copied() else {
@@ -547,7 +565,27 @@ impl CacheController {
                 }
             }
         }
-        Ok((events, replies))
+        Ok(())
+    }
+
+    /// Rewinds the cache to the state [`CacheController::new`] (or
+    /// [`CacheController::with_capacity`]) would build, keeping every map's
+    /// allocation so one controller can be recycled across runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is `Some(0)`.
+    pub fn reset(&mut self, capacity: Option<usize>) {
+        assert!(capacity != Some(0), "cache capacity must be positive");
+        self.lines.clear();
+        self.pending.clear();
+        self.awaiting_gp.clear();
+        self.capacity = capacity;
+        self.lru.clear();
+        self.lru_tick = 0;
+        self.evictions = 0;
+        self.defer_recalls = false;
+        self.deferred_recalls.clear();
     }
 
     fn apply_sync(&mut self, loc: Loc, op: SyncOp) -> Option<Value> {

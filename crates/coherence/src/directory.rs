@@ -117,8 +117,43 @@ impl Directory {
         msg: CacheToDir,
     ) -> Result<Vec<(ProcId, DirToCache)>, ProtocolError> {
         let mut out = Vec::new();
-        self.dispatch(from, msg, &mut out)?;
+        self.handle_into(from, msg, &mut out)?;
         Ok(out)
+    }
+
+    /// [`Directory::handle`] with a caller-supplied output buffer, so a
+    /// simulator processing millions of messages can reuse one allocation
+    /// instead of paying for a fresh `Vec` per message. Replies are
+    /// *appended*; the buffer is not cleared.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Directory::handle`].
+    pub fn handle_into(
+        &mut self,
+        from: ProcId,
+        msg: CacheToDir,
+        out: &mut Vec<(ProcId, DirToCache)>,
+    ) -> Result<(), ProtocolError> {
+        self.dispatch(from, msg, out)
+    }
+
+    /// Rewinds the directory to the state [`Directory::new`] would build
+    /// over `initial`, keeping every map's allocation so one directory can
+    /// be recycled across runs.
+    pub fn reset(&mut self, initial: Memory) {
+        self.lines.clear();
+        self.busy.clear();
+        self.queue.clear();
+        self.retries.clear();
+        self.initial = initial;
+        self.stats = DirectoryStats::default();
+    }
+
+    /// Takes the protocol counters, leaving zeroes — for result assembly
+    /// on a machine that will be reset before its next run.
+    pub fn take_stats(&mut self) -> DirectoryStats {
+        std::mem::take(&mut self.stats)
     }
 
     fn dispatch(

@@ -214,6 +214,23 @@ impl SnoopBus {
     pub fn stats(&self) -> &SnoopStats {
         &self.stats
     }
+
+    /// Takes the protocol counters, leaving zeroes — for result assembly
+    /// on a machine that will be reset before its next run.
+    pub fn take_stats(&mut self) -> SnoopStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Rewinds the bus to the state [`SnoopBus::new`] would build over
+    /// `initial`, keeping each per-processor map's allocation so one bus
+    /// can be recycled across runs. The cache count is unchanged.
+    pub fn reset(&mut self, initial: Memory) {
+        for cache in &mut self.lines {
+            cache.clear();
+        }
+        self.memory = initial;
+        self.stats = SnoopStats::default();
+    }
 }
 
 #[cfg(test)]

@@ -33,7 +33,6 @@
 //! that the whole apparatus actually detects oracle-level defects.
 
 use std::collections::HashSet;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use litmus::explore::{
     drf0_verdict, sc_outcomes, Drf0Verdict, ExploreConfig, IncompleteReason,
@@ -43,7 +42,8 @@ use litmus::ideal::{IdealState, StepOutcome};
 use litmus::Program;
 use memory_model::sc::{check_sc, ScCheckConfig};
 use memory_model::ExecutionResult;
-use memsim::{presets, FaultConfig, Machine, MachineConfig, Policy, RunError};
+use memsim::sweep::{sweep, Cell, CellOutcome};
+use memsim::{presets, FaultConfig, MachineConfig, Policy, RunError};
 use simx::rng::SplitMix64;
 
 use crate::gen::{GenProgram, Label};
@@ -211,34 +211,44 @@ pub fn check_seed(gp: &GenProgram, cfg: &OracleConfig) -> SeedVerdict {
     }
 }
 
-/// The Definition 2 sweep for a DRF0-labeled program.
+/// The Definition 2 sweep for a DRF0-labeled program, run as a
+/// single-thread [`memsim::sweep`] grid: the campaign driver already
+/// parallelizes across seeds, so the win here is the engine's recycled
+/// machine (one construction for all nine runs), not more threads.
 fn check_drf0_program(gp: &GenProgram, cfg: &OracleConfig) -> SeedVerdict {
     let reference = reference_outcomes(&gp.program, cfg);
     if !reference.complete {
         return SeedVerdict::BudgetExceeded(IncompleteReason::MaxTotalSteps);
     }
 
-    let mut findings = Vec::new();
+    let mut grid = Vec::new();
     for (machine, policy) in machines() {
         for (profile, fault, may_wedge) in profiles() {
             for k in 0..cfg.fault_seeds.max(1) {
                 let fault_seed = derive_fault_seed(gp.seed, machine, profile, k);
-                if let Some(kind) = run_one(
-                    &gp.program,
-                    policy,
-                    fault,
-                    may_wedge,
-                    fault_seed,
-                    &reference,
-                ) {
-                    findings.push(Finding {
-                        kind,
-                        machine: Some(machine),
-                        profile: Some(profile),
-                        fault_seed: Some(fault_seed),
-                    });
-                }
+                grid.push((machine, profile, policy, fault, may_wedge, fault_seed));
             }
+        }
+    }
+    let cells: Vec<Cell> = grid
+        .iter()
+        .map(|&(_, _, policy, fault, _, fault_seed)| Cell {
+            program: &gp.program,
+            config: cell_config(&gp.program, policy, fault, fault_seed),
+        })
+        .collect();
+
+    let mut findings = Vec::new();
+    for (outcome, &(machine, profile, _, _, may_wedge, fault_seed)) in
+        sweep(&cells, 1).into_iter().zip(&grid)
+    {
+        if let Some(kind) = judge(outcome, &gp.program, may_wedge, &reference) {
+            findings.push(Finding {
+                kind,
+                machine: Some(machine),
+                profile: Some(profile),
+                fault_seed: Some(fault_seed),
+            });
         }
     }
     if findings.is_empty() {
@@ -263,41 +273,63 @@ pub(crate) fn recheck_triples(
     }
     let machines = machines();
     let profiles = profiles();
-    triples
+    let resolved: Vec<(Policy, FaultConfig, bool, u64)> = triples
         .iter()
         .filter_map(|&(machine, profile, fault_seed)| {
             let policy = machines.iter().find(|(m, _)| *m == machine)?.1;
             let &(_, fault, may_wedge) =
                 profiles.iter().find(|(p, _, _)| *p == profile)?;
-            run_one(program, policy, fault, may_wedge, fault_seed, &reference)
+            Some((policy, fault, may_wedge, fault_seed))
+        })
+        .collect();
+    let cells: Vec<Cell> = resolved
+        .iter()
+        .map(|&(policy, fault, _, fault_seed)| Cell {
+            program,
+            config: cell_config(program, policy, fault, fault_seed),
+        })
+        .collect();
+    sweep(&cells, 1)
+        .into_iter()
+        .zip(&resolved)
+        .filter_map(|(outcome, &(_, _, may_wedge, _))| {
+            judge(outcome, program, may_wedge, &reference)
         })
         .collect()
 }
 
-/// One machine run under one fault plan, checked against the reference.
-/// Returns `None` when the run is acceptable.
-fn run_one(
+/// The machine configuration of one fault-injected cell.
+fn cell_config(
     program: &Program,
     policy: Policy,
     fault: FaultConfig,
-    may_wedge: bool,
     fault_seed: u64,
-    reference: &ScOutcomes,
-) -> Option<FindingKind> {
-    let cfg = MachineConfig {
+) -> MachineConfig {
+    MachineConfig {
         chaos: Some(fault),
         ..presets::network_cached(program.num_threads(), policy, fault_seed)
-    };
-    match catch_unwind(AssertUnwindSafe(|| Machine::run_program(program, &cfg))) {
-        Err(_) => Some(FindingKind::Panic),
-        Ok(Err(err)) => {
+    }
+}
+
+/// Classifies one cell outcome against the reference. Returns `None` when
+/// the run is acceptable. (The sweep engine already caught panics and
+/// dropped the poisoned worker machine.)
+fn judge(
+    outcome: CellOutcome,
+    program: &Program,
+    may_wedge: bool,
+    reference: &ScOutcomes,
+) -> Option<FindingKind> {
+    match outcome {
+        CellOutcome::Panicked(_) => Some(FindingKind::Panic),
+        CellOutcome::Err(err) => {
             if may_wedge && !matches!(err, RunError::Protocol { .. }) {
                 None // a lossy profile may wedge, structured abort tolerated
             } else {
                 Some(FindingKind::UnexpectedAbort { error: err.to_string() })
             }
         }
-        Ok(Ok(result)) => {
+        CellOutcome::Ok(result) => {
             if !result.completed {
                 return Some(FindingKind::Incomplete);
             }
@@ -321,21 +353,22 @@ fn run_one(
 /// One plain (fault-free) run of a racy program to shake out panics. No SC
 /// assertion: Definition 2 promises nothing for racy software.
 fn racy_shakeout(gp: &GenProgram) -> SeedVerdict {
-    let cfg = presets::network_cached(
-        gp.program.num_threads(),
-        presets::wo_def2(),
-        gp.seed,
-    );
-    match catch_unwind(AssertUnwindSafe(|| {
-        Machine::run_program(&gp.program, &cfg)
-    })) {
-        Err(_) => SeedVerdict::Fail(vec![Finding {
+    let cell = Cell {
+        program: &gp.program,
+        config: presets::network_cached(
+            gp.program.num_threads(),
+            presets::wo_def2(),
+            gp.seed,
+        ),
+    };
+    match sweep(std::slice::from_ref(&cell), 1).pop() {
+        Some(CellOutcome::Panicked(_)) => SeedVerdict::Fail(vec![Finding {
             kind: FindingKind::Panic,
             machine: Some("def2"),
             profile: Some("none"),
             fault_seed: Some(gp.seed),
         }]),
-        Ok(_) => SeedVerdict::Pass,
+        _ => SeedVerdict::Pass,
     }
 }
 

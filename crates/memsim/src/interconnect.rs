@@ -114,6 +114,25 @@ impl Interconnect {
         self.chaos.as_ref().map(FaultPlan::stats)
     }
 
+    /// Reseeds the interconnect for a fresh run, keeping the FIFO map's
+    /// allocation. After a reset the interconnect behaves exactly like a
+    /// newly constructed one: the latency RNG restarts from `seed`, the
+    /// fault plan (if any) is rebuilt from `chaos`, and all occupancy and
+    /// ordering state is cleared.
+    pub fn reset(
+        &mut self,
+        config: InterconnectConfig,
+        seed: u64,
+        chaos: Option<(FaultConfig, u64)>,
+    ) {
+        self.config = config;
+        self.rng = Xoshiro256::seed_from(seed);
+        self.bus_free_at = SimTime::ZERO;
+        self.last_delivery.clear();
+        self.chaos = chaos.map(|(fault, fault_seed)| FaultPlan::new(fault_seed, fault));
+        self.messages = 0;
+    }
+
     /// The delivery time of a message sent now from `src` to `dst`,
     /// ignoring fault injection (used directly by fault-free callers and
     /// as the base schedule under [`Interconnect::route`]).
@@ -411,6 +430,26 @@ mod tests {
             );
         }
         assert_eq!(a.fault_stats(), b.fault_stats());
+    }
+
+    #[test]
+    fn reset_replays_the_same_schedule_as_a_fresh_interconnect() {
+        use simx::fault::FaultConfig;
+        let cfg = InterconnectConfig::network();
+        let mut reused = Interconnect::with_chaos(cfg, 5, FaultConfig::drop_heavy(), 7);
+        for i in 0..50u32 {
+            let _ = reused.route(SimTime(u64::from(i)), Node::Proc(0), Node::Module(i), MsgClass::Normal);
+        }
+        reused.reset(cfg, 5, Some((FaultConfig::drop_heavy(), 7)));
+        let mut fresh = Interconnect::with_chaos(cfg, 5, FaultConfig::drop_heavy(), 7);
+        for i in 0..50u32 {
+            assert_eq!(
+                reused.route(SimTime(u64::from(i)), Node::Proc(0), Node::Module(i), MsgClass::Normal),
+                fresh.route(SimTime(u64::from(i)), Node::Proc(0), Node::Module(i), MsgClass::Normal)
+            );
+        }
+        assert_eq!(reused.fault_stats(), fresh.fault_stats());
+        assert_eq!(reused.messages, fresh.messages);
     }
 
     #[test]

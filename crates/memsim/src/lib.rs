@@ -56,6 +56,7 @@ mod trace;
 
 pub mod diag;
 pub mod presets;
+pub mod sweep;
 pub mod timeline;
 pub mod workload;
 

@@ -185,6 +185,25 @@ impl Proc {
             stats: ProcStats::default(),
         }
     }
+
+    /// Clears all run state in place, keeping each collection's allocation.
+    fn reset(&mut self) {
+        self.pc = 0;
+        self.regs = [0; NUM_REGS];
+        self.local_steps = 0;
+        self.next_seq = 0;
+        self.status = Status::Ready;
+        self.stall_since = None;
+        self.outstanding = 0;
+        self.in_outstanding.clear();
+        self.pending_dst.clear();
+        self.store_queue.clear();
+        self.pending_store_vals.clear();
+        self.has_reserved = false;
+        self.reserved_misses = 0;
+        self.tick_scheduled = false;
+        self.stats = ProcStats::default();
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -207,8 +226,13 @@ enum Event {
 
 /// The simulated multiprocessor.
 ///
-/// Use [`Machine::run_program`]; the struct itself is an implementation
-/// detail kept public for documentation purposes.
+/// Use [`Machine::run_program`] for one-shot runs. Sweeps that execute
+/// many `(program, config)` cells should build one machine with
+/// [`Machine::new`] and recycle it with [`Machine::reset`] between
+/// [`Machine::run_once`] calls: the event queue, store queues, cache
+/// maps, and trace buffers keep their allocations across runs, and every
+/// RNG stream is re-derived from the cell's seed, so a recycled run is
+/// bit-identical to a cold one.
 #[derive(Debug)]
 pub struct Machine<'p> {
     program: &'p Program,
@@ -228,6 +252,13 @@ pub struct Machine<'p> {
     /// Last cycle at which any access committed or globally performed —
     /// the progress signal the livelock watchdog compares against.
     last_progress: SimTime,
+    /// Whether [`Machine::run_once`] has consumed this configuration.
+    ran: bool,
+    /// Scratch buffers recycled across every directory/cache message, so
+    /// the event loop's hot path allocates nothing per event.
+    dir_buf: Vec<(ProcId, DirToCache)>,
+    cache_ev_buf: Vec<CacheEvent>,
+    cache_reply_buf: Vec<CacheToDir>,
 }
 
 impl<'p> Machine<'p> {
@@ -244,6 +275,17 @@ impl<'p> Machine<'p> {
         program: &'p Program,
         config: &MachineConfig,
     ) -> Result<RunResult, RunError> {
+        Machine::new(program, config)?.run_once()
+    }
+
+    /// Builds a machine ready to run `program` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Config`] for invalid configurations and
+    /// [`RunError::ThreadCountMismatch`] when the program's thread count
+    /// differs from the machine's processor count.
+    pub fn new(program: &'p Program, config: &MachineConfig) -> Result<Self, RunError> {
         config.validate()?;
         if program.num_threads() != config.num_procs {
             return Err(RunError::ThreadCountMismatch {
@@ -282,16 +324,125 @@ impl<'p> Machine<'p> {
             footprint: program.init().iter().map(|&(l, _)| l).collect(),
             failed: None,
             last_progress: SimTime::ZERO,
+            ran: false,
+            dir_buf: Vec::new(),
+            cache_ev_buf: Vec::new(),
+            cache_reply_buf: Vec::new(),
         };
-        if let Policy::WoDef2(d2) = config.policy {
+        machine.apply_policy_knobs();
+        Ok(machine)
+    }
+
+    fn apply_policy_knobs(&mut self) {
+        if let Policy::WoDef2(d2) = self.config.policy {
             if d2.queue_stalled_syncs {
-                for cache in &mut machine.caches {
+                for cache in &mut self.caches {
                     cache.set_defer_recalls(true);
                 }
             }
         }
-        machine.run();
-        machine.result()
+    }
+
+    /// Executes the configured run and assembles its [`RunResult`],
+    /// leaving the machine ready for [`Machine::reset`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Machine::run_program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice without an intervening [`Machine::reset`] —
+    /// running on dirty state would silently corrupt the simulation.
+    pub fn run_once(&mut self) -> Result<RunResult, RunError> {
+        assert!(!self.ran, "Machine::run_once called twice without a reset");
+        self.ran = true;
+        self.run();
+        self.collect_result()
+    }
+
+    /// Rewinds the machine for a fresh run of `program` under `config`,
+    /// recycling every allocation the previous run grew (event queue heap,
+    /// store queues, cache maps, record buffers). All RNG streams are
+    /// re-derived from `config.seed` exactly as [`Machine::new`] derives
+    /// them, so a reset machine replays a given cell bit-identically to a
+    /// cold one.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Machine::new`]; on error the machine is left
+    /// unusable until a subsequent `reset` succeeds.
+    pub fn reset(
+        &mut self,
+        program: &'p Program,
+        config: &MachineConfig,
+    ) -> Result<(), RunError> {
+        config.validate()?;
+        if program.num_threads() != config.num_procs {
+            return Err(RunError::ThreadCountMismatch {
+                threads: program.num_threads(),
+                procs: config.num_procs,
+            });
+        }
+        let old_procs = self.config.num_procs;
+        self.program = program;
+        self.config = *config;
+        self.queue.reset();
+        let chaos = config
+            .chaos
+            .map(|fault| (fault, SplitMix64::new(config.seed ^ 0xC4A0_5FA0).next_u64()));
+        self.ic.reset(config.interconnect, config.seed, chaos);
+        self.procs.resize_with(config.num_procs, Proc::new);
+        for proc in &mut self.procs {
+            proc.reset();
+        }
+        self.caches.resize_with(config.num_procs, CacheController::new);
+        for cache in &mut self.caches {
+            cache.reset(config.cache_capacity);
+        }
+        self.directory.reset(program.initial_memory());
+        self.snoop = if config.caches && config.coherence == CoherenceKind::Snooping {
+            match self.snoop.take() {
+                Some(mut bus) if old_procs == config.num_procs => {
+                    bus.reset(program.initial_memory());
+                    Some(bus)
+                }
+                _ => Some(SnoopBus::new(config.num_procs, program.initial_memory())),
+            }
+        } else {
+            None
+        };
+        self.modules = program.initial_memory();
+        self.records.clear();
+        self.record_index.clear();
+        self.footprint.clear();
+        self.footprint.extend(program.init().iter().map(|&(l, _)| l));
+        self.failed = None;
+        self.last_progress = SimTime::ZERO;
+        self.ran = false;
+        self.apply_policy_knobs();
+        Ok(())
+    }
+
+    /// Runs `program` under each config in turn on one recycled machine —
+    /// the serial counterpart of the sweep engine, and the cheapest way to
+    /// sweep seeds. Each element of the returned vector is exactly what
+    /// [`Machine::run_program`] would have produced for that config.
+    pub fn run_many(
+        program: &'p Program,
+        configs: &[MachineConfig],
+    ) -> Vec<Result<RunResult, RunError>> {
+        let mut machine: Option<Machine<'p>> = None;
+        configs
+            .iter()
+            .map(|config| match machine.as_mut() {
+                Some(m) => m.reset(program, config).and_then(|()| m.run_once()),
+                None => match Machine::new(program, config) {
+                    Ok(m) => machine.insert(m).run_once(),
+                    Err(e) => Err(e),
+                },
+            })
+            .collect()
     }
 
     /// Global event budget: a backstop far above what any legitimate run
@@ -332,28 +483,43 @@ impl<'p> Machine<'p> {
                     self.proc_step(p);
                 }
                 Event::DirMsg { from, msg } => {
-                    match self.directory.handle(ProcId(from), msg) {
-                        Ok(out) => {
-                            for (to, reply) in out {
+                    // Move the scratch buffer out of self so the handler
+                    // can fill it while the send loop re-borrows self.
+                    let mut out = std::mem::take(&mut self.dir_buf);
+                    out.clear();
+                    match self.directory.handle_into(ProcId(from), msg, &mut out) {
+                        Ok(()) => {
+                            for (to, reply) in out.drain(..) {
                                 self.send_to_cache(to.0, reply);
                             }
                         }
                         Err(error) => self.fail_protocol(error),
                     }
+                    self.dir_buf = out;
                 }
                 Event::CacheMsg { to, msg } => {
-                    match self.caches[to as usize].handle(msg) {
-                        Ok((events, replies)) => {
-                            for ev in events {
+                    let mut ev_buf = std::mem::take(&mut self.cache_ev_buf);
+                    let mut reply_buf = std::mem::take(&mut self.cache_reply_buf);
+                    ev_buf.clear();
+                    reply_buf.clear();
+                    match self.caches[to as usize].handle_into(
+                        msg,
+                        &mut ev_buf,
+                        &mut reply_buf,
+                    ) {
+                        Ok(()) => {
+                            for ev in ev_buf.drain(..) {
                                 self.apply_cache_event(to, ev);
                             }
-                            for reply in replies {
+                            for reply in reply_buf.drain(..) {
                                 self.send_to_dir(to, reply);
                             }
                             self.after_completion(to);
                         }
                         Err(error) => self.fail_protocol(error),
                     }
+                    self.cache_ev_buf = ev_buf;
+                    self.cache_reply_buf = reply_buf;
                 }
                 Event::ModuleReq { proc, seq, loc, action } => {
                     self.module_apply(proc, seq, loc, action);
@@ -426,6 +592,8 @@ impl<'p> Machine<'p> {
         match self.ic.route(self.now(), src, dst, class) {
             Route::Deliver { at, duplicate_at, retries: _ } => {
                 if let Some(dup_at) = duplicate_at {
+                    // Must stay: a duplicated delivery needs its own copy,
+                    // and only the (rare) chaos dup path ever pays for it.
                     self.queue.schedule(dup_at, event.clone());
                 }
                 self.queue.schedule(at, event);
@@ -1346,7 +1514,7 @@ impl<'p> Machine<'p> {
     // Result assembly
     // ---------------------------------------------------------------
 
-    fn result(mut self) -> Result<RunResult, RunError> {
+    fn collect_result(&mut self) -> Result<RunResult, RunError> {
         if let Some(err) = self.failed.take() {
             return Err(err);
         }
@@ -1373,21 +1541,24 @@ impl<'p> Machine<'p> {
             final_memory,
         };
 
-        let mut records: Vec<OpRecord> = self
-            .records
-            .into_iter()
-            .filter(|r| r.commit != UNSET_TIME)
-            .collect();
+        let mut records = std::mem::take(&mut self.records);
+        records.retain(|r| r.commit != UNSET_TIME);
         records.sort_by_key(|r| (r.commit, r.op.id));
 
-        let snoop_stats = self.snoop.as_ref().map(|b| b.stats().clone());
+        let snoop_stats = self.snoop.as_mut().map(SnoopBus::take_stats);
         let stats = MachineStats {
-            procs: self.procs.into_iter().map(|p| p.stats).collect(),
+            procs: self
+                .procs
+                .iter_mut()
+                .map(|p| std::mem::take(&mut p.stats))
+                .collect(),
             directory: (self.config.caches && snoop_stats.is_none())
-                .then(|| self.directory.stats().clone()),
+                .then(|| self.directory.take_stats()),
             snoop: snoop_stats,
             messages: self.ic.messages,
             chaos: self.ic.fault_stats().copied(),
+            events_popped: self.queue.popped(),
+            peak_queue_len: self.queue.peak_len() as u64,
         };
 
         Ok(RunResult { records, outcome, cycles: now.cycles(), stats, completed })

@@ -89,6 +89,12 @@ pub struct MachineStats {
     pub messages: u64,
     /// What the fault plan did, when the run was chaos-injected.
     pub chaos: Option<simx::fault::FaultStats>,
+    /// Total events the machine's event queue delivered — an
+    /// implementation-effort proxy independent of wall clock, and a
+    /// cross-check that a recycled machine replays a cold run exactly.
+    pub events_popped: u64,
+    /// Peak number of simultaneously pending events in the queue.
+    pub peak_queue_len: u64,
 }
 
 /// Latency distributions derived from a run's records.
@@ -156,6 +162,8 @@ impl RunResult {
             .collect();
         Observation::new(threads)
             .expect("simulator assigns unique per-processor ids")
+            // Must stay: the observation owns its memory and `self` is
+            // borrowed; this is per-run, not per-event.
             .with_final_memory(self.outcome.final_memory.clone())
     }
 
@@ -170,6 +178,8 @@ impl RunResult {
             .iter()
             .filter_map(|r| r.op.read_value.map(|v| (r.op.id, v)))
             .collect();
+        // Must stay: the result owns its memory and `self` is borrowed;
+        // this is per-run, not per-event.
         ExecutionResult { reads, final_memory: self.outcome.final_memory.clone() }
     }
 
