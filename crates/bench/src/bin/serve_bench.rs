@@ -1,0 +1,294 @@
+//! wo-serve daemon benchmark: throughput, cache effectiveness, crash
+//! recovery, and overload behavior, written to `BENCH_serve.json`.
+//!
+//! Four phases against an in-process [`wo_serve::server::Server`]:
+//!
+//! * **cold** — every corpus program queried once on an empty cache:
+//!   pure exploration throughput through the full network + canonicalize
+//!   + cache + journal path;
+//! * **hot** — each program re-queried under `renames` random
+//!   thread/location/value renamings ([`wo_serve::canon`]): the
+//!   canonical-form cache must absorb all of them (hit rate is asserted
+//!   and reported);
+//! * **restart** — the server is shut down and a fresh one spawned on the
+//!   same journal directory: replay count and wall-clock recovery time,
+//!   then the whole corpus re-queried (warm from disk, zero
+//!   re-explorations);
+//! * **overload** — a deliberately starved server (1 worker, queue of 2)
+//!   under concurrent fire: `Overloaded` rejections must appear and every
+//!   response must still be structured (no drops, no panics).
+//!
+//! Usage:
+//!
+//! ```text
+//! serve_bench [--smoke] [--renames N] [--out PATH]
+//!   --smoke      CI variant: fewer programs, fewer renamings
+//!   --renames N  renamed variants per program in the hot phase (default 20)
+//!   --out PATH   where to write the JSON (default BENCH_serve.json)
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use litmus::corpus;
+use litmus::Program;
+use wo_bench::table;
+use wo_serve::client::{ClientConfig, ServeClient};
+use wo_serve::protocol::{CacheStatus, QueryKind, Request, Response};
+use wo_serve::server::{Server, ServerConfig, ServerHandle};
+
+struct Args {
+    smoke: bool,
+    renames: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { smoke: false, renames: 20, out: PathBuf::from("BENCH_serve.json") };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--renames" => {
+                args.renames = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--renames needs a number"));
+            }
+            "--out" => {
+                args.out = it
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| usage("--out needs a path"));
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if args.smoke {
+        args.renames = args.renames.min(5);
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("serve_bench: {err}");
+    eprintln!("usage: serve_bench [--smoke] [--renames N] [--out PATH]");
+    std::process::exit(2);
+}
+
+/// Corpus: bounded programs whose exploration completes in sane time at
+/// these budgets — the bench measures the serving machinery, not DPOR.
+fn workload(smoke: bool) -> Vec<(&'static str, Program)> {
+    let mut programs = vec![
+        ("mp_data", corpus::message_passing_data()),
+        ("mp_sync", corpus::message_passing_sync(2)),
+        ("mp_fenced", corpus::message_passing_fenced()),
+        ("dekker_fenced", corpus::fig1_dekker_fenced()),
+        ("load_buffering", corpus::load_buffering()),
+        ("coherence_rr", corpus::coherence_rr()),
+        ("sync_only_tas", corpus::sync_only_tas()),
+        ("s_shape", corpus::s_shape()),
+    ];
+    if !smoke {
+        programs.extend([
+            ("dekker", corpus::fig1_dekker()),
+            ("two_plus_two_w", corpus::two_plus_two_w()),
+            ("iriw_data", corpus::iriw_data()),
+            ("iriw_sync", corpus::iriw_sync()),
+            ("peterson_data", corpus::peterson_data()),
+            ("handoff", corpus::fig3_handoff_bounded(2, 2)),
+            ("barrier_2", corpus::barrier_bounded(2, 2)),
+            ("racy_counter", corpus::racy_counter(2)),
+        ]);
+    }
+    programs
+}
+
+fn request_for(text: &str) -> Request {
+    let mut req = Request::new(QueryKind::Drf0, text);
+    req.deadline_ms = Some(0); // budgets only
+    req.max_total_steps = Some(2_000_000);
+    req
+}
+
+fn client_for(handle: &ServerHandle) -> ServeClient {
+    let mut cfg = ClientConfig::new(handle.addr().to_string());
+    cfg.io_timeout = Duration::from_secs(300);
+    cfg.hedge_after = None;
+    ServeClient::new(cfg)
+}
+
+fn spawn(journal: &std::path::Path) -> ServerHandle {
+    Server::spawn(ServerConfig {
+        journal_dir: Some(journal.to_path_buf()),
+        snapshot_every: 8,
+        ..ServerConfig::default()
+    })
+    .expect("server spawn")
+}
+
+fn stats_of(client: &mut ServeClient) -> wo_serve::protocol::ServerStats {
+    match client.query(&Request::new(QueryKind::Stats, "")).expect("stats") {
+        Response::Stats(stats) => stats,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let programs = workload(args.smoke);
+    let journal = std::env::temp_dir().join(format!("wo-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal);
+
+    // ---- cold: explore everything once through the full serving path.
+    let handle = spawn(&journal);
+    let mut client = client_for(&handle);
+    let cold_t0 = Instant::now();
+    let mut verdicts = Vec::new();
+    for (name, program) in &programs {
+        let response = client.query(&request_for(&program.to_string())).expect(name);
+        match &response {
+            Response::Verdict { verdict, cache: CacheStatus::Miss, .. } => {
+                verdicts.push((*name, format!("{verdict:?}")));
+            }
+            other => panic!("{name}: expected a cold miss, got {other:?}"),
+        }
+    }
+    let cold_secs = cold_t0.elapsed().as_secs_f64();
+
+    // ---- hot: renamed-equivalent storms, all absorbed by the cache.
+    let before_hot = stats_of(&mut client);
+    let hot_t0 = Instant::now();
+    let mut hot_queries = 0u64;
+    for (name, program) in &programs {
+        for k in 0..args.renames {
+            let renamed = wo_serve::canon::random_renaming(program, k);
+            let response =
+                client.query(&request_for(&renamed.to_string())).expect(name);
+            match response {
+                Response::Verdict { cache: CacheStatus::Hit, .. } => hot_queries += 1,
+                other => panic!("{name} rename {k}: expected a hit, got {other:?}"),
+            }
+        }
+    }
+    let hot_secs = hot_t0.elapsed().as_secs_f64();
+    let after_hot = stats_of(&mut client);
+    let hot_hits = after_hot.cache_hits - before_hot.cache_hits;
+    let explored_during_hot = after_hot.explored - before_hot.explored;
+    assert_eq!(explored_during_hot, 0, "hot phase re-explored");
+
+    // ---- restart: recovery from the journal alone.
+    handle.shutdown();
+    let restart_t0 = Instant::now();
+    let handle = spawn(&journal);
+    let restart_secs = restart_t0.elapsed().as_secs_f64();
+    let replayed = handle.replayed();
+    let mut client = client_for(&handle);
+    let warm_t0 = Instant::now();
+    for (name, program) in &programs {
+        match client.query(&request_for(&program.to_string())).expect(name) {
+            Response::Verdict { cache: CacheStatus::Hit, .. } => {}
+            other => panic!("{name}: expected a post-restart hit, got {other:?}"),
+        }
+    }
+    let warm_secs = warm_t0.elapsed().as_secs_f64();
+    let post_restart = stats_of(&mut client);
+    assert_eq!(post_restart.explored, 0, "post-restart queries re-explored");
+    handle.shutdown();
+
+    // ---- overload: a starved server must reject, not wedge.
+    let starved = Server::spawn(ServerConfig {
+        explore_workers: 1,
+        queue_capacity: 2,
+        default_deadline_ms: 2_000,
+        ..ServerConfig::default()
+    })
+    .expect("starved spawn");
+    let addr = starved.addr().to_string();
+    let fire = if args.smoke { 8 } else { 16 };
+    let mut joins = Vec::new();
+    for i in 0..fire {
+        let addr = addr.clone();
+        // Distinct unbounded-spin programs defeat the cache (every
+        // request is a leader) and outrun any step budget, so each
+        // granted exploration holds the single worker for its full 2 s
+        // deadline — the queue genuinely fills and rejections appear.
+        let program = corpus::spinlock(3, 1 + i);
+        joins.push(std::thread::spawn(move || {
+            let mut cfg = ClientConfig::new(addr);
+            cfg.hedge_after = None;
+            cfg.max_attempts = 1; // count raw rejections, no retries
+            cfg.io_timeout = Duration::from_secs(300);
+            let mut client = ServeClient::new(cfg);
+            let mut req = Request::new(QueryKind::Drf0, program.to_string());
+            req.max_total_steps = Some(2_000_000);
+            match client.query(&req) {
+                Ok(Response::Verdict { .. }) => "answered",
+                Ok(Response::Error { code, .. }) => code.as_str(),
+                Ok(_) => "other",
+                Err(wo_serve::client::ClientError::Exhausted { .. }) => "overloaded",
+                Err(_) => "error",
+            }
+        }));
+    }
+    let outcomes: Vec<&'static str> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    let answered = outcomes.iter().filter(|o| **o == "answered").count();
+    let overloaded = outcomes.iter().filter(|o| **o == "overloaded").count();
+    let other = outcomes.len() - answered - overloaded;
+    starved.shutdown();
+    assert!(answered > 0, "starved server answered nothing: {outcomes:?}");
+
+    // ---- report.
+    let n = programs.len() as f64;
+    let cold_qps = n / cold_secs.max(1e-9);
+    let hot_qps = hot_queries as f64 / hot_secs.max(1e-9);
+    let mut rows = Vec::new();
+    for (name, verdict) in &verdicts {
+        rows.push(vec![(*name).to_string(), verdict.clone()]);
+    }
+    println!("{}", table(&["program", "verdict"], &rows));
+    println!(
+        "cold: {} programs in {cold_secs:.3}s ({cold_qps:.1} q/s)   hot: {hot_queries} renamed queries in {hot_secs:.3}s ({hot_qps:.0} q/s, {hot_hits} hits, 0 re-explorations)",
+        programs.len()
+    );
+    println!(
+        "restart: {replayed} verdicts replayed in {restart_secs:.3}s, warm re-query of the corpus in {warm_secs:.3}s with 0 explorations"
+    );
+    println!(
+        "overload (1 worker, queue 2, {fire} concurrent): {answered} answered, {overloaded} rejected, {other} other"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"workload\": \"serve-corpus\",");
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(json, "  \"programs\": {},", programs.len());
+    let _ = writeln!(json, "  \"renames_per_program\": {},", args.renames);
+    let _ = writeln!(json, "  \"cold\": {{");
+    let _ = writeln!(json, "    \"seconds\": {cold_secs:.6},");
+    let _ = writeln!(json, "    \"queries_per_sec\": {cold_qps:.3}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"hot\": {{");
+    let _ = writeln!(json, "    \"queries\": {hot_queries},");
+    let _ = writeln!(json, "    \"seconds\": {hot_secs:.6},");
+    let _ = writeln!(json, "    \"queries_per_sec\": {hot_qps:.3},");
+    let _ = writeln!(json, "    \"cache_hits\": {hot_hits},");
+    let _ = writeln!(json, "    \"re_explorations\": {explored_during_hot}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"restart\": {{");
+    let _ = writeln!(json, "    \"replayed\": {replayed},");
+    let _ = writeln!(json, "    \"recovery_seconds\": {restart_secs:.6},");
+    let _ = writeln!(json, "    \"warm_requery_seconds\": {warm_secs:.6}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"overload\": {{");
+    let _ = writeln!(json, "    \"concurrent\": {fire},");
+    let _ = writeln!(json, "    \"answered\": {answered},");
+    let _ = writeln!(json, "    \"rejected\": {overloaded},");
+    let _ = writeln!(json, "    \"other\": {other}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
+    println!("wrote {}", args.out.display());
+
+    let _ = std::fs::remove_dir_all(&journal);
+}

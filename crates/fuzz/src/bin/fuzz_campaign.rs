@@ -14,13 +14,15 @@
 //!
 //! ```text
 //! fuzz_campaign [--seeds A..B | --seeds N] [--threads N] [--fault-seeds K]
-//!               [--max-seconds S] [--inject-prune-bug] [--no-shrink]
-//!               [--smoke] [--verbose]
+//!               [--max-seconds S] [--server ADDR] [--inject-prune-bug]
+//!               [--no-shrink] [--smoke] [--verbose]
 //!   --seeds A..B        seed range, end exclusive      (default 0..1000)
 //!   --seeds N           shorthand for 0..N
 //!   --threads N         worker threads                 (default: all cores)
 //!   --fault-seeds K     fault plans per machine/profile (default 1)
 //!   --max-seconds S     wall-clock budget (breaks fixed-range determinism)
+//!   --server ADDR       ask a wo-serve daemon for DRF0 verdicts; any
+//!                       client failure falls back to local computation
 //!   --inject-prune-bug  sabotage the SC reference with the historical
 //!                       state-only prune bug; the campaign must catch it
 //!   --no-shrink         skip failure minimization
@@ -72,6 +74,10 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage("--max-seconds needs a number")),
                 );
             }
+            "--server" => {
+                cfg.oracle.remote =
+                    Some(it.next().unwrap_or_else(|| usage("--server needs an address")));
+            }
             "--inject-prune-bug" => cfg.oracle.inject_prune_bug = true,
             "--no-shrink" => cfg.shrink_failures = false,
             "--smoke" => smoke = true,
@@ -114,11 +120,15 @@ fn main() {
     let args = parse_args();
     let cfg = &args.cfg;
     println!(
-        "wo-fuzz campaign — seeds {}..{} ({} machines x 3 fault profiles x {} fault seed(s)){}",
+        "wo-fuzz campaign — seeds {}..{} ({} machines x 3 fault profiles x {} fault seed(s)){}{}",
         cfg.seed_start,
         cfg.seed_end,
         3,
         cfg.oracle.fault_seeds,
+        match &cfg.oracle.remote {
+            Some(addr) => format!("  [DRF0 verdicts via wo-serve at {addr}]"),
+            None => String::new(),
+        },
         if args.injected { "  [SC reference sabotaged: --inject-prune-bug]" } else { "" }
     );
 
@@ -133,14 +143,19 @@ fn main() {
     }
 
     let mut rows = Vec::new();
-    for (family, (runs, passes)) in &summary.per_family {
+    for (family, (runs, passes, unknown)) in &summary.per_family {
         rows.push(vec![
             (*family).to_string(),
             runs.to_string(),
             passes.to_string(),
+            unknown.to_string(),
+            (runs - passes - unknown).to_string(),
         ]);
     }
-    println!("{}", table(&["family", "seeds", "passed"], &rows));
+    println!(
+        "{}",
+        table(&["family", "seeds", "passed", "unknown", "failed"], &rows)
+    );
     println!(
         "{} seed(s) in {:.2?} on {} thread(s): {} passed, {} budget-exceeded, {} failed{}",
         summary.seeds_run,

@@ -98,8 +98,12 @@ pub struct CampaignSummary {
     pub budget_exceeded: u64,
     /// Real failures with repros, in seed order.
     pub failures: Vec<FailureReport>,
-    /// Per-family (runs, passes) tallies, keyed by primary family name.
-    pub per_family: BTreeMap<&'static str, (u64, u64)>,
+    /// Per-family (runs, passes, unknown) tallies, keyed by primary family
+    /// name. `unknown` counts seeds whose exploration budget gave out:
+    /// they are explicit rows, not silently folded into "didn't pass", so
+    /// a family whose programs routinely outgrow the budget is visible as
+    /// such in every summary.
+    pub per_family: BTreeMap<&'static str, (u64, u64, u64)>,
     /// Whether a wall-clock budget cut the sweep short (summary then
     /// depends on scheduling; fixed-range sweeps are deterministic).
     pub truncated: bool,
@@ -184,14 +188,17 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
 
     for record in records {
         let gp = generate(record.seed, &cfg.gen);
-        let family = summary.per_family.entry(gp.family().name()).or_insert((0, 0));
+        let family = summary.per_family.entry(gp.family().name()).or_insert((0, 0, 0));
         family.0 += 1;
         match &record.verdict {
             SeedVerdict::Pass => {
                 family.1 += 1;
                 summary.passes += 1;
             }
-            SeedVerdict::BudgetExceeded(_) => summary.budget_exceeded += 1,
+            SeedVerdict::BudgetExceeded(_) => {
+                family.2 += 1;
+                summary.budget_exceeded += 1;
+            }
             SeedVerdict::Fail(findings) => {
                 let findings: Vec<String> =
                     findings.iter().map(ToString::to_string).collect();
@@ -389,6 +396,41 @@ mod tests {
                 f.findings
             );
         }
+    }
+
+    /// Budget-exhausted seeds must surface as explicit per-family unknown
+    /// rows: every family's columns add up, the unknown columns sum to the
+    /// campaign-wide `budget_exceeded`, and a starvation budget moves
+    /// seeds from `passed` to `unknown` rather than dropping them.
+    #[test]
+    fn budget_exhausted_seeds_are_explicit_unknown_rows() {
+        let generous = run_campaign(&small_cfg(20));
+        let mut starved_cfg = small_cfg(20);
+        starved_cfg.oracle.explore.max_total_steps = 40;
+        let starved = run_campaign(&starved_cfg);
+
+        for summary in [&generous, &starved] {
+            let unknown_sum: u64 =
+                summary.per_family.values().map(|(_, _, u)| u).sum();
+            assert_eq!(unknown_sum, summary.budget_exceeded);
+            let failed_by_family: u64 = summary
+                .per_family
+                .values()
+                .map(|(runs, passes, unknown)| runs - passes - unknown)
+                .sum();
+            assert_eq!(failed_by_family, summary.failures.len() as u64);
+            assert_eq!(
+                summary.passes + summary.budget_exceeded + summary.failures.len() as u64,
+                summary.seeds_run
+            );
+        }
+        assert_eq!(starved.seeds_run, generous.seeds_run);
+        assert!(
+            starved.budget_exceeded > generous.budget_exceeded,
+            "starvation must show up as unknowns: {} vs {}",
+            starved.budget_exceeded,
+            generous.budget_exceeded
+        );
     }
 
     #[test]

@@ -59,6 +59,13 @@ pub struct OracleConfig {
     /// Replace the SC reference enumeration with the historical
     /// state-only-pruning bug (see module docs). Test/demo only.
     pub inject_prune_bug: bool,
+    /// Address of a wo-serve daemon to ask for DRF0 verdicts
+    /// (`host:port`). The daemon's canonical-form cache makes repeated
+    /// campaigns over overlapping corpora cheap; any client-side failure
+    /// (connection refused, retries exhausted, permanent error) falls back
+    /// to computing the verdict locally, so a flaky or absent daemon can
+    /// slow a campaign down but never change its verdicts.
+    pub remote: Option<String>,
 }
 
 impl Default for OracleConfig {
@@ -71,6 +78,7 @@ impl Default for OracleConfig {
             },
             fault_seeds: 1,
             inject_prune_bug: false,
+            remote: None,
         }
     }
 }
@@ -189,7 +197,7 @@ pub fn profiles() -> Vec<(&'static str, FaultConfig, bool)> {
 #[must_use]
 pub fn check_seed(gp: &GenProgram, cfg: &OracleConfig) -> SeedVerdict {
     // 1. Label soundness: static claim vs dynamic vector-clock verdict.
-    let dynamic = drf0_verdict(&gp.program, &cfg.explore);
+    let dynamic = dynamic_verdict(&gp.program, cfg);
     match (&gp.label, &dynamic) {
         (_, Drf0Verdict::BudgetExceeded(reason)) => {
             return SeedVerdict::BudgetExceeded(*reason);
@@ -208,6 +216,49 @@ pub fn check_seed(gp: &GenProgram, cfg: &OracleConfig) -> SeedVerdict {
     match gp.label {
         Label::Drf0 => check_drf0_program(gp, cfg),
         Label::Racy => racy_shakeout(gp),
+    }
+}
+
+/// The DRF0 verdict for label soundness: remote when a daemon is
+/// configured and reachable, local otherwise. Both paths answer the same
+/// question with the same budgets, so the fallback never changes a
+/// campaign's verdicts — only where the exploration ran.
+fn dynamic_verdict(program: &litmus::Program, cfg: &OracleConfig) -> Drf0Verdict {
+    if let Some(addr) = &cfg.remote {
+        if let Some(verdict) = remote_drf0_verdict(addr, program, &cfg.explore) {
+            return verdict;
+        }
+    }
+    drf0_verdict(program, &cfg.explore)
+}
+
+/// Asks a wo-serve daemon for the DRF0 verdict. `None` on any client
+/// failure or unexpected response shape — the caller falls back to local.
+fn remote_drf0_verdict(
+    addr: &str,
+    program: &litmus::Program,
+    explore: &ExploreConfig,
+) -> Option<Drf0Verdict> {
+    use wo_serve::client::{ClientConfig, ServeClient};
+    use wo_serve::protocol::{QueryKind, Request, Response, Verdict};
+
+    let mut request = Request::new(QueryKind::Drf0, program.to_string());
+    request.max_total_steps = Some(explore.max_total_steps);
+    request.max_ops_per_execution = Some(explore.max_ops_per_execution);
+    // Budgets only, no wall-clock deadline: keeps remote verdicts as
+    // deterministic as local ones.
+    request.deadline_ms = Some(0);
+    let mut client = ServeClient::new(ClientConfig::new(addr));
+    match client.query(&request).ok()? {
+        Response::Verdict { verdict, .. } => Some(match verdict {
+            Verdict::Racy => Drf0Verdict::Racy,
+            Verdict::Drf0 => Drf0Verdict::Drf0,
+            Verdict::Unknown { reason } => Drf0Verdict::BudgetExceeded(
+                wo_serve::reason_from_token(&reason)
+                    .unwrap_or(IncompleteReason::MaxTotalSteps),
+            ),
+        }),
+        _ => None,
     }
 }
 

@@ -77,7 +77,26 @@ pub struct ExploreConfig {
     /// cap is hit the exploration stops expanding new states and reports
     /// [`IncompleteReason::MaxVisitedStates`].
     pub max_visited_states: usize,
+    /// Optional wall-clock deadline. When the clock passes it, the
+    /// exploration stops expanding states and reports
+    /// [`IncompleteReason::Deadline`] — a structured partial verdict
+    /// instead of a hang, which is what lets a long-running query service
+    /// bound per-request latency. The deadline is polled every
+    /// [`DEADLINE_POLL_MASK`]`+1` state expansions, so overshoot is
+    /// bounded by the cost of that many steps.
+    ///
+    /// Unlike the step budgets, a deadline makes reports depend on
+    /// wall-clock scheduling: two runs of the same exploration may
+    /// truncate at different depths. Callers that need deterministic,
+    /// reproducible reports (differential tests, fixed-range campaigns)
+    /// should leave it `None` and rely on the step budgets.
+    pub deadline: Option<std::time::Instant>,
 }
+
+/// The deadline in [`ExploreConfig::deadline`] is checked once every this
+/// many +1 state expansions (a power-of-two mask keeps the common path to
+/// one branch and one AND).
+pub const DEADLINE_POLL_MASK: usize = 0x3FF;
 
 impl Default for ExploreConfig {
     fn default() -> Self {
@@ -88,6 +107,19 @@ impl Default for ExploreConfig {
             sync_mode: SyncMode::Drf0,
             max_total_steps: 50_000_000,
             max_visited_states: 4_000_000,
+            deadline: None,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// Returns a copy with the deadline set `budget` from now — the
+    /// per-request form a query service uses.
+    #[must_use]
+    pub fn with_deadline_in(self, budget: std::time::Duration) -> Self {
+        ExploreConfig {
+            deadline: Some(std::time::Instant::now() + budget),
+            ..self
         }
     }
 }
@@ -123,6 +155,9 @@ pub enum IncompleteReason {
     /// [`ExploreConfig::max_visited_states`] was reached — the memory
     /// budget for the converged-state set gave out.
     MaxVisitedStates,
+    /// [`ExploreConfig::deadline`] passed — the wall-clock budget for the
+    /// request gave out before the interleaving space was covered.
+    Deadline,
 }
 
 impl std::fmt::Display for IncompleteReason {
@@ -135,6 +170,9 @@ impl std::fmt::Display for IncompleteReason {
             }
             IncompleteReason::MaxVisitedStates => {
                 write!(f, "visited-state memory budget exhausted")
+            }
+            IncompleteReason::Deadline => {
+                write!(f, "wall-clock deadline exceeded")
             }
         }
     }
@@ -218,6 +256,16 @@ impl ExploreReport {
         if self.steps >= cfg.max_total_steps {
             self.mark_incomplete(IncompleteReason::MaxTotalSteps);
             return false;
+        }
+        if let Some(deadline) = cfg.deadline {
+            // Poll the clock only every few thousand expansions: an
+            // `Instant::now()` per state would dominate small steps.
+            if self.steps & DEADLINE_POLL_MASK == 0
+                && std::time::Instant::now() >= deadline
+            {
+                self.mark_incomplete(IncompleteReason::Deadline);
+                return false;
+            }
         }
         self.steps += 1;
         true
@@ -1275,6 +1323,38 @@ mod tests {
             drf0_verdict(&spinny, &tiny),
             Drf0Verdict::BudgetExceeded(_)
         ));
+    }
+
+    #[test]
+    fn expired_deadline_yields_structured_partial_verdict() {
+        // A deadline already in the past: every strategy must stop at the
+        // very first poll (steps == 0) and report Deadline — a degraded
+        // partial answer, never a hang or a panic.
+        let p = crate::corpus::fig1_dekker();
+        let expired = ExploreConfig {
+            deadline: Some(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+            ..cfg()
+        };
+        for report in [
+            explore(&p, &expired),
+            explore_dpor(&p, &expired),
+            explore_results(&p, &expired),
+        ] {
+            assert!(!report.complete);
+            assert_eq!(report.incomplete, Some(IncompleteReason::Deadline));
+            assert_eq!(report.steps, 0, "nothing expanded past an expired deadline");
+        }
+        assert_eq!(
+            drf0_verdict(&p, &expired),
+            Drf0Verdict::BudgetExceeded(IncompleteReason::Deadline)
+        );
+        assert!(IncompleteReason::Deadline.to_string().contains("deadline"));
+
+        // A generous deadline changes nothing.
+        let roomy = cfg().with_deadline_in(std::time::Duration::from_secs(600));
+        let report = explore_dpor(&p, &roomy);
+        assert!(report.complete);
+        assert_eq!(report.races, explore_dpor(&p, &cfg()).races);
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Adversarial-input hardening for `litmus::parse` — the front door of the
+//! wo-serve daemon. Whatever bytes arrive over the wire, the parser must
+//! return a structured [`litmus::parse::ParseError`] (or a valid program),
+//! never panic, hang, or blow the stack.
+//!
+//! Two layers:
+//!
+//! * **Targeted cases** — every malformed shape we could think of:
+//!   truncation mid-token, numeric overflow, absurd register/location/
+//!   target numbers, unicode confusables, CRLF, NULs, headers without
+//!   bodies, bodies without headers, oversized inputs.
+//! * **A seeded mutational sweep** — corpus programs with deterministic
+//!   byte-level mutations (truncate, splice, bit-flip, duplicate lines),
+//!   thousands of variants, all run under `catch_unwind` so a panic names
+//!   the exact seed that produced it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use litmus::parse::parse_program;
+
+/// Parses under `catch_unwind`, failing the test with the offending input
+/// on any panic. Returns whether the input parsed cleanly.
+fn must_not_panic(input: &str, context: &str) -> bool {
+    let result = catch_unwind(AssertUnwindSafe(|| parse_program(input).is_ok()));
+    match result {
+        Ok(ok) => ok,
+        Err(_) => panic!(
+            "parse_program panicked ({context}) on input:\n{}",
+            &input[..input.len().min(400)]
+        ),
+    }
+}
+
+#[test]
+fn targeted_malformed_inputs_yield_structured_errors() {
+    // Each case must produce Err (not Ok, not panic), and the error must
+    // render and carry a line number.
+    let cases: &[&str] = &[
+        // Truncated mid-token.
+        "P0:\n  W(m0",
+        "P0:\n  W(m0) :=",
+        "P0:\n  r0 :=",
+        "P0:\n  r0 := R(",
+        "P0:\n  if r0 =",
+        "P0:\n  if r0 == 1 goto",
+        "P0:\n  r0 := FetchAdd(m0",
+        "init: m0",
+        "init: m0=",
+        "init: =5",
+        "init: m=1",
+        // Instruction before any thread header.
+        "W(m0) := 1",
+        "r0 := R(m0)",
+        // Numeric overflow / absurd numbers.
+        "init: m0=99999999999999999999999999",
+        "P0:\n  W(m99999999999999999999) := 1",
+        "P0:\n  W(m0) := 123456789012345678901234567890",
+        "P0:\n  r999 := R(m0)",
+        "P0:\n  r0 := R(m-1)",
+        "P0:\n  goto 99999999999999999999999999",
+        // Bad operators and confusables.
+        "P0:\n  W(m0) = 1",
+        "P0:\n  if r0 ~= 1 goto 0",
+        "P0:\n  if r0 \u{2260} 1 goto 0", // ≠
+        "P0:\n  W(\u{043c}0) := 1",      // Cyrillic м
+        "P0:\n  r0 := \u{0280}(m0)",     // ʀ
+        // Wrong call shapes.
+        "P0:\n  r0 := TestAndSet(m0, 1)",
+        "P0:\n  r0 := FetchAdd(m0)",
+        "P0:\n  Set(m0, m1) := 1",
+        "P0:\n  W(m0)(m1) := 1",
+        // Garbage.
+        "P0:\n  \u{0}\u{1}\u{2}",
+        "P0:\n  🦀 := R(m0)",
+        "%%%%",
+    ];
+    for case in cases {
+        assert!(
+            !must_not_panic(case, "targeted"),
+            "expected a parse error for:\n{case}"
+        );
+        let err = parse_program(case).unwrap_err();
+        let rendered = err.to_string();
+        assert!(!rendered.is_empty());
+        assert!(
+            rendered.contains(&format!("line {}", err.line)),
+            "error should name its line: {rendered}"
+        );
+    }
+}
+
+#[test]
+fn validation_failures_surface_as_errors_not_panics() {
+    // Register out of the file, branch past the end: caught by Program
+    // validation and mapped onto line 0.
+    for case in ["P0:\n  r200 := R(m0)", "P0:\n  goto 7", "P0:\n  if r0 == 0 goto 9"] {
+        assert!(!must_not_panic(case, "validation"));
+        let err = parse_program(case).unwrap_err();
+        assert_eq!(err.line, 0, "validation errors map to line 0: {err}");
+    }
+}
+
+#[test]
+fn degenerate_but_wellformed_inputs_parse() {
+    // Empty / comment-only inputs are valid zero-thread programs; empty
+    // thread bodies and headers with huge thread numbers are fine too.
+    for case in [
+        "",
+        "\n\n\n",
+        "# only a comment",
+        "P0:",
+        "P0:\nP1:\nP2:",
+        "P18446744073709551616:", // digits, never parsed as a number
+        "init:",
+        "P0:\r\n  W(m0) := 1\r\n",
+    ] {
+        assert!(must_not_panic(case, "degenerate"), "expected Ok for {case:?}");
+    }
+    // CRLF bodies parse identically to LF bodies.
+    let lf = parse_program("P0:\n  W(m0) := 1\n").unwrap();
+    let crlf = parse_program("P0:\r\n  W(m0) := 1\r\n").unwrap();
+    assert_eq!(lf, crlf);
+}
+
+#[test]
+fn oversized_bodies_parse_or_error_in_linear_time() {
+    // A wide program: many threads, many instructions. Must stay linear
+    // and panic-free (the daemon bounds frame size before parsing; this
+    // guards the parser itself for anything under that bound).
+    let mut big = String::new();
+    for t in 0..64 {
+        big.push_str(&format!("P{t}:\n"));
+        for i in 0..256 {
+            big.push_str(&format!("  {i}: W(m{}) := {}\n", i % 97, i % 7));
+        }
+    }
+    let p = parse_program(&big).expect("large well-formed program parses");
+    assert_eq!(p.num_threads(), 64);
+
+    // One enormous single line.
+    let long_line = format!("P0:\n  W(m0) := {}\n", "9".repeat(100_000));
+    assert!(!must_not_panic(&long_line, "long line"), "overflow errors out");
+
+    // Deep branch-target digits and thousands of init cells.
+    let mut inits = String::from("init:");
+    for i in 0..10_000 {
+        inits.push_str(&format!(" m{i}={}", i % 5));
+    }
+    inits.push('\n');
+    inits.push_str("P0:\n  r0 := R(m3)\n");
+    assert!(must_not_panic(&inits, "many init cells"));
+}
+
+/// A tiny deterministic xorshift so the sweep needs no RNG dependency.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Mutates `text` with one of several byte-level corruptions, keeping the
+/// result valid UTF-8 (the daemon rejects non-UTF-8 frames before parsing).
+fn mutate(text: &str, rng: &mut XorShift) -> String {
+    let mut s: Vec<char> = text.chars().collect();
+    if s.is_empty() {
+        return String::from("#");
+    }
+    match rng.below(6) {
+        // Truncate at an arbitrary char.
+        0 => s.truncate(rng.below(s.len())),
+        // Delete a char.
+        1 => {
+            let i = rng.below(s.len());
+            s.remove(i);
+        }
+        // Replace a char with printable garbage.
+        2 => {
+            let i = rng.below(s.len());
+            s[i] = (b'!' + (rng.next() % 90) as u8) as char;
+        }
+        // Duplicate a line.
+        3 => {
+            let lines: Vec<&str> = text.lines().collect();
+            let i = rng.below(lines.len());
+            let mut out: Vec<&str> = Vec::new();
+            out.extend(&lines[..=i]);
+            out.push(lines[i]);
+            out.extend(&lines[i + 1..]);
+            return out.join("\n");
+        }
+        // Splice two prefixes/suffixes of the same text.
+        4 => {
+            let i = rng.below(s.len());
+            let j = rng.below(s.len());
+            let (head, tail) = (&text.chars().take(i).collect::<String>(), j);
+            return format!("{head}{}", text.chars().skip(tail).collect::<String>());
+        }
+        // Swap two chars.
+        _ => {
+            let i = rng.below(s.len());
+            let j = rng.below(s.len());
+            s.swap(i, j);
+        }
+    }
+    s.into_iter().collect()
+}
+
+#[test]
+fn seeded_mutational_sweep_never_panics() {
+    let seeds: Vec<String> = litmus::corpus::drf0_suite()
+        .into_iter()
+        .chain(litmus::corpus::racy_suite())
+        .map(|(_, p)| p.to_string())
+        .collect();
+    assert!(!seeds.is_empty());
+    let mut rng = XorShift(0x5EED_F00D_CAFE_0001);
+    let mut parsed_ok = 0usize;
+    let mut errored = 0usize;
+    for round in 0..40 {
+        for (i, base) in seeds.iter().enumerate() {
+            // Stack up to 4 mutations so corruption compounds.
+            let mut text = base.clone();
+            for _ in 0..=rng.below(4) {
+                text = mutate(&text, &mut rng);
+            }
+            if must_not_panic(&text, &format!("round {round}, base {i}")) {
+                parsed_ok += 1;
+            } else {
+                errored += 1;
+            }
+        }
+    }
+    // The sweep must actually exercise both sides of the result.
+    assert!(errored > 0, "mutations never produced a parse error?");
+    assert!(parsed_ok > 0, "mutations never left a parseable program?");
+}

@@ -1,0 +1,81 @@
+//! The wo-serve daemon binary.
+//!
+//! ```text
+//! wo_serve [--addr HOST:PORT] [--journal DIR] [--workers N] [--queue N]
+//!          [--max-frame BYTES] [--deadline-ms MS] [--max-deadline-ms MS]
+//!          [--snapshot-every N]
+//! ```
+//!
+//! Prints `wo-serve listening on HOST:PORT` once the socket is bound (the
+//! chaos harness and CI smoke job parse that line for the ephemeral
+//! port), then serves until killed. All state worth keeping lives in the
+//! journal, so SIGKILL is a supported shutdown path.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wo_serve::server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wo_serve [--addr HOST:PORT] [--journal DIR] [--workers N] \
+         [--queue N] [--max-frame BYTES] [--deadline-ms MS] \
+         [--max-deadline-ms MS] [--snapshot-every N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| {
+            eprintln!("wo_serve: {flag} needs a value");
+            usage()
+        });
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--journal" => cfg.journal_dir = Some(PathBuf::from(value("--journal"))),
+            "--workers" => cfg.explore_workers = parse_num(&flag, &value("--workers")),
+            "--queue" => cfg.queue_capacity = parse_num(&flag, &value("--queue")),
+            "--max-frame" => cfg.max_frame_bytes = parse_num(&flag, &value("--max-frame")),
+            "--deadline-ms" => cfg.default_deadline_ms = parse_num(&flag, &value("--deadline-ms")),
+            "--max-deadline-ms" => {
+                cfg.max_deadline_ms = parse_num(&flag, &value("--max-deadline-ms"));
+            }
+            "--snapshot-every" => {
+                cfg.snapshot_every = parse_num(&flag, &value("--snapshot-every"));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("wo_serve: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let handle = match Server::spawn(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("wo_serve: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if handle.replayed() > 0 {
+        eprintln!("wo-serve replayed {} journal entries", handle.replayed());
+    }
+    println!("wo-serve listening on {}", handle.addr());
+
+    // The daemon's lifecycle is the process's: park until killed. Crash
+    // safety is the journal's job, not a signal handler's.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("wo_serve: bad value for {flag}: {raw}");
+        usage()
+    })
+}

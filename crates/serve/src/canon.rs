@@ -1,0 +1,537 @@
+//! Canonicalization of litmus programs under thread, location, and value
+//! renaming.
+//!
+//! The production lever of wo-serve is that client fleets (fuzz campaigns,
+//! CI suites) submit near-duplicate programs: the same skeleton with
+//! threads listed in a different order, locations shifted to a different
+//! region, or constants drawn from a different range. All of those are the
+//! *same verification problem* — the DRF0 verdict, the race structure, and
+//! the size of the SC outcome set are invariant under:
+//!
+//! * **thread permutation** — threads have no identity beyond their index;
+//! * **location bijection** — locations are opaque names (the sync/data
+//!   distinction lives on the instruction, not the location);
+//! * **value bijection fixing 0 and 1** — *when the program does no
+//!   arithmetic*. Memory starts at 0 (so 0 is special) and `TestAndSet`
+//!   stores 1 (so 1 is special); every other constant is opaque as long
+//!   as no `Add`/`FetchAdd` combines values. Programs with arithmetic
+//!   keep their values verbatim.
+//!
+//! [`canonicalize`] picks a canonical representative of the equivalence
+//! class: for every thread permutation (all of them up to
+//! [`MAX_PERM_THREADS`] threads, identity beyond), relabel locations and
+//! values by first occurrence in the instruction stream and render the
+//! program; the lexicographically smallest rendering wins. Two programs
+//! are renamings of each other iff their canonical texts are equal — the
+//! cache keys on the text itself (not a hash), so a hash collision can
+//! never serve a wrong verdict.
+//!
+//! The form also carries the *inverse* maps, so answers computed on the
+//! canonical program (race sets name canonical threads and locations) can
+//! be translated back into the submitter's coordinates.
+
+use std::collections::HashMap;
+
+use litmus::{Instr, Operand, Program, Thread};
+use memory_model::{Loc, Value};
+
+/// Above this many threads the canonical search stops trying permutations
+/// (cost n!) and keeps the submitted thread order; location and value
+/// canonicalization still apply. 5! = 120 relabelings is well under a
+/// millisecond; the fuzz generator tops out at 3 threads.
+pub const MAX_PERM_THREADS: usize = 5;
+
+/// The canonical representative of a program's renaming class.
+#[derive(Debug, Clone)]
+pub struct CanonicalForm {
+    /// The canonical program itself (threads permuted, locations and
+    /// values relabelled).
+    pub program: Program,
+    /// The canonical rendering — the cache key. Equal texts ⇔ same
+    /// renaming class (for the classes the canonicalizer recognises).
+    pub text: String,
+    /// FNV-1a of `text`, for journal integrity checks and cheap indexing.
+    pub hash: u64,
+    /// `thread_unmap[c]` is the submitted-program thread that canonical
+    /// thread `c` corresponds to.
+    pub thread_unmap: Vec<usize>,
+    /// `loc_unmap[l]` is the submitted-program location that canonical
+    /// location `Loc(l)` corresponds to.
+    pub loc_unmap: Vec<u32>,
+    /// Whether value relabelling was applied (false when the program
+    /// contains `Add`/`FetchAdd` arithmetic).
+    pub values_relabelled: bool,
+}
+
+impl CanonicalForm {
+    /// Translates a canonical thread index back into the submitted
+    /// program's numbering. Indices outside the map (impossible for
+    /// races reported by exploring the canonical program) pass through.
+    #[must_use]
+    pub fn unmap_thread(&self, canon_thread: usize) -> usize {
+        self.thread_unmap.get(canon_thread).copied().unwrap_or(canon_thread)
+    }
+
+    /// Translates a canonical location back into the submitted program's
+    /// naming. See [`CanonicalForm::unmap_thread`].
+    #[must_use]
+    pub fn unmap_loc(&self, canon_loc: Loc) -> Loc {
+        self.loc_unmap
+            .get(canon_loc.0 as usize)
+            .copied()
+            .map_or(canon_loc, Loc)
+    }
+}
+
+/// FNV-1a over `bytes` — stable, dependency-free, good enough for journal
+/// integrity (correctness never rests on it; the cache keys on full text).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Whether value relabelling is sound for `p`: no instruction combines
+/// values arithmetically.
+fn values_opaque(p: &Program) -> bool {
+    !p.threads()
+        .iter()
+        .flat_map(|t| t.instrs().iter())
+        .any(|i| matches!(i, Instr::Add { .. } | Instr::FetchAdd { .. }))
+}
+
+/// First-occurrence relabelling state for one permutation attempt.
+struct Relabeller {
+    loc_map: HashMap<u32, u32>,
+    loc_unmap: Vec<u32>,
+    val_map: HashMap<Value, Value>,
+    next_val: Value,
+    relabel_values: bool,
+}
+
+impl Relabeller {
+    fn new(relabel_values: bool) -> Self {
+        let mut val_map = HashMap::new();
+        val_map.insert(0, 0);
+        val_map.insert(1, 1);
+        Relabeller {
+            loc_map: HashMap::new(),
+            loc_unmap: Vec::new(),
+            val_map,
+            next_val: 2,
+            relabel_values,
+        }
+    }
+
+    fn loc(&mut self, loc: Loc) -> Loc {
+        if let Some(&id) = self.loc_map.get(&loc.0) {
+            return Loc(id);
+        }
+        let id = self.loc_map.len() as u32;
+        self.loc_map.insert(loc.0, id);
+        self.loc_unmap.push(loc.0);
+        Loc(id)
+    }
+
+    fn val(&mut self, v: Value) -> Value {
+        if !self.relabel_values {
+            return v;
+        }
+        if let Some(&mapped) = self.val_map.get(&v) {
+            return mapped;
+        }
+        let mapped = self.next_val;
+        self.next_val += 1;
+        self.val_map.insert(v, mapped);
+        mapped
+    }
+
+    fn op(&mut self, o: Operand) -> Operand {
+        match o {
+            Operand::Const(v) => Operand::Const(self.val(v)),
+            Operand::Reg(r) => Operand::Reg(r),
+        }
+    }
+
+    fn instr(&mut self, i: Instr) -> Instr {
+        match i {
+            Instr::Read { loc, dst } => Instr::Read { loc: self.loc(loc), dst },
+            Instr::Write { loc, src } => {
+                Instr::Write { loc: self.loc(loc), src: self.op(src) }
+            }
+            Instr::SyncRead { loc, dst } => Instr::SyncRead { loc: self.loc(loc), dst },
+            Instr::SyncWrite { loc, src } => {
+                Instr::SyncWrite { loc: self.loc(loc), src: self.op(src) }
+            }
+            Instr::TestAndSet { loc, dst } => {
+                Instr::TestAndSet { loc: self.loc(loc), dst }
+            }
+            // `relabel_values` is false whenever FetchAdd/Add exist, so
+            // their operands pass through `op` unchanged.
+            Instr::FetchAdd { loc, dst, add } => {
+                Instr::FetchAdd { loc: self.loc(loc), dst, add: self.op(add) }
+            }
+            Instr::Move { dst, src } => Instr::Move { dst, src: self.op(src) },
+            Instr::Add { dst, a, b } => {
+                Instr::Add { dst, a: self.op(a), b: self.op(b) }
+            }
+            Instr::BranchEq { a, b, target } => {
+                Instr::BranchEq { a: self.op(a), b: self.op(b), target }
+            }
+            Instr::BranchNe { a, b, target } => {
+                Instr::BranchNe { a: self.op(a), b: self.op(b), target }
+            }
+            Instr::Jump { target } => Instr::Jump { target },
+            Instr::Fence => Instr::Fence,
+        }
+    }
+}
+
+/// Relabels locations and (when sound) values by first occurrence under
+/// the given thread order, returning the rebuilt program plus the
+/// canonical→original location map.
+fn relabel(p: &Program, perm: &[usize], relabel_values: bool) -> (Program, Vec<u32>) {
+    let mut r = Relabeller::new(relabel_values);
+    let threads: Vec<Thread> = perm
+        .iter()
+        .map(|&orig| {
+            let mut out = Thread::new();
+            for &instr in p.threads()[orig].instrs() {
+                out = out.push(r.instr(instr));
+            }
+            out
+        })
+        .collect();
+
+    // Init cells. Cells on accessed locations join the value scan in
+    // canonical-location order (itself invariant under renaming). Cells
+    // on locations the program never touches have no renaming-invariant
+    // attribute except their raw value, so they keep it and take
+    // canonical ids after all accessed ones, ordered by (raw value, raw
+    // loc) — same-valued untouched cells are interchangeable, so the raw
+    // loc tiebreak never changes the rendered text.
+    let mut seen: Vec<(Loc, Value)> = Vec::new();
+    let mut unseen: Vec<(Loc, Value)> = Vec::new();
+    for &(loc, v) in p.init() {
+        match r.loc_map.get(&loc.0) {
+            Some(&id) => seen.push((Loc(id), v)),
+            None => unseen.push((loc, v)),
+        }
+    }
+    seen.sort_by_key(|&(loc, _)| loc.0);
+    let mut init: Vec<(Loc, Value)> =
+        seen.into_iter().map(|(loc, v)| (loc, r.val(v))).collect();
+    unseen.sort_by_key(|&(loc, v)| (v, loc.0));
+    for (loc, v) in unseen {
+        init.push((r.loc(loc), v));
+    }
+
+    let program = Program::new(threads)
+        .expect("relabelling preserves branch targets and registers")
+        .with_init(init);
+    (program, r.loc_unmap)
+}
+
+/// All permutations of `0..n` in lexicographic order (n ≤
+/// [`MAX_PERM_THREADS`]), or just the identity beyond.
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n > MAX_PERM_THREADS {
+        return vec![(0..n).collect()];
+    }
+    fn rec(n: usize, current: &mut Vec<usize>, used: &mut [bool], out: &mut Vec<Vec<usize>>) {
+        if current.len() == n {
+            out.push(current.clone());
+            return;
+        }
+        for i in 0..n {
+            if !used[i] {
+                used[i] = true;
+                current.push(i);
+                rec(n, current, used, out);
+                current.pop();
+                used[i] = false;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(n, &mut Vec::new(), &mut vec![false; n], &mut out);
+    out
+}
+
+/// Computes the canonical form of `p`. Pure: structurally equal programs
+/// (and all their recognised renamings) yield byte-identical `text`.
+#[must_use]
+pub fn canonicalize(p: &Program) -> CanonicalForm {
+    let relabel_values = values_opaque(p);
+    let mut best: Option<(String, Program, Vec<u32>, Vec<usize>)> = None;
+    for perm in permutations(p.num_threads()) {
+        let (candidate, loc_unmap) = relabel(p, &perm, relabel_values);
+        let text = candidate.to_string();
+        let better = match &best {
+            None => true,
+            Some((best_text, ..)) => text < *best_text,
+        };
+        if better {
+            best = Some((text, candidate, loc_unmap, perm));
+        }
+    }
+    let (text, program, loc_unmap, thread_unmap) =
+        best.expect("at least the identity permutation is tried");
+    let hash = fnv1a(text.as_bytes());
+    CanonicalForm {
+        program,
+        text,
+        hash,
+        thread_unmap,
+        loc_unmap,
+        values_relabelled: relabel_values,
+    }
+}
+
+/// Applies a pseudo-random renaming drawn from `seed` to `p`: a thread
+/// permutation, a location bijection into a scattered range, and (when
+/// sound) a value bijection fixing {0, 1}. The result is semantically
+/// equivalent to `p` and canonicalizes to the same form — the generator
+/// of "near-duplicate traffic" used by the property tests and
+/// `serve_bench`.
+#[must_use]
+pub fn random_renaming(p: &Program, seed: u64) -> Program {
+    let mut rng = simx::rng::SplitMix64::new(seed ^ 0xC0DE_CAFE_0000_0001);
+    let n = p.num_threads();
+
+    // Thread permutation by Fisher–Yates.
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+
+    // Which locations the instruction stream touches (init-only cells
+    // keep their raw values; see `relabel`).
+    let accessed: Vec<u32> = p
+        .threads()
+        .iter()
+        .flat_map(|t| t.instrs().iter())
+        .filter_map(instr_loc)
+        .map(|l| l.0)
+        .collect();
+
+    // Location bijection: distinct pseudo-random ids.
+    let mut locs: Vec<u32> = accessed.clone();
+    for &(loc, _) in p.init() {
+        locs.push(loc.0);
+    }
+    locs.sort_unstable();
+    locs.dedup();
+    let mut loc_map: HashMap<u32, u32> = HashMap::new();
+    for &l in &locs {
+        loop {
+            let candidate = (rng.next_u64() % 1_000_000) as u32;
+            if !loc_map.values().any(|&v| v == candidate) {
+                loc_map.insert(l, candidate);
+                break;
+            }
+        }
+    }
+
+    // Value bijection fixing {0, 1}, only when sound.
+    let relabel_values = values_opaque(p);
+    let mut val_map: HashMap<Value, Value> = HashMap::new();
+    val_map.insert(0, 0);
+    val_map.insert(1, 1);
+    if relabel_values {
+        let mut vals: Vec<Value> = Vec::new();
+        for t in p.threads() {
+            for i in t.instrs() {
+                for v in instr_consts(i) {
+                    if v > 1 && !vals.contains(&v) {
+                        vals.push(v);
+                    }
+                }
+            }
+        }
+        for &(loc, v) in p.init() {
+            if accessed.contains(&loc.0) && v > 1 && !vals.contains(&v) {
+                vals.push(v);
+            }
+        }
+        for &v in &vals {
+            loop {
+                let candidate = 2 + rng.next_u64() % 1_000_000;
+                if !val_map.values().any(|&x| x == candidate) {
+                    val_map.insert(v, candidate);
+                    break;
+                }
+            }
+        }
+    }
+
+    let map_loc = |l: Loc| Loc(*loc_map.get(&l.0).unwrap_or(&l.0));
+    let map_val = |v: Value| *val_map.get(&v).unwrap_or(&v);
+    let map_op = |o: Operand| match o {
+        Operand::Const(v) => Operand::Const(map_val(v)),
+        Operand::Reg(r) => Operand::Reg(r),
+    };
+
+    let threads: Vec<Thread> = perm
+        .iter()
+        .map(|&orig| {
+            let mut out = Thread::new();
+            for &i in p.threads()[orig].instrs() {
+                out = out.push(match i {
+                    Instr::Read { loc, dst } => Instr::Read { loc: map_loc(loc), dst },
+                    Instr::Write { loc, src } => {
+                        Instr::Write { loc: map_loc(loc), src: map_op(src) }
+                    }
+                    Instr::SyncRead { loc, dst } => {
+                        Instr::SyncRead { loc: map_loc(loc), dst }
+                    }
+                    Instr::SyncWrite { loc, src } => {
+                        Instr::SyncWrite { loc: map_loc(loc), src: map_op(src) }
+                    }
+                    Instr::TestAndSet { loc, dst } => {
+                        Instr::TestAndSet { loc: map_loc(loc), dst }
+                    }
+                    Instr::FetchAdd { loc, dst, add } => {
+                        Instr::FetchAdd { loc: map_loc(loc), dst, add }
+                    }
+                    Instr::Move { dst, src } => Instr::Move { dst, src: map_op(src) },
+                    Instr::Add { dst, a, b } => Instr::Add { dst, a, b },
+                    Instr::BranchEq { a, b, target } => {
+                        Instr::BranchEq { a: map_op(a), b: map_op(b), target }
+                    }
+                    Instr::BranchNe { a, b, target } => {
+                        Instr::BranchNe { a: map_op(a), b: map_op(b), target }
+                    }
+                    Instr::Jump { target } => Instr::Jump { target },
+                    Instr::Fence => Instr::Fence,
+                });
+            }
+            out
+        })
+        .collect();
+    let init: Vec<(Loc, Value)> = p
+        .init()
+        .iter()
+        .map(|&(loc, v)| {
+            let v = if accessed.contains(&loc.0) { map_val(v) } else { v };
+            (map_loc(loc), v)
+        })
+        .collect();
+    Program::new(threads)
+        .expect("renaming preserves branch targets and registers")
+        .with_init(init)
+}
+
+/// The location an instruction touches, if any.
+fn instr_loc(i: &Instr) -> Option<Loc> {
+    match i {
+        Instr::Read { loc, .. }
+        | Instr::Write { loc, .. }
+        | Instr::SyncRead { loc, .. }
+        | Instr::SyncWrite { loc, .. }
+        | Instr::TestAndSet { loc, .. }
+        | Instr::FetchAdd { loc, .. } => Some(*loc),
+        _ => None,
+    }
+}
+
+/// Constant operands value relabelling touches. `Add`/`FetchAdd` consts
+/// are excluded because their presence disables relabelling entirely.
+fn instr_consts(i: &Instr) -> Vec<Value> {
+    let of = |o: &Operand| match o {
+        Operand::Const(v) => Some(*v),
+        Operand::Reg(_) => None,
+    };
+    match i {
+        Instr::Write { src, .. } | Instr::SyncWrite { src, .. } | Instr::Move { src, .. } => {
+            of(src).into_iter().collect()
+        }
+        Instr::BranchEq { a, b, .. } | Instr::BranchNe { a, b, .. } => {
+            of(a).into_iter().chain(of(b)).collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litmus::parse::parse_program;
+
+    fn mp() -> Program {
+        parse_program(
+            "init: m0=0 m100=0\n\
+             P0:\n  W(m0) := 5\n  Set(m100) := 1\n\
+             P1:\n  r0 := Test(m100)\n  if r0 != 1 goto 0\n  r1 := R(m0)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn canonical_text_is_stable_and_reparses() {
+        let c = canonicalize(&mp());
+        let reparsed = parse_program(&c.text).unwrap();
+        assert_eq!(reparsed, c.program, "canonical text round-trips");
+        assert_eq!(canonicalize(&mp()).text, c.text, "pure function");
+        assert_eq!(c.hash, fnv1a(c.text.as_bytes()));
+    }
+
+    #[test]
+    fn thread_permutation_canonicalizes_identically() {
+        let p = mp();
+        let swapped = Program::new(vec![p.threads()[1].clone(), p.threads()[0].clone()])
+            .unwrap()
+            .with_init(p.init().to_vec());
+        assert_eq!(canonicalize(&p).text, canonicalize(&swapped).text);
+    }
+
+    #[test]
+    fn random_renamings_canonicalize_identically() {
+        let p = mp();
+        let base = canonicalize(&p).text;
+        for seed in 0..50 {
+            let renamed = random_renaming(&p, seed);
+            assert_eq!(
+                canonicalize(&renamed).text,
+                base,
+                "seed {seed} renamed:\n{renamed}"
+            );
+        }
+    }
+
+    #[test]
+    fn arithmetic_disables_value_relabelling() {
+        let p = parse_program("P0:\n  r0 := FetchAdd(m7, 3)\n  W(m9) := 9\n").unwrap();
+        let c = canonicalize(&p);
+        assert!(!c.values_relabelled);
+        // The 9 survives verbatim; the locations are still relabelled.
+        assert!(c.text.contains(":= 9"), "{}", c.text);
+        assert!(c.text.contains("m0") && c.text.contains("m1"), "{}", c.text);
+    }
+
+    #[test]
+    fn unmaps_translate_back_to_submitted_coordinates() {
+        let p = mp();
+        let c = canonicalize(&p);
+        for (canon_id, orig) in c.loc_unmap.iter().enumerate() {
+            assert_eq!(c.unmap_loc(Loc(canon_id as u32)), Loc(*orig));
+        }
+        let mut threads: Vec<usize> = c.thread_unmap.clone();
+        threads.sort_unstable();
+        assert_eq!(threads, vec![0, 1]);
+        // Every original loc the program names appears in the unmap.
+        assert!(c.loc_unmap.contains(&0) && c.loc_unmap.contains(&100));
+    }
+
+    #[test]
+    fn distinct_programs_do_not_collide() {
+        let racy = parse_program("P0:\n  W(m0) := 1\nP1:\n  r0 := R(m0)\n").unwrap();
+        let sync = parse_program("P0:\n  Set(m0) := 1\nP1:\n  r0 := Test(m0)\n").unwrap();
+        assert_ne!(canonicalize(&racy).text, canonicalize(&sync).text);
+    }
+}

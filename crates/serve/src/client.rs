@@ -1,0 +1,338 @@
+//! The retrying client: exponential backoff with seeded jitter, and one
+//! bounded hedged attempt for tail latency.
+//!
+//! The client owns the *transient* failure modes so callers don't have
+//! to: connection refused while the daemon restarts, connections dropped
+//! mid-frame by a dying process, `Overloaded` and `ShuttingDown`
+//! rejections, and plain slowness. Its contract:
+//!
+//! * **Retry only what is safe and useful.** All wo-serve queries are
+//!   idempotent reads, so every transport failure and every retryable
+//!   error code is retried up to `max_attempts`, with exponential
+//!   backoff. Jitter is drawn from a seeded [`simx::rng::SplitMix64`] so
+//!   campaign runs stay reproducible.
+//! * **Permanent errors fail fast.** `Parse`, `Malformed`, `TooLarge`
+//!   come back immediately — retrying a bad program wastes a fleet's
+//!   time and the server's.
+//! * **Hedge at most once.** If an attempt has produced nothing by
+//!   `hedge_after`, ONE duplicate attempt races it and the first answer
+//!   wins. Bounded hedging keeps p99 down without the retry-storm
+//!   amplification unbounded hedging invites.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use simx::rng::SplitMix64;
+
+use crate::protocol::{read_frame, write_frame, ErrorCode, Request, Response};
+
+/// Client tuning. The defaults suit a local daemon under chaos: fast
+/// first retry, sub-second cap, one hedge.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Read/write timeout per attempt (covers the whole exploration, so
+    /// size it above the server's deadline).
+    pub io_timeout: Duration,
+    /// Total attempts (first try included) before giving up.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `backoff_base * 2^n` (capped), half
+    /// fixed and half jittered.
+    pub backoff_base: Duration,
+    /// Ceiling on the backoff above.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter stream — fix it to make campaigns replayable.
+    pub jitter_seed: u64,
+    /// Fire one racing duplicate attempt if nothing answered by this
+    /// point. `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Cap on response frames the client will accept.
+    pub max_frame_bytes: usize,
+}
+
+impl ClientConfig {
+    /// Defaults against `addr`.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        ClientConfig {
+            addr: addr.into(),
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(30),
+            max_attempts: 6,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_millis(800),
+            jitter_seed: 0x00DD_BA11_5EED,
+            hedge_after: Some(Duration::from_secs(2)),
+            max_frame_bytes: crate::protocol::DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// Why a query ultimately failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Every attempt failed transiently; `last` is the final failure.
+    Exhausted {
+        /// Attempts made (including hedges' primaries, not hedges).
+        attempts: u32,
+        /// The last transient failure seen.
+        last: String,
+    },
+    /// The server answered with a non-retryable error.
+    Permanent {
+        /// The error class.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts (last: {last})")
+            }
+            ClientError::Permanent { code, message } => {
+                write!(f, "permanent error {}: {message}", code.as_str())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A client handle. Holds no connection — each attempt dials fresh, which
+/// is exactly what surviving server restarts requires.
+pub struct ServeClient {
+    cfg: ClientConfig,
+    rng: SplitMix64,
+}
+
+impl ServeClient {
+    /// A client for `cfg`.
+    #[must_use]
+    pub fn new(cfg: ClientConfig) -> Self {
+        let rng = SplitMix64::new(cfg.jitter_seed);
+        ServeClient { cfg, rng }
+    }
+
+    /// Sends `request`, retrying transient failures with backoff and one
+    /// bounded hedge per attempt window.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Permanent`] immediately on non-retryable server
+    /// errors; [`ClientError::Exhausted`] once `max_attempts` transient
+    /// failures have accumulated.
+    pub fn query(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let payload = request.encode();
+        let mut last = String::from("no attempt made");
+        for attempt in 0..self.cfg.max_attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff(attempt));
+            }
+            match self.raced_attempt(&payload) {
+                Ok(Response::Error { code, message }) => {
+                    if code.is_retryable() {
+                        last = format!("server error {}: {message}", code.as_str());
+                    } else {
+                        return Err(ClientError::Permanent { code, message });
+                    }
+                }
+                Ok(response) => return Ok(response),
+                Err(e) => last = e,
+            }
+        }
+        Err(ClientError::Exhausted { attempts: self.cfg.max_attempts, last })
+    }
+
+    /// Convenience: a `drf0` query for a program body.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeClient::query`].
+    pub fn drf0(&mut self, program: &str) -> Result<Response, ClientError> {
+        self.query(&Request::new(crate::protocol::QueryKind::Drf0, program))
+    }
+
+    /// Backoff before retry `attempt`: exponential, capped, half jittered.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .cfg
+            .backoff_base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.cfg.backoff_cap);
+        let half = exp / 2;
+        let jitter_ms = if half.as_millis() == 0 {
+            0
+        } else {
+            self.rng.next_u64() % (half.as_millis() as u64 + 1)
+        };
+        half + Duration::from_millis(jitter_ms)
+    }
+
+    /// One attempt window: the primary connection, plus one hedged
+    /// duplicate if the primary is slow. First answer wins.
+    fn raced_attempt(&self, payload: &[u8]) -> Result<Response, String> {
+        let Some(hedge_after) = self.cfg.hedge_after else {
+            return one_shot(&self.cfg, payload);
+        };
+        let (tx, rx) = mpsc::channel();
+        spawn_attempt(&self.cfg, payload, tx.clone());
+        match rx.recv_timeout(hedge_after) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Primary is slow: race exactly one duplicate.
+                spawn_attempt(&self.cfg, payload, tx);
+                match rx.recv_timeout(self.cfg.io_timeout + self.cfg.connect_timeout) {
+                    Ok(result) => result,
+                    Err(_) => Err("both primary and hedge timed out".into()),
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err("attempt thread lost".into())
+            }
+        }
+    }
+}
+
+fn spawn_attempt(
+    cfg: &ClientConfig,
+    payload: &[u8],
+    tx: mpsc::Sender<Result<Response, String>>,
+) {
+    let cfg = cfg.clone();
+    let payload = payload.to_vec();
+    std::thread::spawn(move || {
+        // A lost receiver just means the other attempt won the race.
+        let _ = tx.send(one_shot(&cfg, &payload));
+    });
+}
+
+/// One connect → send → receive → decode cycle.
+fn one_shot(cfg: &ClientConfig, payload: &[u8]) -> Result<Response, String> {
+    let stream = connect(cfg).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(cfg.io_timeout))
+        .and_then(|()| stream.set_write_timeout(Some(cfg.io_timeout)))
+        .map_err(|e| format!("socket setup: {e}"))?;
+    let mut writer = &stream;
+    let mut reader = &stream;
+    write_frame(&mut writer, payload).map_err(|e| format!("send: {e}"))?;
+    match read_frame(&mut reader, cfg.max_frame_bytes) {
+        Ok(Some(frame)) => Response::decode(&frame).map_err(|e| format!("decode: {e}")),
+        Ok(None) => Err("connection closed before response".into()),
+        Err(e) => Err(format!("receive: {e}")),
+    }
+}
+
+fn connect(cfg: &ClientConfig) -> io::Result<TcpStream> {
+    let addrs: Vec<SocketAddr> = cfg.addr.to_socket_addrs()?.collect();
+    let Some(addr) = addrs.first() else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "address resolved to nothing",
+        ));
+    };
+    TcpStream::connect_timeout(addr, cfg.connect_timeout)
+}
+
+// `&TcpStream` implements Read/Write; these helpers keep the borrow
+// sites monomorphic without cloning the socket handle.
+#[allow(unused)]
+fn _assert_stream_io(stream: &TcpStream) {
+    fn takes_rw(_r: impl Read, _w: impl Write) {}
+    takes_rw(stream, stream);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn cfg_for(addr: impl Into<String>) -> ClientConfig {
+        let mut cfg = ClientConfig::new(addr);
+        cfg.connect_timeout = Duration::from_millis(100);
+        cfg.io_timeout = Duration::from_millis(500);
+        cfg.max_attempts = 3;
+        cfg.backoff_base = Duration::from_millis(1);
+        cfg.backoff_cap = Duration::from_millis(4);
+        cfg.hedge_after = None;
+        cfg
+    }
+
+    #[test]
+    fn refused_connections_exhaust_with_context() {
+        // Grab a port, then close it so connects are refused.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let mut client = ServeClient::new(cfg_for(addr));
+        let err = client.drf0("P0:\n  W(m0) := 1\n").unwrap_err();
+        match err {
+            ClientError::Exhausted { attempts: 3, last } => {
+                assert!(last.contains("connect"), "{last}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn permanent_errors_do_not_retry() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let mut accepted = 0u32;
+            // Answer exactly one connection with a Parse error; count
+            // how many arrive within the test window.
+            listener
+                .set_nonblocking(false)
+                .expect("blocking accept");
+            if let Ok((stream, _)) = listener.accept() {
+                accepted += 1;
+                let mut reader = &stream;
+                let _ = read_frame(&mut reader, 1 << 20);
+                let mut writer = &stream;
+                let _ = write_frame(
+                    &mut writer,
+                    &Response::Error {
+                        code: ErrorCode::Parse,
+                        message: "line 1: nope".into(),
+                    }
+                    .encode(),
+                );
+            }
+            accepted
+        });
+        let mut client = ServeClient::new(cfg_for(addr));
+        let err = client.drf0("garbage").unwrap_err();
+        assert!(matches!(err, ClientError::Permanent { code: ErrorCode::Parse, .. }));
+        assert_eq!(server.join().unwrap(), 1, "no retry after a permanent error");
+    }
+
+    #[test]
+    fn backoff_grows_and_stays_capped() {
+        let mut client = ServeClient::new(cfg_for("127.0.0.1:1"));
+        let b1 = client.backoff(1);
+        let b4 = client.backoff(4);
+        assert!(b1 >= Duration::from_millis(1));
+        assert!(b4 <= Duration::from_millis(4) + Duration::from_millis(2));
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_reproducible() {
+        let mut a = ServeClient::new(cfg_for("127.0.0.1:1"));
+        let mut b = ServeClient::new(cfg_for("127.0.0.1:1"));
+        let seq_a: Vec<Duration> = (1..6).map(|i| a.backoff(i)).collect();
+        let seq_b: Vec<Duration> = (1..6).map(|i| b.backoff(i)).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+}

@@ -1,0 +1,814 @@
+//! The wo-serve wire protocol: length-prefixed frames carrying a small
+//! line-oriented text format.
+//!
+//! # Framing
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! [u32 big-endian payload length][payload bytes]
+//! ```
+//!
+//! Payloads are UTF-8 text, capped at a server-configured limit
+//! ([`DEFAULT_MAX_FRAME_BYTES`] by default). A length prefix above the cap
+//! is rejected *before* any allocation, so an adversarial 4 GiB header
+//! costs the server four bytes of reading, not memory.
+//!
+//! # Payload format
+//!
+//! First line: `wo-serve/1 <kind>` (requests) or `wo-serve/1 ok <kind>` /
+//! `wo-serve/1 error <code>` (responses). Then `key=value` header lines,
+//! a blank line, and — for query requests — the litmus program body.
+//!
+//! ```text
+//! wo-serve/1 drf0
+//! deadline_ms=250
+//! steps=200000
+//!
+//! P0:
+//!   0: W(m0) := 1
+//! P1:
+//!   0: r0 := R(m0)
+//! ```
+//!
+//! Everything is decoded defensively: unknown keys are ignored (forward
+//! compatibility), malformed numbers and truncated payloads produce
+//! structured errors, and nothing in this module panics on wire input.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol magic + version prefix on every payload.
+pub const PROTOCOL_VERSION: &str = "wo-serve/1";
+
+/// Default cap on a frame payload (1 MiB) — far above any realistic
+/// litmus program, far below a memory-exhaustion attack.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads above `u32::MAX` bytes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF
+/// (peer closed between frames); a mid-frame EOF is an error.
+///
+/// Read-timeout friendly: a `WouldBlock`/`TimedOut` at a frame boundary
+/// (no bytes read yet) propagates, so a server can poll a shutdown flag;
+/// once any byte of a frame has arrived the read retries through
+/// timeouts, so a poll tick can never desynchronize the stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors; a frame longer than `max_bytes` yields
+/// [`io::ErrorKind::InvalidData`] without allocating the payload.
+pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // Hand-rolled read loop so clean EOF between frames is
+    // distinguishable from a torn header, and so a read timeout only
+    // surfaces when no frame is in progress.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if filled > 0
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > max_bytes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap of {max_bytes}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid frame payload",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::Interrupted
+                        | io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// What a request asks of the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// DRF0 classification (`drf0_verdict`) plus the race set.
+    Drf0,
+    /// The race set alone (same exploration as [`QueryKind::Drf0`]).
+    Races,
+    /// Size of the sequentially-consistent outcome set (`sc_outcomes`).
+    Sc,
+    /// Liveness probe; no body.
+    Ping,
+    /// Server counters; no body.
+    Stats,
+}
+
+impl QueryKind {
+    /// The wire token.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryKind::Drf0 => "drf0",
+            QueryKind::Races => "races",
+            QueryKind::Sc => "sc",
+            QueryKind::Ping => "ping",
+            QueryKind::Stats => "stats",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "drf0" => Some(QueryKind::Drf0),
+            "races" => Some(QueryKind::Races),
+            "sc" => Some(QueryKind::Sc),
+            "ping" => Some(QueryKind::Ping),
+            "stats" => Some(QueryKind::Stats),
+            _ => None,
+        }
+    }
+
+    /// Whether this query carries a litmus program body.
+    #[must_use]
+    pub fn has_body(self) -> bool {
+        matches!(self, QueryKind::Drf0 | QueryKind::Races | QueryKind::Sc)
+    }
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The query.
+    pub kind: QueryKind,
+    /// Wall-clock budget for this request, if the client set one. The
+    /// server clamps it to its configured maximum. An explicit `0` opts
+    /// out of wall-clock deadlines entirely (step budgets only), which
+    /// keeps the answer deterministic.
+    pub deadline_ms: Option<u64>,
+    /// Override for the exploration step budget (clamped server-side).
+    pub max_total_steps: Option<usize>,
+    /// Override for the per-execution op budget (clamped server-side).
+    pub max_ops_per_execution: Option<usize>,
+    /// The litmus program body (empty for ping/stats).
+    pub program: String,
+}
+
+impl Request {
+    /// A query request with no overrides.
+    #[must_use]
+    pub fn new(kind: QueryKind, program: impl Into<String>) -> Self {
+        Request {
+            kind,
+            deadline_ms: None,
+            max_total_steps: None,
+            max_ops_per_execution: None,
+            program: program.into(),
+        }
+    }
+
+    /// Encodes to a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = String::new();
+        out.push_str(PROTOCOL_VERSION);
+        out.push(' ');
+        out.push_str(self.kind.as_str());
+        out.push('\n');
+        if let Some(ms) = self.deadline_ms {
+            out.push_str(&format!("deadline_ms={ms}\n"));
+        }
+        if let Some(steps) = self.max_total_steps {
+            out.push_str(&format!("steps={steps}\n"));
+        }
+        if let Some(ops) = self.max_ops_per_execution {
+            out.push_str(&format!("ops={ops}\n"));
+        }
+        out.push('\n');
+        out.push_str(&self.program);
+        out.into_bytes()
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on any malformed payload; never
+    /// panics on wire input.
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        let text = std::str::from_utf8(payload).map_err(|e| format!("not UTF-8: {e}"))?;
+        let mut lines = text.split('\n');
+        let first = lines.next().ok_or("empty payload")?;
+        let mut parts = first.split_whitespace();
+        let version = parts.next().ok_or("missing protocol version")?;
+        if version != PROTOCOL_VERSION {
+            return Err(format!("unsupported protocol version {version:?}"));
+        }
+        let kind_token = parts.next().ok_or("missing query kind")?;
+        let kind = QueryKind::from_str(kind_token)
+            .ok_or_else(|| format!("unknown query kind {kind_token:?}"))?;
+        let mut req = Request::new(kind, "");
+        for line in lines.by_ref() {
+            if line.is_empty() {
+                break;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("malformed header line {line:?}"));
+            };
+            match key {
+                "deadline_ms" => {
+                    req.deadline_ms =
+                        Some(value.parse().map_err(|_| format!("bad deadline_ms {value:?}"))?);
+                }
+                "steps" => {
+                    req.max_total_steps =
+                        Some(value.parse().map_err(|_| format!("bad steps {value:?}"))?);
+                }
+                "ops" => {
+                    req.max_ops_per_execution =
+                        Some(value.parse().map_err(|_| format!("bad ops {value:?}"))?);
+                }
+                // Unknown headers are ignored for forward compatibility.
+                _ => {}
+            }
+        }
+        req.program = lines.collect::<Vec<_>>().join("\n");
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// How the cache participated in answering a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheStatus {
+    /// Answered from the canonical cache without exploring.
+    Hit,
+    /// This request ran the exploration (and, if definitive, filled the
+    /// cache).
+    Miss,
+    /// Another in-flight request for the same canonical form ran the
+    /// exploration; this request waited and shared the answer.
+    Coalesced,
+}
+
+impl CacheStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Coalesced => "coalesced",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "hit" => Some(CacheStatus::Hit),
+            "miss" => Some(CacheStatus::Miss),
+            "coalesced" => Some(CacheStatus::Coalesced),
+            _ => None,
+        }
+    }
+}
+
+/// The DRF0 classification carried on the wire. `Unknown` is the
+/// *degraded partial verdict*: the budget or deadline gave out before the
+/// exploration covered the interleaving space, and the response says so
+/// explicitly rather than guessing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Exploration completed; every idealized execution is race-free.
+    Drf0,
+    /// A data race was found (conclusive even from a truncated prefix).
+    Racy,
+    /// No race found before a budget gave out; `reason` names which.
+    Unknown {
+        /// Which budget gave out (wire-stable token, e.g. `deadline`).
+        reason: String,
+    },
+}
+
+impl Verdict {
+    fn encode(&self) -> String {
+        match self {
+            Verdict::Drf0 => "drf0".into(),
+            Verdict::Racy => "racy".into(),
+            Verdict::Unknown { .. } => "unknown".into(),
+        }
+    }
+}
+
+/// A race in the *submitter's* coordinates: thread indices and location
+/// as they appear in the submitted program (the server translates out of
+/// canonical space before responding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RaceCoord {
+    /// Thread of the access that completed first.
+    pub first_thread: u32,
+    /// Program-order index (memory-op sequence) of the first access.
+    pub first_seq: u32,
+    /// Thread of the access that completed second.
+    pub second_thread: u32,
+    /// Program-order index of the second access.
+    pub second_seq: u32,
+    /// The contended location (submitter's numbering).
+    pub loc: u32,
+}
+
+impl fmt::Display for RaceCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P{}.{} P{}.{} m{}",
+            self.first_thread, self.first_seq, self.second_thread, self.second_seq, self.loc
+        )
+    }
+}
+
+/// Machine-readable failure classes. Clients retry `Overloaded` and
+/// `ShuttingDown` (the condition is transient) and surface the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The litmus body failed to parse; `message` carries the line.
+    Parse,
+    /// The frame exceeded the server's size cap.
+    TooLarge,
+    /// The payload was not a well-formed protocol message.
+    Malformed,
+    /// Admission control rejected the request (queue full / shed mode).
+    Overloaded,
+    /// The server is draining connections for shutdown.
+    ShuttingDown,
+    /// An unexpected server-side failure (a worker panicked).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire token.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        match s {
+            "parse" => Some(ErrorCode::Parse),
+            "too_large" => Some(ErrorCode::TooLarge),
+            "malformed" => Some(ErrorCode::Malformed),
+            "overloaded" => Some(ErrorCode::Overloaded),
+            "shutting_down" => Some(ErrorCode::ShuttingDown),
+            "internal" => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+
+    /// Whether a client should retry after backoff.
+    #[must_use]
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Overloaded | ErrorCode::ShuttingDown | ErrorCode::Internal
+        )
+    }
+}
+
+/// Server counters reported by [`QueryKind::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Query responses served (any kind, any outcome).
+    pub served: u64,
+    /// Answers straight from the canonical cache.
+    pub cache_hits: u64,
+    /// Answers shared with a concurrent identical exploration.
+    pub coalesced: u64,
+    /// Explorations actually run.
+    pub explored: u64,
+    /// Requests rejected by admission control.
+    pub overloaded: u64,
+    /// Degraded (Unknown) answers returned.
+    pub degraded: u64,
+    /// Cache entries recovered from the journal at startup.
+    pub journal_replayed: u64,
+    /// Whether shed-load mode is currently active.
+    pub shedding: bool,
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`QueryKind::Drf0`] / [`QueryKind::Races`].
+    Verdict {
+        /// The classification (degraded answers say `Unknown`).
+        verdict: Verdict,
+        /// Races found, in submitter coordinates (empty unless racy).
+        races: Vec<RaceCoord>,
+        /// States the exploration expanded (0 for cache hits).
+        steps: u64,
+        /// How the cache participated.
+        cache: CacheStatus,
+    },
+    /// Answer to [`QueryKind::Sc`].
+    Sc {
+        /// Number of distinct SC results.
+        outcomes: u64,
+        /// Whether enumeration covered every interleaving. When false the
+        /// count is a lower bound and `reason` names the budget.
+        complete: bool,
+        /// Which budget gave out, when incomplete.
+        reason: Option<String>,
+        /// States expanded (0 for cache hits).
+        steps: u64,
+        /// How the cache participated.
+        cache: CacheStatus,
+    },
+    /// Answer to [`QueryKind::Ping`].
+    Pong,
+    /// Answer to [`QueryKind::Stats`].
+    Stats(ServerStats),
+    /// A structured failure.
+    Error {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encodes to a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = String::new();
+        match self {
+            Response::Verdict { verdict, races, steps, cache } => {
+                out.push_str(&format!("{PROTOCOL_VERSION} ok verdict\n"));
+                out.push_str(&format!("verdict={}\n", verdict.encode()));
+                if let Verdict::Unknown { reason } = verdict {
+                    out.push_str(&format!("reason={}\n", sanitize(reason)));
+                }
+                out.push_str(&format!("steps={steps}\n"));
+                out.push_str(&format!("cache={}\n", cache.as_str()));
+                out.push_str(&format!("races={}\n", races.len()));
+                for r in races {
+                    out.push_str(&format!(
+                        "race={} {} {} {} {}\n",
+                        r.first_thread, r.first_seq, r.second_thread, r.second_seq, r.loc
+                    ));
+                }
+            }
+            Response::Sc { outcomes, complete, reason, steps, cache } => {
+                out.push_str(&format!("{PROTOCOL_VERSION} ok sc\n"));
+                out.push_str(&format!("outcomes={outcomes}\n"));
+                out.push_str(&format!("complete={complete}\n"));
+                if let Some(reason) = reason {
+                    out.push_str(&format!("reason={}\n", sanitize(reason)));
+                }
+                out.push_str(&format!("steps={steps}\n"));
+                out.push_str(&format!("cache={}\n", cache.as_str()));
+            }
+            Response::Pong => {
+                out.push_str(&format!("{PROTOCOL_VERSION} ok pong\n"));
+            }
+            Response::Stats(s) => {
+                out.push_str(&format!("{PROTOCOL_VERSION} ok stats\n"));
+                out.push_str(&format!("served={}\n", s.served));
+                out.push_str(&format!("cache_hits={}\n", s.cache_hits));
+                out.push_str(&format!("coalesced={}\n", s.coalesced));
+                out.push_str(&format!("explored={}\n", s.explored));
+                out.push_str(&format!("overloaded={}\n", s.overloaded));
+                out.push_str(&format!("degraded={}\n", s.degraded));
+                out.push_str(&format!("journal_replayed={}\n", s.journal_replayed));
+                out.push_str(&format!("shedding={}\n", s.shedding));
+            }
+            Response::Error { code, message } => {
+                out.push_str(&format!("{PROTOCOL_VERSION} error {}\n", code.as_str()));
+                out.push_str(&format!("message={}\n", sanitize(message)));
+            }
+        }
+        out.into_bytes()
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on any malformed payload; never
+    /// panics on wire input.
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        let text = std::str::from_utf8(payload).map_err(|e| format!("not UTF-8: {e}"))?;
+        let mut lines = text.lines();
+        let first = lines.next().ok_or("empty payload")?;
+        let mut parts = first.split_whitespace();
+        let version = parts.next().ok_or("missing protocol version")?;
+        if version != PROTOCOL_VERSION {
+            return Err(format!("unsupported protocol version {version:?}"));
+        }
+        let status = parts.next().ok_or("missing status")?;
+        let tag = parts.next().ok_or("missing response tag")?;
+
+        let mut headers: Vec<(&str, &str)> = Vec::new();
+        let mut races: Vec<RaceCoord> = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("malformed response line {line:?}"));
+            };
+            if key == "race" {
+                races.push(parse_race(value)?);
+            } else {
+                headers.push((key, value));
+            }
+        }
+        let get = |key: &str| headers.iter().find(|(k, _)| *k == key).map(|&(_, v)| v);
+        let get_u64 = |key: &str| -> Result<u64, String> {
+            get(key)
+                .ok_or_else(|| format!("missing {key}"))?
+                .parse()
+                .map_err(|_| format!("bad {key}"))
+        };
+
+        match (status, tag) {
+            ("ok", "verdict") => {
+                let verdict = match get("verdict").ok_or("missing verdict")? {
+                    "drf0" => Verdict::Drf0,
+                    "racy" => Verdict::Racy,
+                    "unknown" => Verdict::Unknown {
+                        reason: get("reason").unwrap_or("unspecified").to_string(),
+                    },
+                    other => return Err(format!("unknown verdict {other:?}")),
+                };
+                let declared = get_u64("races")? as usize;
+                if declared != races.len() {
+                    return Err(format!(
+                        "race count mismatch: declared {declared}, got {}",
+                        races.len()
+                    ));
+                }
+                Ok(Response::Verdict {
+                    verdict,
+                    races,
+                    steps: get_u64("steps")?,
+                    cache: CacheStatus::from_str(get("cache").ok_or("missing cache")?)
+                        .ok_or("bad cache status")?,
+                })
+            }
+            ("ok", "sc") => Ok(Response::Sc {
+                outcomes: get_u64("outcomes")?,
+                complete: get("complete") == Some("true"),
+                reason: get("reason").map(str::to_string),
+                steps: get_u64("steps")?,
+                cache: CacheStatus::from_str(get("cache").ok_or("missing cache")?)
+                    .ok_or("bad cache status")?,
+            }),
+            ("ok", "pong") => Ok(Response::Pong),
+            ("ok", "stats") => Ok(Response::Stats(ServerStats {
+                served: get_u64("served")?,
+                cache_hits: get_u64("cache_hits")?,
+                coalesced: get_u64("coalesced")?,
+                explored: get_u64("explored")?,
+                overloaded: get_u64("overloaded")?,
+                degraded: get_u64("degraded")?,
+                journal_replayed: get_u64("journal_replayed")?,
+                shedding: get("shedding") == Some("true"),
+            })),
+            ("error", code) => Ok(Response::Error {
+                code: ErrorCode::from_str(code)
+                    .ok_or_else(|| format!("unknown error code {code:?}"))?,
+                message: get("message").unwrap_or("").to_string(),
+            }),
+            _ => Err(format!("unknown response shape {status} {tag}")),
+        }
+    }
+}
+
+fn parse_race(value: &str) -> Result<RaceCoord, String> {
+    let fields: Vec<&str> = value.split_whitespace().collect();
+    if fields.len() != 5 {
+        return Err(format!("malformed race line {value:?}"));
+    }
+    let num = |s: &str| -> Result<u32, String> {
+        s.parse().map_err(|_| format!("bad race field {s:?}"))
+    };
+    Ok(RaceCoord {
+        first_thread: num(fields[0])?,
+        first_seq: num(fields[1])?,
+        second_thread: num(fields[2])?,
+        second_seq: num(fields[3])?,
+        loc: num(fields[4])?,
+    })
+}
+
+/// Header values live on one line; fold any embedded newlines so a hostile
+/// reason/message can't smuggle extra protocol lines.
+fn sanitize(s: &str) -> String {
+    s.replace(['\n', '\r'], " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur, 1024).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur, 1024).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cur, 1024).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut Cursor::new(buf), 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn torn_frame_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6); // header + one payload byte
+        let err = read_frame(&mut Cursor::new(buf), 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let mut req = Request::new(QueryKind::Drf0, "P0:\n  W(m0) := 1\n");
+        req.deadline_ms = Some(250);
+        req.max_total_steps = Some(100_000);
+        let decoded = Request::decode(&req.encode()).unwrap();
+        assert_eq!(decoded, req);
+
+        let ping = Request::new(QueryKind::Ping, "");
+        assert_eq!(Request::decode(&ping.encode()).unwrap(), ping);
+    }
+
+    #[test]
+    fn malformed_requests_error_not_panic() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b"\xff\xfe",
+            b"wrong/9 drf0\n\n",
+            b"wo-serve/1\n",
+            b"wo-serve/1 bogus\n\n",
+            b"wo-serve/1 drf0\nnot a header\n\nP0:\n",
+            b"wo-serve/1 drf0\ndeadline_ms=abc\n\n",
+            b"wo-serve/1 drf0\nsteps=-4\n\n",
+        ];
+        for case in cases {
+            assert!(Request::decode(case).is_err(), "{case:?}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let samples = vec![
+            Response::Verdict {
+                verdict: Verdict::Racy,
+                races: vec![
+                    RaceCoord {
+                        first_thread: 0,
+                        first_seq: 1,
+                        second_thread: 1,
+                        second_seq: 0,
+                        loc: 7,
+                    },
+                    RaceCoord {
+                        first_thread: 2,
+                        first_seq: 3,
+                        second_thread: 0,
+                        second_seq: 0,
+                        loc: 9,
+                    },
+                ],
+                steps: 421,
+                cache: CacheStatus::Miss,
+            },
+            Response::Verdict {
+                verdict: Verdict::Unknown { reason: "deadline".into() },
+                races: vec![],
+                steps: 10_000,
+                cache: CacheStatus::Miss,
+            },
+            Response::Sc {
+                outcomes: 4,
+                complete: true,
+                reason: None,
+                steps: 99,
+                cache: CacheStatus::Hit,
+            },
+            Response::Pong,
+            Response::Stats(ServerStats {
+                served: 10,
+                cache_hits: 4,
+                coalesced: 2,
+                explored: 4,
+                overloaded: 1,
+                degraded: 1,
+                journal_replayed: 3,
+                shedding: true,
+            }),
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "queue full".into(),
+            },
+        ];
+        for r in samples {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn race_count_mismatch_is_rejected() {
+        let mut payload = String::from("wo-serve/1 ok verdict\n");
+        payload.push_str("verdict=racy\nsteps=1\ncache=miss\nraces=2\n");
+        payload.push_str("race=0 0 1 0 3\n");
+        assert!(Response::decode(payload.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn hostile_header_values_cannot_inject_lines() {
+        let r = Response::Error {
+            code: ErrorCode::Parse,
+            message: "line 1\nmessage=spoofed".into(),
+        };
+        let decoded = Response::decode(&r.encode()).unwrap();
+        match decoded {
+            Response::Error { message, .. } => {
+                assert!(!message.contains('\n'));
+                assert!(message.contains("spoofed"), "content folded, not lost");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_code_retryability() {
+        assert!(ErrorCode::Overloaded.is_retryable());
+        assert!(ErrorCode::ShuttingDown.is_retryable());
+        assert!(!ErrorCode::Parse.is_retryable());
+        assert!(!ErrorCode::TooLarge.is_retryable());
+    }
+}

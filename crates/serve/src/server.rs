@@ -1,0 +1,585 @@
+//! The daemon: accept loop, per-connection threads, admission control,
+//! and the degradation ladder.
+//!
+//! Every request walks the same ladder, preferring cheap honest answers
+//! over expensive or hung ones:
+//!
+//! 1. **Definitive** — cache hit, coalesced share, or a fresh exploration
+//!    that completed (or found a race, conclusive from any prefix).
+//! 2. **Degraded partial** — a budget or the request deadline gave out:
+//!    `Unknown` plus which budget and how many states were expanded.
+//!    Never cached, never journaled.
+//! 3. **Structured failure** — parse errors, oversized frames,
+//!    `Overloaded` rejections, internal faults. The connection stays
+//!    usable; the client library decides what to retry.
+//!
+//! Cache hits bypass admission control entirely: a saturated server keeps
+//! answering everything it already knows.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use litmus::explore::ExploreConfig;
+
+use crate::cache::{CachedAnswer, FlightOutcome, KindGroup, Lookup, VerdictCache};
+use crate::canon::canonicalize;
+use crate::journal::{Journal, JournalRecord};
+use crate::protocol::{
+    read_frame, write_frame, CacheStatus, ErrorCode, QueryKind, Request, Response,
+    ServerStats, Verdict, DEFAULT_MAX_FRAME_BYTES,
+};
+use crate::{answer_to_response, compute_answer, kind_group};
+
+/// Tuning knobs for [`Server::spawn`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (the bound address is
+    /// on the returned handle).
+    pub addr: String,
+    /// Concurrent explorations (the expensive work). Cache hits and
+    /// ping/stats are not gated.
+    pub explore_workers: usize,
+    /// Explorations allowed to *wait* for a worker before admission
+    /// control starts rejecting with `Overloaded`.
+    pub queue_capacity: usize,
+    /// Frame payload cap in bytes.
+    pub max_frame_bytes: usize,
+    /// Deadline applied when the client sends none (0 = unlimited).
+    pub default_deadline_ms: u64,
+    /// Hard ceiling on any client-requested deadline.
+    pub max_deadline_ms: u64,
+    /// Base exploration budgets. Clients may *lower* `steps`/`ops`, never
+    /// raise them.
+    pub explore: ExploreConfig,
+    /// Where the verdict journal lives; `None` disables persistence.
+    pub journal_dir: Option<PathBuf>,
+    /// Compact the journal every this many appends (0 = never).
+    pub snapshot_every: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            explore_workers: 4,
+            queue_capacity: 32,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            default_deadline_ms: 10_000,
+            max_deadline_ms: 60_000,
+            explore: ExploreConfig::default(),
+            journal_dir: None,
+            snapshot_every: 64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------
+
+struct GateState {
+    active: usize,
+    waiting: usize,
+    shedding: bool,
+}
+
+/// Bounded worker pool + bounded wait queue + shed-load hysteresis.
+struct AdmissionGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+    workers: usize,
+    queue_capacity: usize,
+}
+
+enum Admission<'a> {
+    /// A worker slot; freed on drop.
+    Granted(Permit<'a>),
+    /// Queue full (or shed mode): reject now, cheaply.
+    Rejected,
+    /// The request's deadline passed while queued.
+    TimedOut,
+}
+
+struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.gate.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.active = st.active.saturating_sub(1);
+        // Hysteresis: stop shedding once the queue has drained to half
+        // capacity (not merely below full), so bursts don't flap the mode.
+        if st.shedding && st.waiting <= self.gate.queue_capacity / 2 {
+            st.shedding = false;
+        }
+        drop(st);
+        self.gate.cv.notify_one();
+    }
+}
+
+impl AdmissionGate {
+    fn new(workers: usize, queue_capacity: usize) -> Self {
+        AdmissionGate {
+            state: Mutex::new(GateState { active: 0, waiting: 0, shedding: false }),
+            cv: Condvar::new(),
+            workers: workers.max(1),
+            queue_capacity,
+        }
+    }
+
+    fn shedding(&self) -> bool {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).shedding
+    }
+
+    fn admit(&self, deadline: Option<Instant>) -> Admission<'_> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        // Shed mode rejects everything that would need a slot until the
+        // queue drains; fresh arrivals don't get to cut in.
+        if st.shedding {
+            return Admission::Rejected;
+        }
+        if st.active < self.workers && st.waiting == 0 {
+            st.active += 1;
+            return Admission::Granted(Permit { gate: self });
+        }
+        if st.waiting >= self.queue_capacity {
+            st.shedding = true;
+            return Admission::Rejected;
+        }
+        st.waiting += 1;
+        loop {
+            if st.active < self.workers {
+                st.waiting -= 1;
+                st.active += 1;
+                return Admission::Granted(Permit { gate: self });
+            }
+            match deadline {
+                None => {
+                    st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        st.waiting -= 1;
+                        return Admission::TimedOut;
+                    }
+                    let (g, _) = self
+                        .cv
+                        .wait_timeout(st, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    st = g;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct ServeCounters {
+    served: AtomicU64,
+    explored: AtomicU64,
+    overloaded: AtomicU64,
+    degraded: AtomicU64,
+    journal_replayed: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    cache: VerdictCache,
+    journal: Mutex<Option<Journal>>,
+    gate: AdmissionGate,
+    counters: ServeCounters,
+    shutdown: AtomicBool,
+}
+
+/// The daemon. Construct with [`Server::spawn`]; interact through the
+/// returned [`ServerHandle`].
+pub struct Server;
+
+/// A running server: its bound address and a shutdown switch.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Entries recovered from the journal at startup.
+    #[must_use]
+    pub fn replayed(&self) -> u64 {
+        self.shared.counters.journal_replayed.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, wakes the acceptor, and joins it. Connection
+    /// threads notice within their poll interval and drain.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Server {
+    /// Binds, replays the journal, and starts the accept loop on a
+    /// background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/journal I/O failures.
+    pub fn spawn(cfg: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+
+        let cache = VerdictCache::new();
+        let mut journal = None;
+        let mut replayed_count = 0u64;
+        if let Some(dir) = &cfg.journal_dir {
+            let (j, records, _report) = Journal::open(dir, cfg.snapshot_every)?;
+            for rec in records {
+                cache.insert_replayed(rec.group, rec.key, rec.answer);
+                replayed_count += 1;
+            }
+            journal = Some(j);
+        }
+
+        let shared = Arc::new(Shared {
+            gate: AdmissionGate::new(cfg.explore_workers, cfg.queue_capacity),
+            cfg,
+            cache,
+            journal: Mutex::new(journal),
+            counters: ServeCounters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        shared
+            .counters
+            .journal_replayed
+            .store(replayed_count, Ordering::Relaxed);
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_shared = Arc::clone(&accept_shared);
+                std::thread::spawn(move || serve_connection(&conn_shared, stream));
+            }
+        });
+
+        Ok(ServerHandle { addr, shared, accept_thread: Some(accept_thread) })
+    }
+}
+
+/// How often a blocked connection read polls the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = write_frame(
+                &mut writer,
+                &Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server draining".into(),
+                }
+                .encode(),
+            );
+            return;
+        }
+        let payload = match read_frame(&mut reader, shared.cfg.max_frame_bytes) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean close
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // poll tick; re-check shutdown
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized frame: answer honestly, then drop the
+                // connection (the stream offset is unrecoverable).
+                let _ = write_frame(
+                    &mut writer,
+                    &Response::Error { code: ErrorCode::TooLarge, message: e.to_string() }
+                        .encode(),
+                );
+                return;
+            }
+            Err(_) => return, // torn frame / connection error
+        };
+        // Defense in depth for the zero-panics contract: an unexpected
+        // panic anywhere in request handling becomes a structured
+        // Internal error on this one request (the LeaderGuard's Drop has
+        // already unwedged any coalesced waiters).
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_payload(shared, &payload)
+        }))
+        .unwrap_or_else(|_| Response::Error {
+            code: ErrorCode::Internal,
+            message: "request handler panicked".into(),
+        });
+        shared.counters.served.fetch_add(1, Ordering::Relaxed);
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_payload(shared: &Shared, payload: &[u8]) -> Response {
+    let request = match Request::decode(payload) {
+        Ok(r) => r,
+        Err(reason) => {
+            return Response::Error { code: ErrorCode::Malformed, message: reason }
+        }
+    };
+    match request.kind {
+        QueryKind::Ping => Response::Pong,
+        QueryKind::Stats => Response::Stats(snapshot_stats(shared)),
+        _ => handle_query(shared, &request),
+    }
+}
+
+fn snapshot_stats(shared: &Shared) -> ServerStats {
+    ServerStats {
+        served: shared.counters.served.load(Ordering::Relaxed),
+        cache_hits: shared.cache.stats.hits.load(Ordering::Relaxed),
+        coalesced: shared.cache.stats.joins.load(Ordering::Relaxed),
+        explored: shared.counters.explored.load(Ordering::Relaxed),
+        overloaded: shared.counters.overloaded.load(Ordering::Relaxed),
+        degraded: shared.counters.degraded.load(Ordering::Relaxed),
+        journal_replayed: shared.counters.journal_replayed.load(Ordering::Relaxed),
+        shedding: shared.gate.shedding(),
+    }
+}
+
+/// A degraded answer for a request whose deadline expired before any
+/// exploration could run (queued too long, or a coalesced wait timed
+/// out). `steps = 0`: nothing was expanded on this request's behalf.
+fn deadline_degraded(kind: QueryKind) -> Response {
+    match kind {
+        QueryKind::Sc => Response::Sc {
+            outcomes: 0,
+            complete: false,
+            reason: Some("deadline".into()),
+            steps: 0,
+            cache: CacheStatus::Miss,
+        },
+        _ => Response::Verdict {
+            verdict: Verdict::Unknown { reason: "deadline".into() },
+            races: Vec::new(),
+            steps: 0,
+            cache: CacheStatus::Miss,
+        },
+    }
+}
+
+fn handle_query(shared: &Shared, request: &Request) -> Response {
+    let Some(group) = kind_group(request.kind) else {
+        return Response::Error {
+            code: ErrorCode::Malformed,
+            message: "query kind carries no body".into(),
+        };
+    };
+    let program = match litmus::parse::parse_program(&request.program) {
+        Ok(p) => p,
+        Err(e) => {
+            return Response::Error { code: ErrorCode::Parse, message: e.to_string() }
+        }
+    };
+
+    // Effective wall-clock budget: client's ask clamped to the ceiling,
+    // falling back to the server default. An explicit 0 opts out of
+    // wall-clock deadlines entirely (step budgets only) — that is what
+    // keeps remote verdicts as deterministic as local ones.
+    let deadline_ms = match request.deadline_ms {
+        Some(0) => None,
+        Some(ms) => Some(ms.min(shared.cfg.max_deadline_ms)),
+        None if shared.cfg.default_deadline_ms > 0 => Some(shared.cfg.default_deadline_ms),
+        None => None,
+    };
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+
+    let form = canonicalize(&program);
+
+    match shared.cache.lookup(group, &form.text) {
+        Lookup::Hit(answer) => {
+            answer_to_response(request.kind, &answer, &form, CacheStatus::Hit)
+        }
+        Lookup::Join(flight) => match flight.wait(deadline) {
+            Some(FlightOutcome::Answered(answer)) => {
+                if !answer.is_definitive() {
+                    shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                answer_to_response(request.kind, &answer, &form, CacheStatus::Coalesced)
+            }
+            Some(FlightOutcome::Failed) => Response::Error {
+                code: ErrorCode::Internal,
+                message: "exploration worker lost".into(),
+            },
+            None => {
+                shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                deadline_degraded(request.kind)
+            }
+        },
+        Lookup::Lead(guard) => match shared.gate.admit(deadline) {
+            Admission::Rejected => {
+                shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                drop(guard); // waiters get Failed and retry or surface it
+                Response::Error {
+                    code: ErrorCode::Overloaded,
+                    message: "exploration queue full".into(),
+                }
+            }
+            Admission::TimedOut => {
+                shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                drop(guard);
+                deadline_degraded(request.kind)
+            }
+            Admission::Granted(permit) => {
+                let mut ecfg = shared.cfg.explore;
+                if let Some(steps) = request.max_total_steps {
+                    ecfg.max_total_steps = steps.min(shared.cfg.explore.max_total_steps);
+                }
+                if let Some(ops) = request.max_ops_per_execution {
+                    ecfg.max_ops_per_execution =
+                        ops.min(shared.cfg.explore.max_ops_per_execution);
+                }
+                ecfg.deadline = deadline;
+
+                let answer = compute_answer(group, &form.program, &ecfg);
+                shared.counters.explored.fetch_add(1, Ordering::Relaxed);
+                if !answer.is_definitive() {
+                    shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                }
+                let shared_answer = guard.complete(answer);
+                drop(permit);
+
+                persist(shared, group, &form.text, &shared_answer);
+                answer_to_response(request.kind, &shared_answer, &form, CacheStatus::Miss)
+            }
+        },
+    }
+}
+
+/// Journals a definitive answer and compacts when the interval is due.
+/// Journal failures are deliberately non-fatal: the daemon keeps serving
+/// from memory (durability degrades, correctness does not).
+fn persist(shared: &Shared, group: KindGroup, key: &str, answer: &CachedAnswer) {
+    if !answer.is_definitive() {
+        return;
+    }
+    let mut journal = shared.journal.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(j) = journal.as_mut() else { return };
+    let record = JournalRecord { group, key: key.to_string(), answer: answer.clone() };
+    if let Ok(true) = j.append(&record) {
+        let live: Vec<JournalRecord> = shared
+            .cache
+            .definitive_entries()
+            .into_iter()
+            .map(|(group, key, ans)| JournalRecord {
+                group,
+                key,
+                answer: (*ans).clone(),
+            })
+            .collect();
+        let _ = j.compact(live.iter());
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_grants_up_to_workers_then_queues() {
+        let gate = AdmissionGate::new(2, 4);
+        let p1 = match gate.admit(None) {
+            Admission::Granted(p) => p,
+            _ => panic!("slot 1"),
+        };
+        let _p2 = match gate.admit(None) {
+            Admission::Granted(p) => p,
+            _ => panic!("slot 2"),
+        };
+        // Third must time out quickly (both slots busy, queue works).
+        let t0 = Instant::now();
+        match gate.admit(Some(Instant::now() + Duration::from_millis(30))) {
+            Admission::TimedOut => assert!(t0.elapsed() >= Duration::from_millis(25)),
+            _ => panic!("expected queue timeout"),
+        }
+        // Free a slot: the next admit succeeds immediately.
+        drop(p1);
+        match gate.admit(Some(Instant::now() + Duration::from_millis(500))) {
+            Admission::Granted(_) => {}
+            _ => panic!("slot freed"),
+        };
+    }
+
+    #[test]
+    fn gate_rejects_past_queue_capacity_and_sheds_with_hysteresis() {
+        let gate = Arc::new(AdmissionGate::new(1, 2));
+        let permit = match gate.admit(None) {
+            Admission::Granted(p) => p,
+            _ => panic!(),
+        };
+        // Fill the queue with two waiting threads.
+        let mut waiters = Vec::new();
+        for _ in 0..2 {
+            let gate = Arc::clone(&gate);
+            waiters.push(std::thread::spawn(move || {
+                matches!(
+                    gate.admit(Some(Instant::now() + Duration::from_secs(5))),
+                    Admission::Granted(_)
+                )
+            }));
+        }
+        // Wait for both to be queued.
+        for _ in 0..100 {
+            if gate.state.lock().unwrap().waiting == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Queue full: rejected, and shed mode engages.
+        assert!(matches!(gate.admit(None), Admission::Rejected));
+        assert!(gate.shedding());
+        // While shedding, even a would-be-queueable request is rejected.
+        assert!(matches!(gate.admit(None), Admission::Rejected));
+
+        // Drain: free the slot; the waiters run and complete in turn.
+        drop(permit);
+        for w in waiters {
+            assert!(w.join().unwrap(), "queued waiter eventually granted");
+        }
+        // All permits dropped; queue is empty → hysteresis clears shed.
+        assert!(!gate.shedding());
+        assert!(matches!(gate.admit(None), Admission::Granted(_)));
+    }
+}

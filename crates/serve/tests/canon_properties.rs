@@ -1,0 +1,101 @@
+//! Canonicalization properties over a generated corpus.
+//!
+//! The cache's soundness rests on two claims about [`wo_serve::canon`]:
+//! renaming-equivalent programs collapse to one canonical form, and the
+//! canonical form loses nothing (it reparses to the same program). These
+//! tests check both over a 2000-seed wo-fuzz corpus rather than a few
+//! hand-picked fixtures.
+
+use std::collections::HashMap;
+
+use wo_fuzz::gen::{generate, GenConfig};
+use wo_serve::canon::{canonicalize, random_renaming};
+
+const CORPUS_SEEDS: u64 = 2000;
+
+fn corpus_cfg() -> GenConfig {
+    GenConfig::default()
+}
+
+#[test]
+fn renamed_equivalents_canonicalize_identically() {
+    let cfg = corpus_cfg();
+    for seed in 0..CORPUS_SEEDS {
+        let gp = generate(seed, &cfg);
+        let base = canonicalize(&gp.program);
+        // Three independent renamings per program: thread permutation,
+        // location relabelling, and (where sound) value bijection.
+        for salt in 0..3u64 {
+            let renamed = random_renaming(&gp.program, seed.wrapping_mul(31).wrapping_add(salt));
+            let form = canonicalize(&renamed);
+            assert_eq!(
+                form.text, base.text,
+                "seed {seed} salt {salt}: renamed program canonicalized differently"
+            );
+            assert_eq!(form.hash, base.hash, "seed {seed} salt {salt}: hash split");
+        }
+    }
+}
+
+#[test]
+fn distinct_canonical_texts_never_share_a_hash() {
+    let cfg = corpus_cfg();
+    let mut by_hash: HashMap<u64, String> = HashMap::new();
+    let mut distinct = 0usize;
+    for seed in 0..CORPUS_SEEDS {
+        let gp = generate(seed, &cfg);
+        let form = canonicalize(&gp.program);
+        match by_hash.get(&form.hash) {
+            None => {
+                by_hash.insert(form.hash, form.text.clone());
+                distinct += 1;
+            }
+            Some(existing) => assert_eq!(
+                existing, &form.text,
+                "seed {seed}: fnv1a collision between distinct canonical forms"
+            ),
+        }
+    }
+    // The corpus must actually exercise the property: many distinct forms.
+    assert!(distinct > 100, "corpus too degenerate: {distinct} distinct forms");
+}
+
+#[test]
+fn canonical_text_roundtrips_through_serializer_and_parser() {
+    let cfg = corpus_cfg();
+    for seed in 0..CORPUS_SEEDS {
+        let gp = generate(seed, &cfg);
+        let form = canonicalize(&gp.program);
+
+        // The canonical text itself reparses to the canonical program.
+        let reparsed = litmus::parse::parse_program(&form.text)
+            .unwrap_or_else(|e| panic!("seed {seed}: canonical text unparseable: {e}"));
+        assert_eq!(reparsed, form.program, "seed {seed}: text/program mismatch");
+
+        // And the canonical program survives the litmus file format:
+        // to_litmus → parse_litmus → canonicalize is the identity on forms.
+        let file = litmus::serialize::to_litmus(
+            &form.program,
+            &gp.name(),
+            litmus::serialize::Expectation::Unknown,
+        );
+        let parsed = litmus::parse::parse_program(&file)
+            .unwrap_or_else(|e| panic!("seed {seed}: to_litmus output unparseable: {e}"));
+        assert_eq!(
+            canonicalize(&parsed).text,
+            form.text,
+            "seed {seed}: litmus-file roundtrip changed the canonical form"
+        );
+    }
+}
+
+#[test]
+fn canonicalization_is_idempotent() {
+    let cfg = corpus_cfg();
+    for seed in (0..CORPUS_SEEDS).step_by(17) {
+        let gp = generate(seed, &cfg);
+        let once = canonicalize(&gp.program);
+        let twice = canonicalize(&once.program);
+        assert_eq!(once.text, twice.text, "seed {seed}: canonicalize not idempotent");
+    }
+}

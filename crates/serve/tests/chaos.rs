@@ -1,0 +1,325 @@
+//! The chaos harness: a real `wo_serve` daemon subprocess under injected
+//! faults, diffed verdict-for-verdict against an in-process reference run.
+//!
+//! One campaign of wo-fuzz-generated programs flows through the retrying
+//! client while the harness injects every fault class the daemon claims
+//! to survive:
+//!
+//! * **malformed frames** — garbage payloads answered with structured
+//!   `Malformed` errors;
+//! * **oversized frames** — a length prefix past the cap answered with
+//!   `TooLarge`, connection dropped, no allocation;
+//! * **half frames** — a client dying mid-frame (header and payload
+//!   variants), connection reaped without fuss;
+//! * **`kill -9` mid-campaign** — the daemon is SIGKILLed and restarted
+//!   on the same journal directory; the journal replay must warm the
+//!   cache (`journal_replayed > 0`, first-half re-queries are `Hit`s) and
+//!   the verdict stream must be unaffected.
+//!
+//! The correctness bar: every verdict the daemon serves equals
+//! [`wo_serve::answer_locally`] on the same program with the same budgets
+//! (no wall-clock deadlines anywhere, so both sides are deterministic),
+//! and the daemon's stderr shows no panic. Requests use `deadline_ms=0`
+//! (explicit opt-out) and fixed step budgets.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use litmus::explore::ExploreConfig;
+use wo_fuzz::gen::{generate, GenConfig};
+use wo_serve::client::{ClientConfig, ServeClient};
+use wo_serve::protocol::{CacheStatus, ErrorCode, QueryKind, Request, Response};
+
+const SEEDS: u64 = 200;
+const RESTART_AT: u64 = 100;
+const MAX_TOTAL_STEPS: usize = 150_000;
+const MAX_OPS: usize = 48;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+    stderr: std::thread::JoinHandle<String>,
+}
+
+impl Daemon {
+    fn spawn(journal: &PathBuf) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_wo_serve"))
+            .args(["--addr", "127.0.0.1:0", "--journal"])
+            .arg(journal)
+            .args(["--workers", "2", "--queue", "8", "--snapshot-every", "16"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn wo_serve");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("daemon exited before announcing its address")
+                .expect("readable stdout");
+            if let Some(addr) = line.strip_prefix("wo-serve listening on ") {
+                break addr.trim().to_string();
+            }
+        };
+        // Drain stderr on a side thread so the daemon can never block on
+        // a full pipe; the transcript is checked for panics at teardown.
+        let mut stderr_pipe = child.stderr.take().expect("stderr piped");
+        let stderr = std::thread::spawn(move || {
+            let mut buf = String::new();
+            let _ = stderr_pipe.read_to_string(&mut buf);
+            buf
+        });
+        Daemon { child, addr, stderr }
+    }
+
+    fn client(&self) -> ServeClient {
+        let mut cfg = ClientConfig::new(self.addr.clone());
+        cfg.io_timeout = Duration::from_secs(120);
+        cfg.hedge_after = None; // determinism: one in-flight attempt per query
+        ServeClient::new(cfg)
+    }
+
+    /// SIGKILL — no drain, no flush, exactly the crash the journal must
+    /// absorb. Returns the stderr transcript.
+    fn kill_hard(mut self) -> String {
+        self.child.kill().expect("SIGKILL");
+        let _ = self.child.wait();
+        self.stderr.join().expect("stderr drain")
+    }
+}
+
+fn explore_cfg() -> ExploreConfig {
+    ExploreConfig {
+        max_total_steps: MAX_TOTAL_STEPS,
+        max_ops_per_execution: MAX_OPS,
+        ..ExploreConfig::default()
+    }
+}
+
+fn request_for(text: &str) -> Request {
+    let mut req = Request::new(QueryKind::Drf0, text);
+    req.deadline_ms = Some(0); // budgets only: deterministic
+    req.max_total_steps = Some(MAX_TOTAL_STEPS);
+    req.max_ops_per_execution = Some(MAX_OPS);
+    req
+}
+
+/// The comparable core of a verdict response: everything except cache
+/// provenance and step counts (a cache hit legitimately reports the
+/// original exploration's steps).
+fn digest(response: &Response) -> String {
+    match response {
+        Response::Verdict { verdict, races, .. } => {
+            let races: Vec<String> = races.iter().map(ToString::to_string).collect();
+            format!("{verdict:?} [{}]", races.join(", "))
+        }
+        other => format!("unexpected: {other:?}"),
+    }
+}
+
+/// Raw-socket fault injection: garbage payload, oversized length prefix,
+/// and two half-frame variants. Each returns without panicking the
+/// server; the caller proves liveness by completing the campaign.
+fn inject_faults(addr: &str) {
+    // Malformed payload inside a well-formed frame → structured error.
+    if let Ok(stream) = TcpStream::connect(addr) {
+        let mut writer = &stream;
+        let payload = b"not a wo-serve request at all \x00\xff\xfe";
+        let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+        frame.extend_from_slice(payload);
+        if writer.write_all(&frame).is_ok() {
+            let mut reader = &stream;
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .expect("read timeout");
+            match wo_serve::protocol::read_frame(&mut reader, 1 << 20) {
+                Ok(Some(frame)) => match Response::decode(&frame) {
+                    Ok(Response::Error { code, .. }) => {
+                        assert_eq!(code, ErrorCode::Malformed);
+                    }
+                    other => panic!("garbage payload: unexpected {other:?}"),
+                },
+                other => panic!("garbage payload: no response: {other:?}"),
+            }
+        }
+    }
+    // Oversized length prefix → TooLarge, connection closed, no 64 MiB
+    // allocation on the server.
+    if let Ok(stream) = TcpStream::connect(addr) {
+        let mut writer = &stream;
+        if writer.write_all(&(64u32 << 20).to_be_bytes()).is_ok() {
+            let mut reader = &stream;
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .expect("read timeout");
+            match wo_serve::protocol::read_frame(&mut reader, 1 << 20) {
+                Ok(Some(frame)) => match Response::decode(&frame) {
+                    Ok(Response::Error { code, .. }) => {
+                        assert_eq!(code, ErrorCode::TooLarge);
+                    }
+                    other => panic!("oversized frame: unexpected {other:?}"),
+                },
+                other => panic!("oversized frame: no response: {other:?}"),
+            }
+        }
+    }
+    // Half a header, then hang up.
+    if let Ok(stream) = TcpStream::connect(addr) {
+        let mut writer = &stream;
+        let _ = writer.write_all(&[0x00, 0x00]);
+    }
+    // Full header promising 100 bytes, deliver 10, hang up.
+    if let Ok(stream) = TcpStream::connect(addr) {
+        let mut writer = &stream;
+        let _ = writer.write_all(&100u32.to_be_bytes());
+        let _ = writer.write_all(b"0123456789");
+    }
+}
+
+fn assert_no_panics(tag: &str, stderr: &str) {
+    assert!(
+        !stderr.contains("panicked"),
+        "{tag} daemon panicked:\n{stderr}"
+    );
+}
+
+#[test]
+fn campaign_survives_kills_restarts_and_malformed_input() {
+    let journal = std::env::temp_dir().join(format!(
+        "wo-serve-chaos-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&journal);
+
+    let gen_cfg = GenConfig::default();
+    let ecfg = explore_cfg();
+
+    // Reference stream: the same code path, in-process, no daemon.
+    let programs: Vec<String> = (0..SEEDS)
+        .map(|seed| generate(seed, &gen_cfg).program.to_string())
+        .collect();
+    let expected: Vec<String> = programs
+        .iter()
+        .map(|text| digest(&wo_serve::answer_locally(QueryKind::Drf0, text, &ecfg)))
+        .collect();
+
+    // Phase 1: first half of the campaign, with periodic fault injection.
+    let daemon = Daemon::spawn(&journal);
+    let mut client = daemon.client();
+    let mut served: Vec<String> = Vec::new();
+    for (seed, text) in programs.iter().enumerate().take(RESTART_AT as usize) {
+        if seed % 17 == 0 {
+            inject_faults(&daemon.addr);
+        }
+        let response = client.query(&request_for(text)).expect("phase-1 query");
+        served.push(digest(&response));
+    }
+
+    // Mid-campaign murder: SIGKILL, then a fresh daemon on the same
+    // journal. In-flight state may die; served verdicts may not change.
+    let stderr1 = daemon.kill_hard();
+    assert_no_panics("phase-1", &stderr1);
+
+    let daemon = Daemon::spawn(&journal);
+    let mut client = daemon.client();
+
+    // The journal replay must have warmed the cache.
+    match client.query(&Request::new(QueryKind::Stats, "")).expect("stats") {
+        Response::Stats(stats) => assert!(
+            stats.journal_replayed > 0,
+            "restart replayed nothing: {stats:?}"
+        ),
+        other => panic!("unexpected {other:?}"),
+    }
+    // A definitive first-half verdict is served from the replayed journal
+    // without recomputation — and identically.
+    let revisit: Vec<usize> = (0..RESTART_AT as usize).step_by(13).collect();
+    let mut replay_hits = 0u64;
+    for seed in revisit {
+        let response = client.query(&request_for(&programs[seed])).expect("re-query");
+        assert_eq!(
+            digest(&response),
+            expected[seed],
+            "seed {seed}: verdict changed across kill -9"
+        );
+        if let Response::Verdict { cache: CacheStatus::Hit, .. } = response {
+            replay_hits += 1;
+        }
+    }
+    assert!(replay_hits > 0, "no re-query was served from the replayed journal");
+
+    // Phase 2: the rest of the campaign against the restarted daemon.
+    for (seed, text) in programs.iter().enumerate().skip(RESTART_AT as usize) {
+        if seed % 17 == 0 {
+            inject_faults(&daemon.addr);
+        }
+        let response = client.query(&request_for(text)).expect("phase-2 query");
+        served.push(digest(&response));
+    }
+
+    // Verdict-stream equivalence, seed for seed.
+    assert_eq!(served.len(), expected.len());
+    for (seed, (got, want)) in served.iter().zip(&expected).enumerate() {
+        assert_eq!(got, want, "seed {seed}: daemon and local verdicts diverge");
+    }
+    // Every verdict is Racy/Drf0/Unknown — nothing leaked an error shape.
+    assert!(served.iter().all(|d| !d.starts_with("unexpected")));
+
+    let stderr2 = daemon.kill_hard();
+    assert_no_panics("phase-2", &stderr2);
+    let _ = std::fs::remove_dir_all(&journal);
+}
+
+/// The remote oracle end to end: a wo-fuzz campaign pointed at a live
+/// daemon produces the byte-identical summary of a local campaign, and
+/// with the daemon absent the client falls back to local computation.
+#[test]
+fn remote_campaign_matches_local_and_falls_back() {
+    let journal = std::env::temp_dir().join(format!(
+        "wo-serve-chaos-remote-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&journal);
+
+    let mut cfg = wo_fuzz::CampaignConfig {
+        seed_start: 0,
+        seed_end: 40,
+        threads: 2,
+        shrink_failures: false,
+        ..wo_fuzz::CampaignConfig::default()
+    };
+    cfg.oracle.explore = explore_cfg();
+    let local = wo_fuzz::run_campaign(&cfg);
+
+    let daemon = Daemon::spawn(&journal);
+    let mut remote_cfg = cfg.clone();
+    remote_cfg.oracle.remote = Some(daemon.addr.clone());
+    let remote = wo_fuzz::run_campaign(&remote_cfg);
+    let stderr = daemon.kill_hard();
+    assert_no_panics("remote-oracle", &stderr);
+
+    // Dead daemon: verdicts still come out, via local fallback.
+    let mut fallback_cfg = cfg.clone();
+    fallback_cfg.oracle.remote = Some("127.0.0.1:1".into());
+    fallback_cfg.seed_end = 10;
+    let mut fallback_local = cfg;
+    fallback_local.seed_end = 10;
+    let fallback = wo_fuzz::run_campaign(&fallback_cfg);
+    let fallback_ref = wo_fuzz::run_campaign(&fallback_local);
+
+    for (tag, a, b) in [
+        ("remote", &local, &remote),
+        ("fallback", &fallback_ref, &fallback),
+    ] {
+        assert_eq!(a.seeds_run, b.seeds_run, "{tag}");
+        assert_eq!(a.passes, b.passes, "{tag}");
+        assert_eq!(a.budget_exceeded, b.budget_exceeded, "{tag}");
+        assert_eq!(a.per_family, b.per_family, "{tag}");
+        assert_eq!(a.failures.len(), b.failures.len(), "{tag}");
+    }
+    let _ = std::fs::remove_dir_all(&journal);
+}
