@@ -14,21 +14,174 @@ use crate::hb::SyncMode;
 use crate::vc::VectorClock;
 use crate::{Execution, Loc, OpId, Operation};
 
-/// Per-location access history: for each processor, the vector-clock
-/// component and id of its last read / last write of this location.
-/// `(clock component of P_p at the access, op id)`.
+/// One recorded access: the vector-clock component of the accessing
+/// processor at the access (its *epoch*) and the operation's id.
+///
+/// Storing the scalar component instead of the whole clock is the
+/// epoch-style compression that keeps per-location state O(procs) words:
+/// whether a later access `b` is ordered after a recorded access `a` by
+/// `P_q` is decided entirely by `a`'s component against `b`'s clock entry
+/// for `q`.
 type Access = (u32, OpId);
 
-/// Last accesses of one location, split by read/write and data/sync so a
-/// data access is never shadowed by a later synchronization access (only
-/// sync-sync pairs on a location are exempt from racing, and collapsing
-/// classes would hide data accesses behind that exemption).
-#[derive(Debug, Clone, Default)]
-struct LocHistory {
-    read_data: HashMap<usize, Access>,
-    read_sync: HashMap<usize, Access>,
-    write_data: HashMap<usize, Access>,
-    write_sync: HashMap<usize, Access>,
+/// Epoch-compressed last-access history of **one** memory location,
+/// shared by the exploring [`RaceDetector`] and the streaming `wo-trace`
+/// checker (one logic, two drivers — no fork).
+///
+/// Accesses are split by read/write and data/sync so a data access is
+/// never shadowed by a later synchronization access: only sync-sync pairs
+/// on a location are exempt from racing, and collapsing the classes would
+/// hide data accesses behind that exemption. Per class there is one slot
+/// per processor — `4 × procs` slots in a flat boxed array, so a location
+/// costs a fixed [`LocationState::approx_bytes`] regardless of how many
+/// events touch it.
+///
+/// # Examples
+///
+/// ```
+/// use memory_model::race::LocationState;
+/// use memory_model::{Loc, Operation, OpId, ProcId};
+///
+/// let mut loc = LocationState::new(2);
+/// let mut races = Vec::new();
+/// let w = Operation::data_write(OpId(0), ProcId(0), Loc(0), 1);
+/// let r = Operation::data_read(OpId(1), ProcId(1), Loc(0), 1);
+/// loc.observe(&w, 0, &[0, 0], &mut races); // P0's clock ⟨0,0⟩
+/// loc.observe(&r, 1, &[0, 0], &mut races); // P1 never saw P0's write
+/// assert_eq!(races.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocationState {
+    procs: usize,
+    /// `slots[class * procs + q]` = `P_q`'s last access of this location
+    /// in `class` (see the `*_CLASS` constants).
+    slots: Box<[Option<Access>]>,
+}
+
+const READ_DATA_CLASS: usize = 0;
+const READ_SYNC_CLASS: usize = 1;
+const WRITE_DATA_CLASS: usize = 2;
+const WRITE_SYNC_CLASS: usize = 3;
+
+/// A record reversing one [`LocationState::observe`] call (at most two
+/// displaced slots).
+#[derive(Debug)]
+pub struct LocationUndo {
+    read: Option<(usize, Option<Access>)>,
+    write: Option<(usize, Option<Access>)>,
+}
+
+impl LocationState {
+    /// Creates an empty history for processors `P0 .. P(procs-1)`.
+    #[must_use]
+    pub fn new(procs: usize) -> Self {
+        LocationState { procs, slots: vec![None; 4 * procs].into_boxed_slice() }
+    }
+
+    /// The fixed memory footprint of one location's history, in bytes —
+    /// what a bounded-memory consumer charges per tracked location.
+    #[must_use]
+    pub fn approx_bytes(procs: usize) -> usize {
+        std::mem::size_of::<Self>() + 4 * procs * std::mem::size_of::<Option<Access>>()
+    }
+
+    /// Race-checks and records one operation on this location.
+    ///
+    /// `p` is the operation's processor index and `clock` the processor's
+    /// vector clock *after* acquiring any same-location synchronization
+    /// knowledge and *before* its own tick (the recorded epoch is
+    /// therefore `clock[p] + 1`). Races completed by `op` are appended to
+    /// `out`, sorted by `(first, second)` and deduplicated — a
+    /// read-modify-write recorded in both a read and a write slot would
+    /// otherwise be reported twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or the width of `clock` is out of range for the
+    /// processor count given to [`LocationState::new`].
+    pub fn observe(
+        &mut self,
+        op: &Operation,
+        p: usize,
+        clock: &[u32],
+        out: &mut Vec<Race>,
+    ) -> LocationUndo {
+        let procs = self.procs;
+        assert!(p < procs, "processor index {p} out of range");
+        assert!(clock.len() >= procs, "clock narrower than the processor count");
+        let start = out.len();
+        let cur_sync = op.kind.is_sync();
+
+        let check = |class: usize, out: &mut Vec<Race>| {
+            let slots = &self.slots[class * procs..(class + 1) * procs];
+            for (q, slot) in slots.iter().enumerate() {
+                if q == p {
+                    continue;
+                }
+                if let Some((at, prev)) = slot {
+                    if *at > clock[q] {
+                        out.push(Race { first: *prev, second: op.id, loc: op.loc });
+                    }
+                }
+            }
+        };
+        // Synchronization operations on one location are so-ordered;
+        // sync-sync pairs are never races. Data accesses are always fair
+        // game. A write conflicts with previous reads and writes; a pure
+        // read only with previous writes.
+        if op.kind.is_write() {
+            check(READ_DATA_CLASS, out);
+            check(WRITE_DATA_CLASS, out);
+            if !cur_sync {
+                check(READ_SYNC_CLASS, out);
+                check(WRITE_SYNC_CLASS, out);
+            }
+        } else {
+            check(WRITE_DATA_CLASS, out);
+            if !cur_sync {
+                check(WRITE_SYNC_CLASS, out);
+            }
+        }
+        if out.len() > start + 1 {
+            out[start..].sort_unstable_by_key(|r| (r.first, r.second));
+            let mut keep = start + 1;
+            for i in start + 1..out.len() {
+                if out[i] != out[keep - 1] {
+                    out[keep] = out[i];
+                    keep += 1;
+                }
+            }
+            out.truncate(keep);
+        }
+
+        // Record this access with the epoch after the caller's tick.
+        let stamp = clock[p] + 1;
+        let mut undo = LocationUndo { read: None, write: None };
+        if op.kind.is_read() {
+            let class = if cur_sync { READ_SYNC_CLASS } else { READ_DATA_CLASS };
+            let slot = class * procs + p;
+            undo.read = Some((slot, self.slots[slot]));
+            self.slots[slot] = Some((stamp, op.id));
+        }
+        if op.kind.is_write() {
+            let class = if cur_sync { WRITE_SYNC_CLASS } else { WRITE_DATA_CLASS };
+            let slot = class * procs + p;
+            undo.write = Some((slot, self.slots[slot]));
+            self.slots[slot] = Some((stamp, op.id));
+        }
+        undo
+    }
+
+    /// Reverses the [`LocationState::observe`] call that produced `undo`
+    /// (LIFO order, like every undo log in this workspace).
+    pub fn undo(&mut self, undo: LocationUndo) {
+        if let Some((slot, prev)) = undo.read {
+            self.slots[slot] = prev;
+        }
+        if let Some((slot, prev)) = undo.write {
+            self.slots[slot] = prev;
+        }
+    }
 }
 
 /// An O(procs)-sized record reversing one
@@ -38,12 +191,8 @@ pub struct ObserveUndo {
     p: usize,
     loc: Loc,
     prev_clock: VectorClock,
-    /// `Some(displaced)` when the read history slot was written.
-    prev_read: Option<Option<Access>>,
-    read_sync: bool,
-    /// `Some(displaced)` when the write history slot was written.
-    prev_write: Option<Option<Access>>,
-    write_sync: bool,
+    /// Displaced history slots of the accessed location.
+    loc_undo: LocationUndo,
     /// `Some(displaced)` when the operation released (published a clock).
     prev_sync_clock: Option<Option<VectorClock>>,
     races_len: usize,
@@ -71,7 +220,7 @@ pub struct ObserveUndo {
 pub struct RaceDetector {
     proc_clock: Vec<VectorClock>,
     sync_clock: HashMap<Loc, VectorClock>,
-    history: HashMap<Loc, LocHistory>,
+    history: HashMap<Loc, LocationState>,
     races: Vec<Race>,
     mode: SyncMode,
 }
@@ -124,7 +273,8 @@ impl RaceDetector {
     /// Panics if `op.proc` is outside the range given to [`RaceDetector::new`].
     pub fn observe_undoable(&mut self, op: &Operation) -> ObserveUndo {
         let p = op.proc.index();
-        assert!(p < self.proc_clock.len(), "processor {} out of range", op.proc);
+        let procs = self.proc_clock.len();
+        assert!(p < procs, "processor {} out of range", op.proc);
         let prev_clock = self.proc_clock[p].clone();
         let races_len = self.races.len();
 
@@ -138,50 +288,10 @@ impl RaceDetector {
             }
         }
 
-        let mut found = Vec::new();
-        let clock = self.proc_clock[p].clone();
-        let hist = self.history.entry(op.loc).or_default();
-
-        // Synchronization operations on one location are so-ordered in
-        // both modes; sync-sync pairs are never races. Data accesses are
-        // always fair game.
-        let check = |maps: &[&HashMap<usize, Access>], found: &mut Vec<Race>| {
-            for map in maps {
-                for (&q, &(at, prev)) in *map {
-                    if q != p && at > clock.component(q) {
-                        found.push(Race { first: prev, second: op.id, loc: op.loc });
-                    }
-                }
-            }
-        };
-        let cur_sync = op.kind.is_sync();
-        if op.kind.is_write() {
-            // A write conflicts with every previous read and write by
-            // other processors not ordered before it.
-            check(&[&hist.read_data, &hist.write_data], &mut found);
-            if !cur_sync {
-                check(&[&hist.read_sync, &hist.write_sync], &mut found);
-            }
-        } else {
-            // A pure read conflicts only with previous writes.
-            check(&[&hist.write_data], &mut found);
-            if !cur_sync {
-                check(&[&hist.write_sync], &mut found);
-            }
-        }
-
-        // Record this access, then advance local time.
-        let stamp = clock.component(p) + 1; // component after the tick below
-        let mut prev_read = None;
-        if op.kind.is_read() {
-            let map = if cur_sync { &mut hist.read_sync } else { &mut hist.read_data };
-            prev_read = Some(map.insert(p, (stamp, op.id)));
-        }
-        let mut prev_write = None;
-        if op.kind.is_write() {
-            let map = if cur_sync { &mut hist.write_sync } else { &mut hist.write_data };
-            prev_write = Some(map.insert(p, (stamp, op.id)));
-        }
+        let hist =
+            self.history.entry(op.loc).or_insert_with(|| LocationState::new(procs));
+        let loc_undo =
+            hist.observe(op, p, self.proc_clock[p].as_slice(), &mut self.races);
 
         self.proc_clock[p].tick(p);
         let releases = op.kind.is_sync()
@@ -195,20 +305,7 @@ impl RaceDetector {
             None
         };
 
-        found.sort_by_key(|r| (r.first, r.second));
-        found.dedup();
-        self.races.extend(found.iter().copied());
-        ObserveUndo {
-            p,
-            loc: op.loc,
-            prev_clock,
-            prev_read,
-            read_sync: cur_sync,
-            prev_write,
-            write_sync: cur_sync,
-            prev_sync_clock,
-            races_len,
-        }
+        ObserveUndo { p, loc: op.loc, prev_clock, loc_undo, prev_sync_clock, races_len }
     }
 
     /// Reverses the observation that produced `undo`. Undo records must be
@@ -226,39 +323,10 @@ impl RaceDetector {
                 }
             }
         }
-        if undo.prev_read.is_some() || undo.prev_write.is_some() {
-            let hist = self
-                .history
-                .get_mut(&undo.loc)
-                .expect("observation touched this location's history");
-            if let Some(prev) = undo.prev_read {
-                let map =
-                    if undo.read_sync { &mut hist.read_sync } else { &mut hist.read_data };
-                match prev {
-                    Some(a) => {
-                        map.insert(undo.p, a);
-                    }
-                    None => {
-                        map.remove(&undo.p);
-                    }
-                }
-            }
-            if let Some(prev) = undo.prev_write {
-                let map = if undo.write_sync {
-                    &mut hist.write_sync
-                } else {
-                    &mut hist.write_data
-                };
-                match prev {
-                    Some(a) => {
-                        map.insert(undo.p, a);
-                    }
-                    None => {
-                        map.remove(&undo.p);
-                    }
-                }
-            }
-        }
+        self.history
+            .get_mut(&undo.loc)
+            .expect("observation touched this location's history")
+            .undo(undo.loc_undo);
     }
 
     /// All races reported so far.
@@ -419,6 +487,31 @@ mod tests {
         det.observe(&s(3, 1, 8));
         det.observe(&sr(4, 2, 8));
         assert!(det.observe(&r(5, 2, 0)).is_empty());
+    }
+
+    #[test]
+    fn data_write_after_sync_rmw_reports_one_race() {
+        // The rmw sits in both the sync-read and sync-write slots; the
+        // conflicting data write must report the pair once, not twice.
+        let mut det = RaceDetector::new(2);
+        det.observe(&Operation::sync_rmw(OpId(0), ProcId(0), Loc(0), 0, 1));
+        let races = det.observe(&w(1, 1, 0));
+        assert_eq!(races, vec![Race { first: OpId(0), second: OpId(1), loc: Loc(0) }]);
+    }
+
+    #[test]
+    fn location_state_undo_restores_slots() {
+        let mut loc = LocationState::new(2);
+        let mut races = Vec::new();
+        loc.observe(&w(0, 0, 0), 0, &[0, 0], &mut races);
+        let undo = loc.observe(&r(1, 1, 0), 1, &[0, 0], &mut races);
+        assert_eq!(races.len(), 1);
+        loc.undo(undo);
+        races.clear();
+        // Replaying the read finds the write again — the slot survived.
+        loc.observe(&r(2, 1, 0), 1, &[0, 0], &mut races);
+        assert_eq!(races.len(), 1);
+        assert!(LocationState::approx_bytes(2) > 0);
     }
 
     #[test]

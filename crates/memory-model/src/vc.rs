@@ -83,6 +83,17 @@ impl VectorClock {
     pub fn width(&self) -> usize {
         self.components.len()
     }
+
+    /// The raw components, indexed by processor.
+    ///
+    /// Flat access exists for consumers that keep clock *snapshots* in
+    /// their own storage (the streaming checker's per-batch arena) and
+    /// race-check against them without materializing a `VectorClock` per
+    /// event.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.components
+    }
 }
 
 impl fmt::Display for VectorClock {

@@ -55,6 +55,7 @@ mod machine;
 mod trace;
 
 pub mod diag;
+pub mod pool;
 pub mod presets;
 pub mod sweep;
 pub mod timeline;
@@ -64,4 +65,8 @@ pub use config::{CoherenceKind, Def2Config, InterconnectConfig, MachineConfig, M
 pub use diag::{ProcDump, StateDump};
 pub use machine::{Machine, RunError};
 pub use simx::fault::{Chance, FaultConfig, FaultStats};
-pub use trace::{LatencyProfile, MachineStats, OpRecord, Outcome, ProcStats, RunResult, StallReason};
+pub use trace::{
+    checkable_order, read_trace, LatencyProfile, MachineStats, OpRecord, Outcome, ProcStats, RunResult,
+    StallReason, TraceError, TraceItem, TraceReader, TraceSegment, TraceWriter,
+    TRACE_MAGIC, TRACE_VERSION,
+};

@@ -361,6 +361,31 @@ impl<'p> Machine<'p> {
         self.collect_result()
     }
 
+    /// Runs like [`Machine::run_once`] and, when the run finishes, appends
+    /// it to `writer` as one trace segment labelled `label` — the
+    /// live-machine end of the `simulate → stream → verdict` pipeline.
+    /// Runs that abort with a [`RunError`] write nothing.
+    ///
+    /// # Errors
+    ///
+    /// The outer error is any I/O failure writing the trace; the inner
+    /// result carries the same contract as [`Machine::run_once`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Machine::run_once`].
+    pub fn run_traced<W: std::io::Write>(
+        &mut self,
+        label: &str,
+        writer: &mut crate::trace::TraceWriter<W>,
+    ) -> std::io::Result<Result<RunResult, RunError>> {
+        let result = self.run_once();
+        if let Ok(run) = &result {
+            writer.write_run(label, run)?;
+        }
+        Ok(result)
+    }
+
     /// Rewinds the machine for a fresh run of `program` under `config`,
     /// recycling every allocation the previous run grew (event queue heap,
     /// store queues, cache maps, record buffers). All RNG streams are

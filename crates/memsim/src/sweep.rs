@@ -36,14 +36,15 @@
 //! assert!(matches!(serial[0], CellOutcome::Ok(_)));
 //! ```
 
+use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use litmus::Program;
 
 use crate::config::MachineConfig;
 use crate::machine::{Machine, RunError};
-use crate::trace::RunResult;
+use crate::pool;
+use crate::trace::{RunResult, TraceWriter};
 
 /// One grid cell: a program to run under a machine configuration (the
 /// cell's seed lives in `config.seed`).
@@ -160,46 +161,36 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// is bit-identical at any thread count.
 #[must_use]
 pub fn sweep(cells: &[Cell<'_>], threads: usize) -> Vec<CellOutcome> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, usize::from)
-    } else {
-        threads
-    };
-    let threads = threads.clamp(1, cells.len().max(1));
-    if threads <= 1 {
-        let mut worker = Worker::default();
-        return cells.iter().map(|cell| worker.run_cell(cell)).collect();
-    }
+    pool::run_with_worker(cells.len(), threads, Worker::default, |worker, i| {
+        worker.run_cell(&cells[i])
+    })
+}
 
-    let cursor = AtomicUsize::new(0);
-    let mut results: Vec<Option<CellOutcome>> = (0..cells.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut worker = Worker::default();
-                    let mut mine = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= cells.len() {
-                            break;
-                        }
-                        mine.push((i, worker.run_cell(&cells[i])));
-                    }
-                    mine
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, outcome) in handle.join().expect("sweep worker thread panicked") {
-                results[i] = Some(outcome);
-            }
+/// Runs the grid like [`sweep`] and additionally appends every completed
+/// cell's run to `writer` as one trace segment (labelled `cell<i>`), **in
+/// cell order** — the sweep engine's emit-trace option.
+///
+/// Because segments are written from the merged, cell-ordered outcome
+/// vector and every cell is deterministic, the emitted trace bytes are
+/// identical at any thread count; `simulate → stream → verdict` composes
+/// into one reproducible pipeline. Cells that erred or panicked produce
+/// no segment (their outcome still reports what happened).
+///
+/// # Errors
+///
+/// Returns any I/O error raised while writing the trace.
+pub fn sweep_traced<W: Write>(
+    cells: &[Cell<'_>],
+    threads: usize,
+    writer: &mut TraceWriter<W>,
+) -> io::Result<Vec<CellOutcome>> {
+    let outcomes = sweep(cells, threads);
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if let CellOutcome::Ok(run) = outcome {
+            writer.write_run(&format!("cell{i}"), run)?;
         }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every cell was assigned to exactly one worker"))
-        .collect()
+    }
+    Ok(outcomes)
 }
 
 #[cfg(test)]
@@ -240,6 +231,31 @@ mod tests {
         for (cell, outcome) in cells.iter().zip(sweep(&cells, 1)) {
             let cold = Machine::run_program(cell.program, &cell.config);
             assert_eq!(format!("{cold:?}"), format!("{:?}", outcome.into_result()));
+        }
+    }
+
+    #[test]
+    fn traced_sweep_bytes_are_thread_count_independent() {
+        use crate::trace::TraceWriter;
+
+        let program = corpus::fig3_handoff(1);
+        let cells: Vec<Cell> = (0..6)
+            .map(|seed| Cell {
+                program: &program,
+                config: presets::network_cached(2, presets::wo_def2(), seed),
+            })
+            .collect();
+        let emit = |threads: usize| {
+            let mut w = TraceWriter::new(Vec::new()).unwrap();
+            sweep_traced(&cells, threads, &mut w).unwrap();
+            w.finish().unwrap()
+        };
+        let serial = emit(1);
+        let segments = crate::trace::read_trace(&serial[..]).unwrap();
+        assert_eq!(segments.len(), 6);
+        assert_eq!(segments[2].label, "cell2");
+        for threads in [2, 4] {
+            assert_eq!(serial, emit(threads), "trace bytes differ at {threads} threads");
         }
     }
 

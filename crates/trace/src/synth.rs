@@ -1,0 +1,276 @@
+//! Deterministic synthetic event streams for benchmarks and determinism
+//! tests.
+//!
+//! A [`SynthStream`] produces a seeded, reproducible mix of data and
+//! synchronization operations shaped like a lock-partitioned workload:
+//! each sync location guards a disjoint slice of the data locations, and
+//! processors acquire (sync read-modify-write), touch guarded data, and
+//! release (sync write); a processor holding no lock touches only a
+//! private per-processor scratch location. A tunable fraction of data
+//! events ignore the locks entirely — those are the intended races, and
+//! at `racy_percent: 0` the stream is DRF0 by construction. The stream
+//! exists to exercise the *checker* at millions of events, not to
+//! simulate real hardware; use memsim for that.
+
+use memory_model::{Loc, OpId, OpKind, Operation, ProcId};
+use simx::rng::Xoshiro256;
+
+/// Shape of a synthetic stream.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthConfig {
+    /// Processors emitting events.
+    pub procs: u16,
+    /// Data locations (`Loc(0) ..`).
+    pub locations: u32,
+    /// Sync locations (placed after the data locations).
+    pub sync_locations: u32,
+    /// Total events to emit.
+    pub events: u64,
+    /// Percent of events that are synchronization operations.
+    pub sync_percent: u8,
+    /// Percent of *data* events that bypass the locking discipline
+    /// (0 → the stream is DRF0 by construction; higher → racier).
+    pub racy_percent: u8,
+    /// RNG seed; equal configs produce byte-equal streams.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            procs: 4,
+            locations: 1 << 12,
+            sync_locations: 64,
+            events: 1 << 20,
+            sync_percent: 10,
+            racy_percent: 0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Per-processor lock discipline state.
+#[derive(Clone, Copy)]
+struct ProcState {
+    /// The lock (sync-location index) the processor currently holds, if
+    /// any.
+    held: Option<u32>,
+    /// Next per-processor sequence number (forms the [`OpId`]).
+    seq: u32,
+}
+
+/// A deterministic iterator of [`Operation`]s. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use wo_trace::synth::{SynthConfig, SynthStream};
+///
+/// let cfg = SynthConfig { events: 100, ..SynthConfig::default() };
+/// let ops: Vec<_> = SynthStream::new(cfg).collect();
+/// assert_eq!(ops.len(), 100);
+/// let again: Vec<_> = SynthStream::new(cfg).collect();
+/// assert_eq!(ops, again); // same seed, same stream
+/// ```
+pub struct SynthStream {
+    cfg: SynthConfig,
+    rng: Xoshiro256,
+    procs: Vec<ProcState>,
+    /// Which sync locations are currently held by *some* processor —
+    /// acquires respect mutual exclusion, so the guarded accesses of two
+    /// holders of the same lock are always separated by a release →
+    /// acquire synchronization edge.
+    lock_free: Vec<bool>,
+    emitted: u64,
+}
+
+impl SynthStream {
+    /// Creates the stream for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs`, `locations`, or `sync_locations` is zero — an
+    /// empty shape has no meaningful stream.
+    #[must_use]
+    pub fn new(cfg: SynthConfig) -> Self {
+        assert!(cfg.procs > 0, "synth stream needs at least one processor");
+        assert!(cfg.locations > 0, "synth stream needs at least one data location");
+        assert!(cfg.sync_locations > 0, "synth stream needs at least one sync location");
+        SynthStream {
+            cfg,
+            rng: Xoshiro256::seed_from(cfg.seed),
+            procs: vec![ProcState { held: None, seq: 0 }; usize::from(cfg.procs)],
+            lock_free: vec![true; cfg.sync_locations as usize],
+            emitted: 0,
+        }
+    }
+
+    /// The processor count the stream declares to a checker or writer.
+    #[must_use]
+    pub fn procs(&self) -> u16 {
+        self.cfg.procs
+    }
+
+    fn op(&mut self, p: usize, kind: OpKind, loc: Loc) -> Operation {
+        let state = &mut self.procs[p];
+        let id = OpId::for_thread_op(ProcId(p as u16), state.seq);
+        state.seq += 1;
+        self.emitted += 1;
+        // Values are irrelevant to race checking; a small counter keeps
+        // them varied for format realism.
+        let value = u64::from(state.seq % 7);
+        Operation {
+            id,
+            proc: ProcId(p as u16),
+            kind,
+            loc,
+            read_value: kind.is_read().then_some(value),
+            write_value: kind.is_write().then_some(value),
+        }
+    }
+
+    /// The data slice guarded by sync location `lock`.
+    fn guarded_loc(&mut self, lock: u32) -> Loc {
+        let span = (self.cfg.locations / self.cfg.sync_locations).max(1);
+        let base = lock.wrapping_mul(span) % self.cfg.locations;
+        let offset = (self.rng.next_u64() % u64::from(span)) as u32;
+        Loc((base + offset) % self.cfg.locations)
+    }
+}
+
+impl Iterator for SynthStream {
+    type Item = Operation;
+
+    fn next(&mut self) -> Option<Operation> {
+        if self.emitted >= self.cfg.events {
+            return None;
+        }
+        let p = self.rng.index(self.procs.len());
+        let sync_loc_base = self.cfg.locations;
+
+        // Sync events follow an acquire → release alternation per
+        // processor, so sync locations behave like locks.
+        if self.rng.chance(u64::from(self.cfg.sync_percent), 100) {
+            match self.procs[p].held {
+                Some(lock) => {
+                    self.procs[p].held = None;
+                    self.lock_free[lock as usize] = true;
+                    return Some(self.op(p, OpKind::SyncWrite, Loc(sync_loc_base + lock)));
+                }
+                None => {
+                    // Scan from a random start for a *free* lock: mutual
+                    // exclusion is what makes the guarded accesses
+                    // race-free.
+                    let n = self.cfg.sync_locations;
+                    let start = (self.rng.next_u64() % u64::from(n)) as u32;
+                    for i in 0..n {
+                        let lock = (start + i) % n;
+                        if self.lock_free[lock as usize] {
+                            self.lock_free[lock as usize] = false;
+                            self.procs[p].held = Some(lock);
+                            return Some(self.op(p, OpKind::SyncRmw, Loc(sync_loc_base + lock)));
+                        }
+                    }
+                    // Every lock is held by someone else: fall through to
+                    // a data event on private scratch.
+                }
+            }
+        }
+
+        let kind = if self.rng.chance(1, 2) { OpKind::DataWrite } else { OpKind::DataRead };
+        let racy = self.rng.chance(u64::from(self.cfg.racy_percent), 100);
+        let loc = match self.procs[p].held {
+            Some(lock) if !racy => self.guarded_loc(lock),
+            // A processor holding no lock touches only its private
+            // scratch location (placed after the sync range): nothing to
+            // race with, so `racy_percent: 0` is DRF0 by construction.
+            None if !racy => Loc(self.cfg.locations + self.cfg.sync_locations + p as u32),
+            _ => Loc((self.rng.next_u64() % u64::from(self.cfg.locations)) as u32),
+        };
+        Some(self.op(p, kind, loc))
+    }
+}
+
+/// Writes the whole stream for `cfg` as one segment of `writer` — the
+/// synthetic end of the `emit → check` pipeline.
+///
+/// # Errors
+///
+/// Returns any I/O error from the sink.
+pub fn write_synth<W: std::io::Write>(
+    cfg: SynthConfig,
+    label: &str,
+    writer: &mut memsim::TraceWriter<W>,
+) -> std::io::Result<()> {
+    let mut stream = SynthStream::new(cfg);
+    writer.begin_segment(stream.procs(), false, label)?;
+    for op in &mut stream {
+        writer.write_op(&op)?;
+    }
+    writer.end_segment()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::CheckerConfig;
+    use crate::pipeline::check_ops;
+    use crate::Verdict;
+
+    #[test]
+    fn stream_is_reproducible_and_sized() {
+        let cfg = SynthConfig { events: 5_000, ..SynthConfig::default() };
+        let a: Vec<_> = SynthStream::new(cfg).collect();
+        let b: Vec<_> = SynthStream::new(cfg).collect();
+        assert_eq!(a.len(), 5_000);
+        assert_eq!(a, b);
+        let other: Vec<_> = SynthStream::new(SynthConfig { seed: 9, ..cfg }).collect();
+        assert_ne!(a, other, "different seeds should differ");
+    }
+
+    #[test]
+    fn ids_are_unique_per_processor_program_order() {
+        let cfg = SynthConfig { events: 2_000, procs: 3, ..SynthConfig::default() };
+        let mut next_seq = [0u32; 3];
+        for op in SynthStream::new(cfg) {
+            let p = op.proc.index();
+            assert_eq!(op.id.seq_part(), next_seq[p], "ids must be dense per processor");
+            next_seq[p] += 1;
+        }
+    }
+
+    #[test]
+    fn locked_stream_is_drf0_by_construction() {
+        let cfg = SynthConfig { events: 50_000, procs: 6, ..SynthConfig::default() };
+        let ops: Vec<_> = SynthStream::new(cfg).collect();
+        let report = check_ops(&ops, cfg.procs, CheckerConfig::default()).unwrap();
+        assert_eq!(report.verdict, Verdict::Drf0, "{}", report.canonical_text());
+    }
+
+    #[test]
+    fn racy_knob_controls_the_verdict() {
+        let racy = SynthConfig {
+            events: 20_000,
+            locations: 64,
+            racy_percent: 30,
+            ..SynthConfig::default()
+        };
+        let ops: Vec<_> = SynthStream::new(racy).collect();
+        let report = check_ops(&ops, racy.procs, CheckerConfig::default()).unwrap();
+        assert_eq!(report.verdict, Verdict::Racy);
+        assert!(report.total_races > 0);
+    }
+
+    #[test]
+    fn roundtrips_through_the_trace_format() {
+        let cfg = SynthConfig { events: 3_000, ..SynthConfig::default() };
+        let mut writer = memsim::TraceWriter::new(Vec::new()).unwrap();
+        write_synth(cfg, "synth", &mut writer).unwrap();
+        let segments = memsim::read_trace(&writer.finish().unwrap()[..]).unwrap();
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0].records.len(), 3_000);
+        let direct: Vec<_> = SynthStream::new(cfg).collect();
+        let decoded: Vec<_> = segments[0].records.iter().map(|r| r.op).collect();
+        assert_eq!(direct, decoded);
+    }
+}
