@@ -14,18 +14,31 @@
 //! machine-readable `BENCH_explore.json` so later PRs have a perf
 //! trajectory to beat: programs/sec per strategy, states visited, states
 //! pruned, peak visited-set size, and the DPOR speedup over the
-//! unreduced baseline.
+//! unreduced baseline. The fourth row, `converged_state`, benchmarks
+//! [`litmus::explore::explore_results`] — the interned-digest converged
+//! state explorer — on the same sweep.
 //!
-//! Exits nonzero on any differential divergence.
+//! `peak_visited_set` is the **maximum** visited-set size any single
+//! program reached, not a sum across programs — the same max semantics
+//! [`ExploreReport::merge`] uses for `peak_visited` (visited sets are
+//! per-program and freed between programs, so summing would overstate
+//! memory by orders of magnitude).
+//!
+//! Exits nonzero on any differential divergence, or when
+//! `--min-converged-pps` is given and the converged-state explorer falls
+//! below that throughput floor (the regression gate for PR 8's
+//! state-key fix).
 //!
 //! Usage:
 //!
 //! ```text
 //! explore_bench [--smoke] [--threads N] [--out PATH] [--corpus DIR]
+//!               [--min-converged-pps F]
 //!   --smoke        CI variant: smaller step budgets, same corpus
 //!   --threads N    worker threads for explore_parallel (default: available)
 //!   --out PATH     where to write the JSON (default BENCH_explore.json)
 //!   --corpus DIR   litmus-tests directory (default: auto-detected)
+//!   --min-converged-pps F   fail if converged_state programs/sec < F
 //! ```
 
 use std::fmt::Write as _;
@@ -43,6 +56,7 @@ struct Args {
     threads: usize,
     out: PathBuf,
     corpus_dir: Option<PathBuf>,
+    min_converged_pps: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -51,6 +65,7 @@ fn parse_args() -> Args {
         threads: 0,
         out: PathBuf::from("BENCH_explore.json"),
         corpus_dir: None,
+        min_converged_pps: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -69,6 +84,13 @@ fn parse_args() -> Args {
                 args.corpus_dir =
                     Some(it.next().map(PathBuf::from).unwrap_or_else(|| usage("--corpus needs a dir")));
             }
+            "--min-converged-pps" => {
+                args.min_converged_pps = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--min-converged-pps needs a number")),
+                );
+            }
             other => usage(&format!("unknown argument {other}")),
         }
     }
@@ -77,7 +99,9 @@ fn parse_args() -> Args {
 
 fn usage(msg: &str) -> ! {
     eprintln!("explore_bench: {msg}");
-    eprintln!("usage: explore_bench [--smoke] [--threads N] [--out PATH] [--corpus DIR]");
+    eprintln!(
+        "usage: explore_bench [--smoke] [--threads N] [--out PATH] [--corpus DIR] [--min-converged-pps F]"
+    );
     std::process::exit(2);
 }
 
@@ -261,4 +285,16 @@ fn main() {
     }
     assert!(compared > 0, "no program completed under both explorers; budget too small");
     println!("differential check: {compared} complete pairs agree");
+
+    if let Some(floor) = args.min_converged_pps {
+        let pps = pruned_results.programs_per_sec(n);
+        if pps < floor {
+            eprintln!(
+                "THROUGHPUT REGRESSION: converged_state ran at {pps:.3} programs/sec, \
+                 below the --min-converged-pps floor of {floor:.3}"
+            );
+            std::process::exit(1);
+        }
+        println!("converged_state throughput gate: {pps:.3} >= {floor:.3} programs/sec");
+    }
 }

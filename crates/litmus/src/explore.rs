@@ -24,12 +24,19 @@
 //!   faster on programs with per-thread-disjoint locations.
 //!   [`explore_parallel`] runs the same reduction across a work-stealing
 //!   pool with a deterministic merge.
-//! * [`explore_results`] — DFS with converged-state pruning. Sound for
+//! * [`explore_results`] — DFS with converged-state pruning over an
+//!   interned, incrementally maintained 128-bit state digest
+//!   ([`crate::ideal::StateDigest`]) plus thread-symmetry reduction:
+//!   states that are permutations of each other under identical threads
+//!   share a digest and are explored once, with the skipped twins'
+//!   results reconstructed exactly by a closure pass. Sound for
 //!   collecting the set of reachable results and final states (identical
 //!   architectural states *plus read histories* have identical futures),
 //!   and unsound for race detection, so it reports no races: a pruned
 //!   history can race with a future that its surviving twin does not
 //!   (they may have synchronized differently on the way in).
+//!   [`explore_results_legacy_key`] is the pre-interning implementation,
+//!   retained as the differential baseline for the state-key audit.
 //!
 //! All strategies use an undo log ([`IdealState::step_undoable`],
 //! [`RaceDetector::observe_undoable`]) instead of cloning state per
@@ -44,9 +51,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use memory_model::drf0::Race;
 use memory_model::race::RaceDetector;
-use memory_model::{ExecutionResult, Memory, Operation, SyncMode};
+use memory_model::{ExecutionResult, Memory, OpId, Operation, ProcId, SyncMode};
 
-use crate::ideal::{IdealState, StepOutcome};
+use crate::ideal::{IdealState, StateDigest, StepOutcome};
 use crate::Program;
 
 /// Budgets for exploration.
@@ -213,6 +220,15 @@ pub struct ExploreReport {
     pub pruned: usize,
     /// Peak size of the converged-state `visited` set (zero for the
     /// strategies that keep none) — the memory-side budget surface.
+    ///
+    /// **Merge semantics:** serial explorers report the high-water mark
+    /// of their single visited set; [`ExploreReport::merge`] combines
+    /// subtree reports by `max` (the largest single set any worker held),
+    /// never by sum — a sum would double-count states deduplicated across
+    /// subtrees and report "memory" no process ever allocated. Today only
+    /// [`explore_results`] populates this field and it never merges, so
+    /// the question is latent, but `explore_bench` documents the same
+    /// convention in its JSON.
     pub peak_visited: usize,
 }
 
@@ -243,6 +259,28 @@ impl ExploreReport {
     fn mark_incomplete(&mut self, reason: IncompleteReason) {
         self.complete = false;
         self.incomplete.get_or_insert(reason);
+    }
+
+    /// Whether a *terminal* budget has tripped — one that
+    /// [`ExploreReport::admit_state`] (or the visited-set cap) will keep
+    /// refusing for the rest of the exploration. Once true, the DFS loops
+    /// unwind immediately instead of walking the entire remaining tree
+    /// just to have every node refused one at a time (the old futile walk
+    /// re-reported the exhausted budget per node, and under a deadline
+    /// kept *expanding* states between polls because the frozen step
+    /// counter rarely landed on a poll boundary).
+    /// `TruncatedExecution` is deliberately not terminal: it is a
+    /// per-path condition and sibling branches may still complete.
+    fn stopped(&self) -> bool {
+        matches!(
+            self.incomplete,
+            Some(
+                IncompleteReason::MaxExecutions
+                    | IncompleteReason::MaxTotalSteps
+                    | IncompleteReason::MaxVisitedStates
+                    | IncompleteReason::Deadline
+            )
+        )
     }
 
     /// Unified per-state budget gate: `true` when the caller may expand
@@ -284,10 +322,12 @@ impl ExploreReport {
             self.races.extend(races.iter().copied());
         }
         self.outcomes.insert(outcome_of(state, program));
-        let exec = state.execution();
-        self.results.insert(exec.result(&program.initial_memory()));
+        // Read the result straight off the interpreter's flat storage;
+        // cloning and re-validating the op list as an `Execution` is only
+        // needed when the caller wants the executions themselves.
+        self.results.insert(state.result());
         if cfg.keep_executions {
-            self.executions.push(exec);
+            self.executions.push(state.execution());
         }
     }
 
@@ -361,11 +401,10 @@ fn dfs(
     cfg: &ExploreConfig,
     report: &mut ExploreReport,
 ) {
-    if !report.admit_state(cfg) {
+    if report.stopped() || !report.admit_state(cfg) {
         return;
     }
-    let runnable = state.runnable_threads();
-    if runnable.is_empty() {
+    if state.finished() {
         report.record_leaf(state, program, Some(detector.races()), cfg);
         return;
     }
@@ -373,7 +412,10 @@ fn dfs(
         report.record_truncation(Some(detector.races()));
         return;
     }
-    for &t in &runnable {
+    for t in 0..state.num_threads() {
+        if !state.runnable(t) {
+            continue;
+        }
         let (outcome, undo) = state.step_undoable(t);
         match outcome {
             StepOutcome::Performed(op) => {
@@ -381,6 +423,9 @@ fn dfs(
                 dfs(program, state, detector, cfg, report);
                 detector.undo(det_undo);
                 state.undo(undo);
+                if report.stopped() {
+                    return;
+                }
             }
             StepOutcome::Halted => {
                 // The thread ran local-only instructions to completion:
@@ -452,11 +497,10 @@ fn dfs_dpor(
     sleep: Vec<Operation>,
     report: &mut ExploreReport,
 ) {
-    if !report.admit_state(cfg) {
+    if report.stopped() || !report.admit_state(cfg) {
         return;
     }
-    let runnable = state.runnable_threads();
-    if runnable.is_empty() {
+    if state.finished() {
         report.record_leaf(state, program, Some(detector.races()), cfg);
         return;
     }
@@ -470,7 +514,10 @@ fn dfs_dpor(
     // (location, kind) depend only on its own registers and pc, and any
     // conflicting operation by another thread removes it from the set.
     let mut sleep = sleep;
-    for &t in &runnable {
+    for t in 0..state.num_threads() {
+        if !state.runnable(t) {
+            continue;
+        }
         if sleep.iter().any(|op| op.proc.index() == t) {
             report.pruned += 1;
             continue;
@@ -484,6 +531,9 @@ fn dfs_dpor(
                 dfs_dpor(program, state, detector, cfg, child_sleep, report);
                 detector.undo(det_undo);
                 state.undo(undo);
+                if report.stopped() {
+                    return;
+                }
                 // Future sibling branches need not re-explore t first: every
                 // interleaving starting with t's op is covered by the branch
                 // just explored until some dependent op wakes t up.
@@ -648,11 +698,10 @@ fn dfs_frontier(
         tasks.push(FrontierTask { schedule: path.clone(), sleep });
         return;
     }
-    if !report.admit_state(cfg) {
+    if report.stopped() || !report.admit_state(cfg) {
         return;
     }
-    let runnable = state.runnable_threads();
-    if runnable.is_empty() {
+    if state.finished() {
         report.record_leaf(state, program, Some(detector.races()), cfg);
         return;
     }
@@ -661,7 +710,10 @@ fn dfs_frontier(
         return;
     }
     let mut sleep = sleep;
-    for &t in &runnable {
+    for t in 0..state.num_threads() {
+        if !state.runnable(t) {
+            continue;
+        }
         if sleep.iter().any(|op| op.proc.index() == t) {
             report.pruned += 1;
             continue;
@@ -687,6 +739,9 @@ fn dfs_frontier(
                 path.pop();
                 detector.undo(det_undo);
                 state.undo(undo);
+                if report.stopped() {
+                    return;
+                }
                 sleep.push(op);
             }
             StepOutcome::Halted => {
@@ -720,35 +775,306 @@ fn outcome_of(state: &IdealState<'_>, program: &Program) -> Outcome {
         regs: (0..program.num_threads())
             .map(|t| state.thread(t).regs)
             .collect(),
-        final_memory: state.memory().snapshot(),
+        final_memory: state.memory_snapshot(),
+    }
+}
+
+/// An open-addressed, arena-backed intern set of [`StateDigest`]s — the
+/// converged-state explorer's visited set.
+///
+/// The old visited set was a `HashSet` keyed on three heap `Vec`s per
+/// state (per-thread registers, memory snapshot, and the full read-value
+/// history): every membership test rebuilt and hashed O(trace-length)
+/// words and every insert allocated three fresh `Vec`s, making each DFS
+/// node O(trace) and the search O(n²) in operations. Entries here are the
+/// two digest words, stored inline in one flat power-of-two arena
+/// (16 bytes per state, one allocation per doubling) and probed linearly
+/// starting from the digest's own low bits — the digest is already
+/// uniformly mixed, so no secondary hash is needed.
+struct InternTable {
+    slots: Box<[StateDigest]>,
+    len: usize,
+}
+
+impl InternTable {
+    /// The empty-slot sentinel. A genuine digest of `(0, 0)` is remapped
+    /// by [`InternTable::normalize`] rather than mishandled.
+    const EMPTY: StateDigest = StateDigest(0, 0);
+
+    fn new() -> Self {
+        InternTable {
+            slots: vec![Self::EMPTY; 1 << 12].into_boxed_slice(),
+            len: 0,
+        }
+    }
+
+    fn normalize(d: StateDigest) -> StateDigest {
+        if d == Self::EMPTY {
+            StateDigest(1, 1)
+        } else {
+            d
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn contains(&self, d: StateDigest) -> bool {
+        let d = Self::normalize(d);
+        let mask = self.slots.len() - 1;
+        let mut i = d.0 as usize & mask;
+        loop {
+            let s = self.slots[i];
+            if s == d {
+                return true;
+            }
+            if s == Self::EMPTY {
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts `d`, returning `true` when it was not already present.
+    fn insert(&mut self, d: StateDigest) -> bool {
+        let d = Self::normalize(d);
+        // Grow at ~70% load to keep probe chains short.
+        if (self.len + 1) * 10 >= self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = d.0 as usize & mask;
+        loop {
+            let s = self.slots[i];
+            if s == d {
+                return false;
+            }
+            if s == Self::EMPTY {
+                self.slots[i] = d;
+                self.len += 1;
+                return true;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let grown = vec![Self::EMPTY; self.slots.len() * 2].into_boxed_slice();
+        let old = std::mem::replace(&mut self.slots, grown);
+        let mask = self.slots.len() - 1;
+        for &s in old.iter() {
+            if s == Self::EMPTY {
+                continue;
+            }
+            let mut i = s.0 as usize & mask;
+            while self.slots[i] != Self::EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = s;
+        }
     }
 }
 
 /// Enumerates reachable *results* with converged-state pruning. Much faster
 /// than [`explore`] on state-converging programs, but performs no race
 /// detection (see module docs for why pruning is unsound for races).
+///
+/// States are deduplicated on the O(1) incremental [`StateDigest`]
+/// maintained by [`IdealState`], interned in a flat [`InternTable`] arena.
+/// Because the digest is invariant under permutations of identical threads
+/// (see [`StateDigest`]), symmetric twins prune as converged states; the
+/// results their subtrees would have produced are reconstructed exactly by
+/// [`close_under_thread_symmetry`] before the report is returned.
 #[must_use]
 pub fn explore_results(program: &Program, cfg: &ExploreConfig) -> ExploreReport {
     let mut report = ExploreReport::empty();
-    let mut visited = HashSet::new();
+    let mut visited = InternTable::new();
     let mut state = IdealState::new(program);
     dfs_pruned(program, &mut state, cfg, &mut visited, &mut report);
+    close_under_thread_symmetry(&mut report, program);
     report
 }
 
-type StateKey = (
+fn dfs_pruned(
+    program: &Program,
+    state: &mut IdealState<'_>,
+    cfg: &ExploreConfig,
+    visited: &mut InternTable,
+    report: &mut ExploreReport,
+) {
+    if report.stopped() {
+        return;
+    }
+    // The digest covers the architectural state *plus per-thread
+    // read-value histories*. The histories are required for soundness: a
+    // *result* (Lamport's observable) includes every read's returned
+    // value, so two paths converging on the same architectural state but
+    // with different read histories must both be explored — pruning on
+    // state alone silently drops reachable results (it once hid SC
+    // outcomes of the bounded barrier from the reference set). Per-thread
+    // value sequences suffice: a thread's trajectory — including the ids
+    // of its operations, which are just its program-order positions — is
+    // a deterministic function of the values its reads returned, so the
+    // old key's `OpId` alongside each value was redundant, and so was the
+    // global interleaving order of the history.
+    let digest = state.digest();
+    if visited.contains(digest) {
+        report.pruned += 1;
+        return;
+    }
+    if visited.len() >= cfg.max_visited_states {
+        report.mark_incomplete(IncompleteReason::MaxVisitedStates);
+        return;
+    }
+    if !report.admit_state(cfg) {
+        return;
+    }
+    visited.insert(digest);
+    report.peak_visited = report.peak_visited.max(visited.len());
+    if state.finished() {
+        report.record_leaf(state, program, None, cfg);
+        return;
+    }
+    if state.ops().len() >= cfg.max_ops_per_execution {
+        report.record_truncation(None);
+        return;
+    }
+    for t in 0..state.num_threads() {
+        if !state.runnable(t) {
+            continue;
+        }
+        let (outcome, undo) = state.step_undoable(t);
+        match outcome {
+            StepOutcome::Performed(_) => {
+                dfs_pruned(program, state, cfg, visited, report);
+                state.undo(undo);
+                if report.stopped() {
+                    return;
+                }
+            }
+            StepOutcome::Halted => {
+                dfs_pruned(program, state, cfg, visited, report);
+                state.undo(undo);
+                return;
+            }
+            StepOutcome::StepLimit => {
+                state.undo(undo);
+                report.record_truncation(None);
+            }
+        }
+    }
+}
+
+/// Transpositions `(i, j)` of threads with identical code — the generators
+/// of the symmetry group the [`StateDigest`] is invariant under. All
+/// same-class pairs, not just adjacent ones: in a program with threads
+/// `[A, B, A]` the interchangeable pair `(0, 2)` is not adjacent.
+fn symmetry_pairs(program: &Program) -> Vec<(usize, usize)> {
+    let classes = program.thread_identity_classes();
+    let mut pairs = Vec::new();
+    for i in 0..classes.len() {
+        for j in i + 1..classes.len() {
+            if classes[i] == classes[j] {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+/// Closes `results` and `outcomes` under permutations of identical
+/// threads, reconstructing exactly what the symmetry-pruned subtrees
+/// would have reported.
+///
+/// Soundness and exactness: the initial state is invariant under any
+/// permutation π of threads with identical code, and stepping thread `t`
+/// from state σ mirrors stepping `π(t)` from `π(σ)`, so the *true*
+/// reachable result set is closed under π (acting on a result by renaming
+/// the processor part of each read id, and on an outcome by permuting the
+/// register files). The digest prunes a state exactly when a π-twin was
+/// explored, and every result of the pruned subtree is the π-image of a
+/// result of the explored one — so closing the collected sets under all
+/// same-class transpositions (which generate the full group) yields
+/// precisely the unreduced explorer's sets, no more and no less. The
+/// closure adds only genuinely reachable results even on budget-truncated
+/// runs: if `r` is reachable, `π(r)` always is.
+fn close_under_thread_symmetry(report: &mut ExploreReport, program: &Program) {
+    let pairs = symmetry_pairs(program);
+    if pairs.is_empty() {
+        return;
+    }
+    let mut queue: Vec<ExecutionResult> = report.results.iter().cloned().collect();
+    while let Some(r) = queue.pop() {
+        for &(i, j) in &pairs {
+            let p = permute_result(&r, i, j);
+            if !report.results.contains(&p) {
+                report.results.insert(p.clone());
+                queue.push(p);
+            }
+        }
+    }
+    let mut queue: Vec<Outcome> = report.outcomes.iter().cloned().collect();
+    while let Some(o) = queue.pop() {
+        for &(i, j) in &pairs {
+            let p = permute_outcome(&o, i, j);
+            if !report.outcomes.contains(&p) {
+                report.outcomes.insert(p.clone());
+                queue.push(p);
+            }
+        }
+    }
+}
+
+/// Swaps the processor part of `id` between threads `i` and `j`.
+fn permute_proc(id: OpId, i: usize, j: usize) -> OpId {
+    let p = id.proc_part().index();
+    if p == i {
+        OpId::for_thread_op(ProcId(j as u16), id.seq_part())
+    } else if p == j {
+        OpId::for_thread_op(ProcId(i as u16), id.seq_part())
+    } else {
+        id
+    }
+}
+
+fn permute_result(r: &ExecutionResult, i: usize, j: usize) -> ExecutionResult {
+    ExecutionResult {
+        reads: r
+            .reads
+            .iter()
+            .map(|(&id, &v)| (permute_proc(id, i, j), v))
+            .collect(),
+        final_memory: r.final_memory.clone(),
+    }
+}
+
+fn permute_outcome(o: &Outcome, i: usize, j: usize) -> Outcome {
+    let mut regs = o.regs.clone();
+    regs.swap(i, j);
+    Outcome {
+        regs,
+        final_memory: o.final_memory.clone(),
+    }
+}
+
+/// The converged-state key of the pre-interning explorer: three heap
+/// `Vec`s rebuilt on every DFS node — O(trace length) each, which made
+/// the search quadratic in operations. Retained, together with
+/// [`explore_results_legacy_key`], as the differential baseline the
+/// state-key audit compares the interned [`StateDigest`] encoding
+/// against. The `OpId` stored alongside each read value is redundant
+/// (per-thread read order determines the ids — see the soundness note in
+/// `dfs_pruned`), which the audit demonstrates by result-set equality.
+pub type LegacyStateKey = (
     crate::ideal::ThreadStateKey,
     Vec<(memory_model::Loc, memory_model::Value)>,
-    // The read-value history so far. Required for soundness: a *result*
-    // (Lamport's observable) includes every read's returned value, so two
-    // paths converging on the same architectural state but with different
-    // read histories must both be explored — pruning on state alone
-    // silently drops reachable results (it once hid SC outcomes of the
-    // bounded barrier from the reference set).
-    Vec<(memory_model::OpId, memory_model::Value)>,
+    Vec<(OpId, memory_model::Value)>,
 );
 
-fn key_of(state: &IdealState<'_>) -> StateKey {
+/// Builds the [`LegacyStateKey`] of the current state.
+#[must_use]
+pub fn legacy_key_of(state: &IdealState<'_>) -> LegacyStateKey {
     let (threads, memory) = state.state_key();
     let reads = state
         .ops()
@@ -758,14 +1084,31 @@ fn key_of(state: &IdealState<'_>) -> StateKey {
     (threads, memory, reads)
 }
 
-fn dfs_pruned(
+/// [`explore_results`] exactly as implemented before the interned-digest
+/// encoding: a `HashSet` of [`LegacyStateKey`]s and no symmetry
+/// reduction. Kept public purely as the differential baseline — the
+/// 500-seed state-key audit in `wo-fuzz` asserts result-set equality
+/// between this explorer and [`explore_results`] whenever both complete.
+#[must_use]
+pub fn explore_results_legacy_key(program: &Program, cfg: &ExploreConfig) -> ExploreReport {
+    let mut report = ExploreReport::empty();
+    let mut visited = HashSet::new();
+    let mut state = IdealState::new(program);
+    dfs_pruned_legacy(program, &mut state, cfg, &mut visited, &mut report);
+    report
+}
+
+fn dfs_pruned_legacy(
     program: &Program,
     state: &mut IdealState<'_>,
     cfg: &ExploreConfig,
-    visited: &mut HashSet<StateKey>,
+    visited: &mut HashSet<LegacyStateKey>,
     report: &mut ExploreReport,
 ) {
-    let key = key_of(state);
+    if report.stopped() {
+        return;
+    }
+    let key = legacy_key_of(state);
     if visited.contains(&key) {
         report.pruned += 1;
         return;
@@ -779,8 +1122,7 @@ fn dfs_pruned(
     }
     visited.insert(key);
     report.peak_visited = report.peak_visited.max(visited.len());
-    let runnable = state.runnable_threads();
-    if runnable.is_empty() {
+    if state.finished() {
         report.record_leaf(state, program, None, cfg);
         return;
     }
@@ -788,16 +1130,186 @@ fn dfs_pruned(
         report.record_truncation(None);
         return;
     }
-    for &t in &runnable {
+    for t in 0..state.num_threads() {
+        if !state.runnable(t) {
+            continue;
+        }
         let (outcome, undo) = state.step_undoable(t);
         match outcome {
             StepOutcome::Performed(_) => {
-                dfs_pruned(program, state, cfg, visited, report);
+                dfs_pruned_legacy(program, state, cfg, visited, report);
                 state.undo(undo);
+                if report.stopped() {
+                    return;
+                }
             }
             StepOutcome::Halted => {
-                dfs_pruned(program, state, cfg, visited, report);
+                dfs_pruned_legacy(program, state, cfg, visited, report);
                 state.undo(undo);
+                return;
+            }
+            StepOutcome::StepLimit => {
+                state.undo(undo);
+                report.record_truncation(None);
+            }
+        }
+    }
+}
+
+/// The permutation-canonical form of a state: per-thread
+/// `(class, pc, registers, read-value sequence)` tuples in sorted order,
+/// plus the memory snapshot. Two states have equal canonical keys exactly
+/// when one is a same-class thread permutation of the other — the
+/// equivalence the [`StateDigest`] is designed to collapse and nothing
+/// more, which is what [`explore_results_audited`] verifies.
+type CanonKey = (
+    Vec<(u32, usize, [memory_model::Value; crate::NUM_REGS], Vec<memory_model::Value>)>,
+    Vec<(memory_model::Loc, memory_model::Value)>,
+);
+
+fn canon_key_of(state: &IdealState<'_>, classes: &[u32]) -> CanonKey {
+    let mut threads: Vec<_> = (0..state.num_threads())
+        .map(|t| {
+            let ts = state.thread(t);
+            let reads = state
+                .ops()
+                .iter()
+                .filter(|op| op.proc.index() == t)
+                .filter_map(|op| op.read_value)
+                .collect();
+            (classes[t], ts.pc, ts.regs, reads)
+        })
+        .collect();
+    threads.sort();
+    (threads, state.memory_snapshot())
+}
+
+/// Counters from [`explore_results_audited`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeyAudit {
+    /// States at which the incremental digest was checked against
+    /// [`IdealState::digest_from_scratch`].
+    pub states_audited: usize,
+    /// Distinct digests interned.
+    pub distinct_digests: usize,
+}
+
+/// [`explore_results`] with the digest machinery under audit — the
+/// collision/maintenance harness behind the state-key property tests.
+///
+/// At every visited state it asserts that the incrementally maintained
+/// digest equals a from-scratch recomputation (both after the step that
+/// entered the state and after the undo that leaves it), and that the
+/// digest-to-canonical-state mapping is injective: no two states with
+/// distinct [`CanonKey`]s (i.e. genuinely different up to same-class
+/// thread permutation) may share a digest.
+///
+/// # Panics
+///
+/// Panics on any digest-maintenance divergence or digest collision.
+/// Intended for tests and audits, not production paths: it keeps a full
+/// canonical key per distinct digest.
+#[must_use]
+pub fn explore_results_audited(program: &Program, cfg: &ExploreConfig) -> (ExploreReport, KeyAudit) {
+    let mut report = ExploreReport::empty();
+    let mut visited = InternTable::new();
+    let mut canon: std::collections::HashMap<StateDigest, CanonKey> =
+        std::collections::HashMap::new();
+    let mut audit = KeyAudit::default();
+    let classes = program.thread_identity_classes();
+    let mut state = IdealState::new(program);
+    dfs_audited(
+        program,
+        &mut state,
+        cfg,
+        &classes,
+        &mut visited,
+        &mut canon,
+        &mut audit,
+        &mut report,
+    );
+    audit.distinct_digests = canon.len();
+    close_under_thread_symmetry(&mut report, program);
+    (report, audit)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_audited(
+    program: &Program,
+    state: &mut IdealState<'_>,
+    cfg: &ExploreConfig,
+    classes: &[u32],
+    visited: &mut InternTable,
+    canon: &mut std::collections::HashMap<StateDigest, CanonKey>,
+    audit: &mut KeyAudit,
+    report: &mut ExploreReport,
+) {
+    if report.stopped() {
+        return;
+    }
+    let digest = state.digest();
+    assert_eq!(
+        digest,
+        state.digest_from_scratch(),
+        "incremental digest diverged from from-scratch recomputation"
+    );
+    audit.states_audited += 1;
+    let key = canon_key_of(state, classes);
+    if let Some(prior) = canon.get(&digest) {
+        assert_eq!(
+            *prior, key,
+            "digest collision: two distinct canonical states interned as one"
+        );
+    } else {
+        canon.insert(digest, key);
+    }
+    if visited.contains(digest) {
+        report.pruned += 1;
+        return;
+    }
+    if visited.len() >= cfg.max_visited_states {
+        report.mark_incomplete(IncompleteReason::MaxVisitedStates);
+        return;
+    }
+    if !report.admit_state(cfg) {
+        return;
+    }
+    visited.insert(digest);
+    report.peak_visited = report.peak_visited.max(visited.len());
+    if state.finished() {
+        report.record_leaf(state, program, None, cfg);
+        return;
+    }
+    if state.ops().len() >= cfg.max_ops_per_execution {
+        report.record_truncation(None);
+        return;
+    }
+    for t in 0..state.num_threads() {
+        if !state.runnable(t) {
+            continue;
+        }
+        let (outcome, undo) = state.step_undoable(t);
+        match outcome {
+            StepOutcome::Performed(_) => {
+                dfs_audited(program, state, cfg, classes, visited, canon, audit, report);
+                state.undo(undo);
+                assert_eq!(
+                    state.digest(),
+                    state.digest_from_scratch(),
+                    "digest diverged after undo"
+                );
+                if report.stopped() {
+                    return;
+                }
+            }
+            StepOutcome::Halted => {
+                dfs_audited(program, state, cfg, classes, visited, canon, audit, report);
+                state.undo(undo);
+                assert_eq!(
+                    state.digest(),
+                    state.digest_from_scratch(),
+                    "digest diverged after undo"
+                );
                 return;
             }
             StepOutcome::StepLimit => {
@@ -1148,6 +1660,158 @@ mod tests {
         assert!(capped.peak_visited <= 4);
         // The memory budget is visible in Display for report surfaces.
         assert!(IncompleteReason::MaxVisitedStates.to_string().contains("memory"));
+    }
+
+    #[test]
+    fn visited_cap_unwinds_immediately_and_reports_once() {
+        // Regression: after `max_visited_states` tripped, the DFS used to
+        // keep walking the entire remaining tree, re-hitting the cap check
+        // (and re-reporting the reason) at every node. The terminal budget
+        // must unwind the walk immediately: exactly the capped number of
+        // states is expanded, and nothing — no prunes, no truncations, no
+        // executions — is recorded from the futile remainder.
+        let p = crate::corpus::fig1_dekker();
+        let capped = explore_results(
+            &p,
+            &ExploreConfig { max_visited_states: 4, ..cfg() },
+        );
+        assert!(!capped.complete);
+        assert_eq!(capped.incomplete, Some(IncompleteReason::MaxVisitedStates));
+        assert_eq!(capped.steps, 4, "one expansion per interned state");
+        assert_eq!(capped.peak_visited, 4);
+        // The first 4 states lie on one DFS path, so the cap trips before
+        // any revisit or leaf is possible — all other counters stay zero.
+        assert_eq!(capped.pruned, 0);
+        assert_eq!(capped.truncated_executions, 0);
+        assert_eq!(capped.execution_count, 0);
+    }
+
+    #[test]
+    fn merge_maxes_peak_visited_and_sums_counters() {
+        // `peak_visited` is a high-water mark of a single set, so parallel
+        // merges take the max (a sum would claim memory no worker held);
+        // work counters are genuine totals and sum.
+        let mut a = ExploreReport::empty();
+        a.peak_visited = 10;
+        a.steps = 5;
+        a.pruned = 2;
+        let mut b = ExploreReport::empty();
+        b.peak_visited = 7;
+        b.steps = 9;
+        b.pruned = 4;
+        a.merge(b);
+        assert_eq!(a.peak_visited, 10);
+        assert_eq!(a.steps, 14);
+        assert_eq!(a.pruned, 6);
+    }
+
+    #[test]
+    fn symmetric_threads_prune_and_results_close_exactly() {
+        // Two identical racy increment threads: every state reached by
+        // "thread 1 first" is a permutation of one reached by "thread 0
+        // first", so symmetry reduction halves the tree — and the closure
+        // pass must reconstruct the mirrored results exactly.
+        let mk = || {
+            Thread::new()
+                .read(Loc(0), Reg(0))
+                .add(Reg(1), Reg(0), 1u64)
+                .write(Loc(0), Reg(1))
+        };
+        let p = Program::new(vec![mk(), mk()]).unwrap();
+        let full = explore(&p, &cfg());
+        let pruned = explore_results(&p, &cfg());
+        assert!(full.complete && pruned.complete);
+        assert_eq!(full.results, pruned.results);
+        assert_eq!(full.outcomes, pruned.outcomes);
+        assert!(
+            pruned.steps < full.steps,
+            "symmetry + convergence must shrink the walk: {} vs {}",
+            pruned.steps,
+            full.steps
+        );
+    }
+
+    #[test]
+    fn non_adjacent_identical_threads_are_canonicalized() {
+        // Thread classes [A, B, A]: the interchangeable pair (0, 2) is not
+        // adjacent, so transposition generators restricted to neighbors
+        // would miss it — this pins the all-pairs closure.
+        let a = || Thread::new().fetch_add(Loc(0), Reg(0), 1);
+        let b = Thread::new().write(Loc(1), 7);
+        let p = Program::new(vec![a(), b, a()]).unwrap();
+        let full = explore(&p, &cfg());
+        let pruned = explore_results(&p, &cfg());
+        assert!(full.complete && pruned.complete);
+        assert_eq!(full.results, pruned.results);
+        assert_eq!(full.outcomes, pruned.outcomes);
+        assert!(pruned.steps < full.steps);
+    }
+
+    #[test]
+    fn interned_explorer_matches_legacy_key_explorer_on_corpus() {
+        // The tentpole equality gate in miniature (wo-fuzz runs it over
+        // 500 generated seeds): the interned-digest explorer and the
+        // pre-interning LegacyStateKey explorer must report identical
+        // result sets whenever both complete.
+        for (name, p) in crate::corpus::drf0_suite()
+            .iter()
+            .chain(crate::corpus::racy_suite().iter())
+        {
+            let budget = ExploreConfig {
+                max_total_steps: 200_000,
+                ..ExploreConfig::default()
+            };
+            let legacy = explore_results_legacy_key(p, &budget);
+            let interned = explore_results(p, &budget);
+            if legacy.complete && interned.complete {
+                assert_eq!(legacy.results, interned.results, "{name}: results");
+                assert_eq!(legacy.outcomes, interned.outcomes, "{name}: outcomes");
+                assert!(
+                    interned.peak_visited <= legacy.peak_visited,
+                    "{name}: symmetry can only shrink the visited set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn audited_explorer_validates_digests_on_corpus() {
+        for (name, p) in crate::corpus::drf0_suite()
+            .iter()
+            .chain(crate::corpus::racy_suite().iter())
+        {
+            let budget = ExploreConfig {
+                max_total_steps: 50_000,
+                ..ExploreConfig::default()
+            };
+            let (audited, audit) = explore_results_audited(p, &budget);
+            assert!(audit.states_audited > 0, "{name}");
+            assert!(audit.distinct_digests > 0, "{name}");
+            let plain = explore_results(p, &budget);
+            if audited.complete && plain.complete {
+                assert_eq!(audited.results, plain.results, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn intern_table_deduplicates_and_survives_growth() {
+        let mut table = InternTable::new();
+        // A digest equal to the empty sentinel must still round-trip.
+        assert!(table.insert(StateDigest(0, 0)));
+        assert!(!table.insert(StateDigest(0, 0)));
+        assert!(table.contains(StateDigest(0, 0)));
+        // Force several doublings past the initial arena.
+        for i in 1..=20_000u64 {
+            let d = StateDigest(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i);
+            assert!(table.insert(d), "fresh digest {i}");
+            assert!(!table.insert(d), "duplicate digest {i}");
+        }
+        assert_eq!(table.len(), 20_001);
+        for i in 1..=20_000u64 {
+            let d = StateDigest(i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i);
+            assert!(table.contains(d), "{i} lost in growth");
+        }
     }
 
     #[test]

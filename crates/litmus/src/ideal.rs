@@ -6,6 +6,26 @@
 //! exploration branching factor equal to the number of runnable threads per
 //! *memory* operation, the only granularity that matters for the memory
 //! model.
+//!
+//! # Storage layout and the incremental state digest
+//!
+//! The interpreter is the inner loop of every explorer, so its state is
+//! stored struct-of-arrays: one flat `Vec` of program counters, one flat
+//! register file (`NUM_REGS` slots per thread), and one flat memory array
+//! indexed by a sorted table of the program's *static* locations (the DSL
+//! has no computed addressing, so [`Program::locations`] is exhaustive).
+//! No step allocates.
+//!
+//! On top of that layout the interpreter maintains a 128-bit
+//! [`StateDigest`] *incrementally*: each step updates the digest in O(1)
+//! (detach the stepping thread's contribution, apply the step, re-attach),
+//! and [`IdealState::undo`] restores it exactly. The digest identifies the
+//! tuple the converged-state explorer used to rebuild per node as three
+//! heap `Vec`s — per-thread (pc, registers, read-value history) plus the
+//! memory snapshot — which made every DFS node O(trace length). See
+//! [`StateDigest`] for the construction and its thread-symmetry property,
+//! and [`IdealState::digest_from_scratch`] for the independent
+//! recomputation the collision-audit tests check against.
 
 use memory_model::{Execution, Loc, Memory, OpId, Operation, ProcId, Value};
 
@@ -23,6 +43,9 @@ pub enum StepOutcome {
 }
 
 /// A snapshot of one thread's architectural state.
+///
+/// Thread state is stored struct-of-arrays inside [`IdealState`]; this is
+/// the assembled per-thread view handed out by [`IdealState::thread`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ThreadState {
     /// Program counter: index of the next instruction.
@@ -33,15 +56,81 @@ pub struct ThreadState {
     pub local_steps: u64,
 }
 
-impl ThreadState {
-    fn new() -> Self {
-        ThreadState { pc: 0, regs: [0; NUM_REGS], local_steps: 0 }
-    }
-}
-
 /// The per-thread half of [`IdealState::state_key`]: each thread's program
 /// counter and register file.
 pub type ThreadStateKey = Vec<(usize, [Value; NUM_REGS])>;
+
+/// A 128-bit incremental digest of the interpreter's architectural state
+/// plus per-thread read-value histories.
+///
+/// # Construction
+///
+/// Two independent 64-bit lanes, each seeded differently, are maintained
+/// over the same structure (a single lane's ~2⁻⁶⁴ collision odds compound
+/// to ~2⁻¹²⁸ only if the lanes are independent — they use distinct seeds
+/// at every mixing site). Each lane combines:
+///
+/// * a **commutative accumulator** (wrapping sum + xor) of one
+///   contribution per thread, hashing `(identity class, pc, registers,
+///   read-history hash)` — the thread *index* is deliberately absent, so
+///   threads with identical code ([`Program::thread_identity_classes`])
+///   contribute interchangeably and the digest is invariant under
+///   permuting them: thread-symmetry reduction falls out of the encoding;
+/// * a commutative accumulator of one contribution per **non-zero memory
+///   cell** `(location, value)` — matching [`Memory::snapshot`]'s elision
+///   of default cells;
+/// * per-thread **order-dependent** read-history hashes folded into the
+///   thread contribution: a thread's trajectory is a deterministic
+///   function of the sequence of values its reads returned, so per-thread
+///   read-value sequences (not a global interleaved history) are exactly
+///   what distinguishes converged architectural states with different
+///   observable pasts.
+///
+/// Every accumulator update is O(1) and exactly invertible, which is what
+/// lets [`IdealState::step`] and [`IdealState::undo`] maintain the digest
+/// without rehashing: the collision-audit property tests assert
+/// incremental == [`IdealState::digest_from_scratch`] after every
+/// step/undo pair across 500 fuzz-generated programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct StateDigest(pub u64, pub u64);
+
+/// Per-lane seeds; every mixing site folds the lane seed in so the two
+/// lanes are independent hash functions, not reparameterizations.
+const LANE: [u64; 2] = [0x9E37_79B9_7F4A_7C15, 0xC2B2_AE3D_27D4_EB4F];
+
+/// SplitMix64 finalizer: a cheap, well-dispersing 64-bit mixer.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A commutative, exactly invertible accumulator: wrapping sum plus xor of
+/// the member contributions. Sum alone would let two members cancel by
+/// crafted negation; xor alone would cancel duplicates; together a
+/// collision needs both to collide at once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Acc {
+    sum: u64,
+    xor: u64,
+}
+
+impl Acc {
+    #[inline]
+    fn add(&mut self, c: u64) {
+        self.sum = self.sum.wrapping_add(c);
+        self.xor ^= c;
+    }
+
+    #[inline]
+    fn sub(&mut self, c: u64) {
+        self.sum = self.sum.wrapping_sub(c);
+        self.xor ^= c;
+    }
+}
 
 /// The full state of a program executing on the idealized architecture.
 ///
@@ -67,16 +156,34 @@ pub type ThreadStateKey = Vec<(usize, [Value; NUM_REGS])>;
 #[derive(Debug, Clone)]
 pub struct IdealState<'p> {
     program: &'p Program,
-    threads: Vec<ThreadState>,
-    memory: Memory,
+    /// Program counter per thread.
+    pcs: Vec<usize>,
+    /// Flat register file: `NUM_REGS` slots per thread.
+    regs: Vec<Value>,
+    /// Local (non-memory) instructions executed, per thread.
+    local_steps: Vec<u64>,
+    /// Sorted table of every location the program can touch
+    /// ([`Program::locations`]); `mem[i]` holds the value of `locs[i]`.
+    locs: Vec<Loc>,
+    mem: Vec<Value>,
     ops: Vec<Operation>,
     next_seq: Vec<u32>,
     /// Per-thread budget of local instructions, guarding against loops
     /// that never touch memory.
     local_step_limit: u64,
-    /// The memory cell overwritten by the most recent step, captured so
+    /// The memory slot overwritten by the most recent step, captured so
     /// [`IdealState::step_undoable`] can hand out an O(1) undo record.
-    last_write_undo: Option<(Loc, Value)>,
+    last_write_undo: Option<(u32, Value)>,
+    /// Thread identity classes ([`Program::thread_identity_classes`]),
+    /// folded into digest contributions in place of thread indices.
+    classes: Vec<u32>,
+    /// Per-thread, per-lane order-dependent hash of the values the
+    /// thread's reads have returned.
+    hist: Vec<[u64; 2]>,
+    /// Per-lane accumulator of thread contributions.
+    thr_acc: [Acc; 2],
+    /// Per-lane accumulator of non-zero memory-cell contributions.
+    mem_acc: [Acc; 2],
 }
 
 /// An O(1)-sized record reversing one [`IdealState::step_undoable`] call.
@@ -84,12 +191,16 @@ pub struct IdealState<'p> {
 /// Exhaustive exploration used to clone the whole state (threads, memory,
 /// op history) per transition — O(states × threads) allocation. An undo
 /// log stores only what one step can touch: one thread's registers, one
-/// memory cell, one op-sequence counter. The DFS now allocates O(depth).
+/// memory cell, one op-sequence counter, and the thread's two
+/// read-history hash lanes. The DFS allocates O(depth).
 #[derive(Debug)]
 pub struct StepUndo {
     thread: usize,
-    prev_thread: ThreadState,
-    prev_mem: Option<(Loc, Value)>,
+    prev_pc: usize,
+    prev_regs: [Value; NUM_REGS],
+    prev_local_steps: u64,
+    prev_hist: [u64; 2],
+    prev_mem: Option<(u32, Value)>,
     performed_op: bool,
     prev_seq: u32,
 }
@@ -101,15 +212,41 @@ impl<'p> IdealState<'p> {
     /// Creates the initial state of `program`.
     #[must_use]
     pub fn new(program: &'p Program) -> Self {
-        IdealState {
+        let n = program.num_threads();
+        let locs = program.locations();
+        let mut mem = vec![0; locs.len()];
+        for &(loc, v) in program.init() {
+            let slot = locs.binary_search(&loc).expect("init loc is in the table");
+            mem[slot] = v;
+        }
+        let mut state = IdealState {
             program,
-            threads: vec![ThreadState::new(); program.num_threads()],
-            memory: program.initial_memory(),
+            pcs: vec![0; n],
+            regs: vec![0; n * NUM_REGS],
+            local_steps: vec![0; n],
+            locs,
+            mem,
             ops: Vec::new(),
-            next_seq: vec![0; program.num_threads()],
+            next_seq: vec![0; n],
             local_step_limit: Self::DEFAULT_LOCAL_STEP_LIMIT,
             last_write_undo: None,
+            classes: program.thread_identity_classes(),
+            hist: vec![[0; 2]; n],
+            thr_acc: [Acc::default(); 2],
+            mem_acc: [Acc::default(); 2],
+        };
+        for lane in 0..2 {
+            for t in 0..n {
+                let c = state.thread_contrib(lane, t, state.hist[t][lane]);
+                state.thr_acc[lane].add(c);
+            }
+            for (slot, &v) in state.mem.iter().enumerate() {
+                if v != 0 {
+                    state.mem_acc[lane].add(cell_contrib(lane, state.locs[slot], v));
+                }
+            }
         }
+        state
     }
 
     /// Whether thread `t` can still execute (its pc is inside the thread).
@@ -119,19 +256,29 @@ impl<'p> IdealState<'p> {
     /// Panics if `t` is out of range.
     #[must_use]
     pub fn runnable(&self, t: usize) -> bool {
-        self.threads[t].pc < self.program.threads()[t].len()
+        self.pcs[t] < self.program.threads()[t].len()
     }
 
     /// Indices of all runnable threads.
+    ///
+    /// Allocates; the exploration inner loops iterate
+    /// `0..`[`IdealState::num_threads`] with [`IdealState::runnable`]
+    /// instead.
     #[must_use]
     pub fn runnable_threads(&self) -> Vec<usize> {
-        (0..self.threads.len()).filter(|&t| self.runnable(t)).collect()
+        (0..self.pcs.len()).filter(|&t| self.runnable(t)).collect()
     }
 
-    /// Whether every thread has halted.
+    /// Number of threads (runnable or not).
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// Whether every thread has halted. Allocation-free.
     #[must_use]
     pub fn finished(&self) -> bool {
-        self.runnable_threads().is_empty()
+        (0..self.pcs.len()).all(|t| !self.runnable(t))
     }
 
     /// Runs thread `t` until it performs one memory operation (atomically,
@@ -142,52 +289,63 @@ impl<'p> IdealState<'p> {
     /// Panics if `t` is out of range.
     pub fn step(&mut self, t: usize) -> StepOutcome {
         self.last_write_undo = None;
+        // Incremental digest maintenance: remove t's contribution, run the
+        // step (which may change t's pc/registers/history and one memory
+        // cell — the cell updates its accumulator at the write site), then
+        // re-attach t's contribution. O(1) in program and trace size.
+        self.detach_thread(t);
+        let outcome = self.step_inner(t);
+        self.attach_thread(t);
+        outcome
+    }
+
+    fn step_inner(&mut self, t: usize) -> StepOutcome {
         let thread = &self.program.threads()[t];
         loop {
-            let state = &mut self.threads[t];
-            if state.pc >= thread.len() {
+            let pc = self.pcs[t];
+            if pc >= thread.len() {
                 return StepOutcome::Halted;
             }
-            let instr = thread.instrs()[state.pc];
+            let instr = thread.instrs()[pc];
             if instr.is_memory_op() {
                 let op = self.perform_memory(t, instr);
-                self.threads[t].pc += 1;
+                self.pcs[t] += 1;
                 self.ops.push(op);
                 return StepOutcome::Performed(op);
             }
-            if state.local_steps >= self.local_step_limit {
+            if self.local_steps[t] >= self.local_step_limit {
                 return StepOutcome::StepLimit;
             }
-            state.local_steps += 1;
+            self.local_steps[t] += 1;
             match instr {
                 Instr::Move { dst, src } => {
-                    let v = eval(&state.regs, src);
-                    state.regs[dst.index()] = v;
-                    state.pc += 1;
+                    let v = self.eval_at(t, src);
+                    self.set_reg(t, dst.index(), v);
+                    self.pcs[t] += 1;
                 }
                 Instr::Add { dst, a, b } => {
-                    let v = eval(&state.regs, a).wrapping_add(eval(&state.regs, b));
-                    state.regs[dst.index()] = v;
-                    state.pc += 1;
+                    let v = self.eval_at(t, a).wrapping_add(self.eval_at(t, b));
+                    self.set_reg(t, dst.index(), v);
+                    self.pcs[t] += 1;
                 }
                 Instr::BranchEq { a, b, target } => {
-                    state.pc = if eval(&state.regs, a) == eval(&state.regs, b) {
+                    self.pcs[t] = if self.eval_at(t, a) == self.eval_at(t, b) {
                         target
                     } else {
-                        state.pc + 1
+                        pc + 1
                     };
                 }
                 Instr::BranchNe { a, b, target } => {
-                    state.pc = if eval(&state.regs, a) != eval(&state.regs, b) {
+                    self.pcs[t] = if self.eval_at(t, a) != self.eval_at(t, b) {
                         target
                     } else {
-                        state.pc + 1
+                        pc + 1
                     };
                 }
-                Instr::Jump { target } => state.pc = target,
+                Instr::Jump { target } => self.pcs[t] = target,
                 // The idealized architecture is already sequentially
                 // consistent: fences are no-ops.
-                Instr::Fence => state.pc += 1,
+                Instr::Fence => self.pcs[t] += 1,
                 _ => unreachable!("memory ops handled above"),
             }
         }
@@ -197,43 +355,50 @@ impl<'p> IdealState<'p> {
         let proc = ProcId(t as u16);
         let id = OpId::for_thread_op(proc, self.next_seq[t]);
         self.next_seq[t] += 1;
-        let regs = self.threads[t].regs;
         match instr {
             Instr::Read { loc, dst } => {
-                let v = self.memory.read(loc);
-                self.threads[t].regs[dst.index()] = v;
+                let v = self.mem[self.loc_slot(loc)];
+                self.set_reg(t, dst.index(), v);
+                self.record_read(t, v);
                 Operation::data_read(id, proc, loc, v)
             }
             Instr::Write { loc, src } => {
-                let v = eval(&regs, src);
-                self.last_write_undo = Some((loc, self.memory.read(loc)));
-                self.memory.write(loc, v);
+                let v = self.eval_at(t, src);
+                let slot = self.loc_slot(loc);
+                self.last_write_undo = Some((slot as u32, self.mem[slot]));
+                self.mem_store(slot, v);
                 Operation::data_write(id, proc, loc, v)
             }
             Instr::SyncRead { loc, dst } => {
-                let v = self.memory.read(loc);
-                self.threads[t].regs[dst.index()] = v;
+                let v = self.mem[self.loc_slot(loc)];
+                self.set_reg(t, dst.index(), v);
+                self.record_read(t, v);
                 Operation::sync_read(id, proc, loc, v)
             }
             Instr::SyncWrite { loc, src } => {
-                let v = eval(&regs, src);
-                self.last_write_undo = Some((loc, self.memory.read(loc)));
-                self.memory.write(loc, v);
+                let v = self.eval_at(t, src);
+                let slot = self.loc_slot(loc);
+                self.last_write_undo = Some((slot as u32, self.mem[slot]));
+                self.mem_store(slot, v);
                 Operation::sync_write(id, proc, loc, v)
             }
             Instr::TestAndSet { loc, dst } => {
-                let old = self.memory.read(loc);
-                self.last_write_undo = Some((loc, old));
-                self.memory.write(loc, 1);
-                self.threads[t].regs[dst.index()] = old;
+                let slot = self.loc_slot(loc);
+                let old = self.mem[slot];
+                self.last_write_undo = Some((slot as u32, old));
+                self.mem_store(slot, 1);
+                self.set_reg(t, dst.index(), old);
+                self.record_read(t, old);
                 Operation::sync_rmw(id, proc, loc, old, 1)
             }
             Instr::FetchAdd { loc, dst, add } => {
-                let old = self.memory.read(loc);
-                let new = old.wrapping_add(eval(&regs, add));
-                self.last_write_undo = Some((loc, old));
-                self.memory.write(loc, new);
-                self.threads[t].regs[dst.index()] = old;
+                let slot = self.loc_slot(loc);
+                let old = self.mem[slot];
+                let new = old.wrapping_add(self.eval_at(t, add));
+                self.last_write_undo = Some((slot as u32, old));
+                self.mem_store(slot, new);
+                self.set_reg(t, dst.index(), old);
+                self.record_read(t, old);
                 Operation::sync_rmw(id, proc, loc, old, new)
             }
             _ => unreachable!("caller checked is_memory_op"),
@@ -267,12 +432,21 @@ impl<'p> IdealState<'p> {
     ///
     /// Panics if `t` is out of range.
     pub fn step_undoable(&mut self, t: usize) -> (StepOutcome, StepUndo) {
-        let prev_thread = self.threads[t].clone();
+        let base = t * NUM_REGS;
+        let prev_regs: [Value; NUM_REGS] = self.regs[base..base + NUM_REGS]
+            .try_into()
+            .expect("register window has NUM_REGS slots");
+        let prev_pc = self.pcs[t];
+        let prev_local_steps = self.local_steps[t];
+        let prev_hist = self.hist[t];
         let prev_seq = self.next_seq[t];
         let outcome = self.step(t);
         let undo = StepUndo {
             thread: t,
-            prev_thread,
+            prev_pc,
+            prev_regs,
+            prev_local_steps,
+            prev_hist,
             prev_mem: self.last_write_undo.take(),
             performed_op: matches!(outcome, StepOutcome::Performed(_)),
             prev_seq,
@@ -280,34 +454,78 @@ impl<'p> IdealState<'p> {
         (outcome, undo)
     }
 
-    /// Reverses the step that produced `undo`. Undo records must be
-    /// applied in LIFO order (most recent step first); the exploration DFS
-    /// guarantees that by construction.
+    /// Reverses the step that produced `undo`, including the incremental
+    /// [`StateDigest`]. Undo records must be applied in LIFO order (most
+    /// recent step first); the exploration DFS guarantees that by
+    /// construction.
     pub fn undo(&mut self, undo: StepUndo) {
-        self.threads[undo.thread] = undo.prev_thread;
-        self.next_seq[undo.thread] = undo.prev_seq;
+        let t = undo.thread;
+        self.detach_thread(t);
+        self.pcs[t] = undo.prev_pc;
+        let base = t * NUM_REGS;
+        self.regs[base..base + NUM_REGS].copy_from_slice(&undo.prev_regs);
+        self.local_steps[t] = undo.prev_local_steps;
+        self.hist[t] = undo.prev_hist;
+        self.attach_thread(t);
+        self.next_seq[t] = undo.prev_seq;
         if undo.performed_op {
             self.ops.pop();
         }
-        if let Some((loc, v)) = undo.prev_mem {
-            self.memory.write(loc, v);
+        if let Some((slot, v)) = undo.prev_mem {
+            self.mem_store(slot as usize, v);
         }
     }
 
-    /// The state of thread `t`.
+    /// The state of thread `t`, assembled from the flat storage.
     ///
     /// # Panics
     ///
     /// Panics if `t` is out of range.
     #[must_use]
-    pub fn thread(&self, t: usize) -> &ThreadState {
-        &self.threads[t]
+    pub fn thread(&self, t: usize) -> ThreadState {
+        let base = t * NUM_REGS;
+        ThreadState {
+            pc: self.pcs[t],
+            regs: self.regs[base..base + NUM_REGS]
+                .try_into()
+                .expect("register window has NUM_REGS slots"),
+            local_steps: self.local_steps[t],
+        }
     }
 
-    /// The current memory.
+    /// The register file of thread `t`, as a slice into the flat storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
     #[must_use]
-    pub fn memory(&self) -> &Memory {
-        &self.memory
+    pub fn regs(&self, t: usize) -> &[Value] {
+        &self.regs[t * NUM_REGS..(t + 1) * NUM_REGS]
+    }
+
+    /// The current memory, materialized as a [`Memory`] (non-zero cells
+    /// only; reads of untouched locations default to zero as always).
+    #[must_use]
+    pub fn memory(&self) -> Memory {
+        self.locs
+            .iter()
+            .zip(&self.mem)
+            .filter(|&(_, &v)| v != 0)
+            .map(|(&loc, &v)| (loc, v))
+            .collect()
+    }
+
+    /// The canonical memory snapshot — non-default cells in location order,
+    /// identical to [`Memory::snapshot`] of [`IdealState::memory`] but read
+    /// straight off the flat array.
+    #[must_use]
+    pub fn memory_snapshot(&self) -> Vec<(Loc, Value)> {
+        self.locs
+            .iter()
+            .zip(&self.mem)
+            .filter(|&(_, &v)| v != 0)
+            .map(|(&loc, &v)| (loc, v))
+            .collect()
     }
 
     /// Operations performed so far, in completion order.
@@ -330,14 +548,161 @@ impl<'p> IdealState<'p> {
         Execution::new(self.ops.clone()).expect("interpreter assigns unique ids")
     }
 
+    /// The observable result of the execution so far, built directly from
+    /// the interpreter's storage: read values by operation id plus the
+    /// canonical memory snapshot. Identical to
+    /// `self.execution().result(&program.initial_memory())` without
+    /// cloning and re-validating the op list.
+    #[must_use]
+    pub fn result(&self) -> memory_model::ExecutionResult {
+        memory_model::ExecutionResult {
+            reads: self
+                .ops
+                .iter()
+                .filter_map(|op| op.read_value.map(|v| (op.id, v)))
+                .collect(),
+            final_memory: self.memory_snapshot(),
+        }
+    }
+
     /// A hashable key identifying the architectural state (pcs, registers,
     /// memory) — used by result-set exploration to prune converged states.
     #[must_use]
-    pub fn state_key(&self) -> (ThreadStateKey, Vec<(memory_model::Loc, Value)>) {
+    pub fn state_key(&self) -> (ThreadStateKey, Vec<(Loc, Value)>) {
         (
-            self.threads.iter().map(|t| (t.pc, t.regs)).collect(),
-            self.memory.snapshot(),
+            (0..self.pcs.len())
+                .map(|t| {
+                    let base = t * NUM_REGS;
+                    (
+                        self.pcs[t],
+                        self.regs[base..base + NUM_REGS]
+                            .try_into()
+                            .expect("register window has NUM_REGS slots"),
+                    )
+                })
+                .collect(),
+            self.memory_snapshot(),
         )
+    }
+
+    /// The incrementally maintained [`StateDigest`]. O(1): the
+    /// accumulators are combined and finalized, nothing is rehashed.
+    #[must_use]
+    pub fn digest(&self) -> StateDigest {
+        StateDigest(self.lane_digest(0), self.lane_digest(1))
+    }
+
+    /// Recomputes the [`StateDigest`] from nothing but the current
+    /// architectural state and the op history — the independent oracle the
+    /// collision-audit tests compare [`IdealState::digest`] against after
+    /// every step/undo pair. O(threads × registers + trace + memory).
+    #[must_use]
+    pub fn digest_from_scratch(&self) -> StateDigest {
+        // Replay per-thread read histories from the op list rather than
+        // trusting the incrementally maintained `hist` lanes.
+        let mut hist = vec![[0u64; 2]; self.pcs.len()];
+        for op in &self.ops {
+            if let Some(v) = op.read_value {
+                for (lane, h) in hist[op.proc.index()].iter_mut().enumerate() {
+                    *h = hist_step(lane, *h, v);
+                }
+            }
+        }
+        let mut out = [0u64; 2];
+        for (lane, slot) in out.iter_mut().enumerate() {
+            let mut thr = Acc::default();
+            for (t, h) in hist.iter().enumerate() {
+                thr.add(self.thread_contrib(lane, t, h[lane]));
+            }
+            let mut mem = Acc::default();
+            for (i, &v) in self.mem.iter().enumerate() {
+                if v != 0 {
+                    mem.add(cell_contrib(lane, self.locs[i], v));
+                }
+            }
+            *slot = finalize_lane(lane, thr, mem);
+        }
+        StateDigest(out[0], out[1])
+    }
+
+    fn lane_digest(&self, lane: usize) -> u64 {
+        finalize_lane(lane, self.thr_acc[lane], self.mem_acc[lane])
+    }
+
+    /// One thread's digest contribution: identity class (not index — see
+    /// [`StateDigest`]), pc, registers, and the given read-history hash.
+    fn thread_contrib(&self, lane: usize, t: usize, hist: u64) -> u64 {
+        let mut h = mix(LANE[lane] ^ (u64::from(self.classes[t]) << 32) ^ self.pcs[t] as u64);
+        let base = t * NUM_REGS;
+        for &r in &self.regs[base..base + NUM_REGS] {
+            h = mix(h ^ r);
+        }
+        mix(h ^ hist)
+    }
+
+    #[inline]
+    fn detach_thread(&mut self, t: usize) {
+        for lane in 0..2 {
+            let c = self.thread_contrib(lane, t, self.hist[t][lane]);
+            self.thr_acc[lane].sub(c);
+        }
+    }
+
+    #[inline]
+    fn attach_thread(&mut self, t: usize) {
+        for lane in 0..2 {
+            let c = self.thread_contrib(lane, t, self.hist[t][lane]);
+            self.thr_acc[lane].add(c);
+        }
+    }
+
+    /// Folds one read value into thread `t`'s history lanes. Called while
+    /// the thread is detached from the accumulators (inside a step).
+    #[inline]
+    fn record_read(&mut self, t: usize, v: Value) {
+        for lane in 0..2 {
+            self.hist[t][lane] = hist_step(lane, self.hist[t][lane], v);
+        }
+    }
+
+    /// Writes `v` to memory slot `slot`, keeping the per-lane memory
+    /// accumulators exact (remove the old non-zero cell contribution, add
+    /// the new one).
+    fn mem_store(&mut self, slot: usize, v: Value) {
+        let old = self.mem[slot];
+        if old == v {
+            return;
+        }
+        let loc = self.locs[slot];
+        for lane in 0..2 {
+            if old != 0 {
+                self.mem_acc[lane].sub(cell_contrib(lane, loc, old));
+            }
+            if v != 0 {
+                self.mem_acc[lane].add(cell_contrib(lane, loc, v));
+            }
+        }
+        self.mem[slot] = v;
+    }
+
+    #[inline]
+    fn loc_slot(&self, loc: Loc) -> usize {
+        self.locs
+            .binary_search(&loc)
+            .expect("static location table is exhaustive")
+    }
+
+    #[inline]
+    fn eval_at(&self, t: usize, op: Operand) -> Value {
+        match op {
+            Operand::Const(v) => v,
+            Operand::Reg(r) => self.regs[t * NUM_REGS + r.index()],
+        }
+    }
+
+    #[inline]
+    fn set_reg(&mut self, t: usize, i: usize, v: Value) {
+        self.regs[t * NUM_REGS + i] = v;
     }
 
     /// Runs the whole program under a fixed round-robin schedule; useful
@@ -367,6 +732,30 @@ impl<'p> IdealState<'p> {
         }
         Some(state.into_execution())
     }
+}
+
+/// One order-dependent history-hash step: folds `v` into the running lane
+/// hash. Non-commutative (`mix` is applied to the running value), so
+/// `[a, b]` and `[b, a]` diverge.
+#[inline]
+fn hist_step(lane: usize, h: u64, v: Value) -> u64 {
+    mix(h ^ mix(v ^ LANE[lane]))
+}
+
+/// The digest contribution of one non-zero memory cell.
+#[inline]
+fn cell_contrib(lane: usize, loc: Loc, v: Value) -> u64 {
+    mix(mix(LANE[lane] ^ u64::from(loc.0)) ^ v)
+}
+
+/// Combines a lane's accumulators into its final digest word.
+#[inline]
+fn finalize_lane(lane: usize, thr: Acc, mem: Acc) -> u64 {
+    let mut h = LANE[lane];
+    h = mix(h ^ thr.sum);
+    h = mix(h ^ thr.xor);
+    h = mix(h ^ mem.sum);
+    mix(h ^ mem.xor)
 }
 
 fn eval(regs: &[Value; NUM_REGS], op: Operand) -> Value {
@@ -538,12 +927,14 @@ mod tests {
         let mut s = IdealState::new(&p);
         s.step(0); // W(x)=1 performed for real
         let key_before = s.state_key();
+        let digest_before = s.digest();
         let ops_before = s.ops().len();
 
         let (out, undo) = s.step_undoable(0); // S.w(s)=1
         assert!(matches!(out, StepOutcome::Performed(_)));
         s.undo(undo);
         assert_eq!(s.state_key(), key_before);
+        assert_eq!(s.digest(), digest_before);
         assert_eq!(s.ops().len(), ops_before);
 
         // Stepping again after undo replays the identical operation id.
@@ -595,6 +986,19 @@ mod tests {
     }
 
     #[test]
+    fn result_matches_execution_result() {
+        let p = two_thread_handoff();
+        let mut s = IdealState::new(&p);
+        s.step(1);
+        s.step(0);
+        s.step(0);
+        s.step(1);
+        let direct = s.result();
+        let via_exec = s.execution().result(&p.initial_memory());
+        assert_eq!(direct, via_exec);
+    }
+
+    #[test]
     fn state_key_distinguishes_states() {
         let p = two_thread_handoff();
         let mut a = IdealState::new(&p);
@@ -602,5 +1006,100 @@ mod tests {
         assert_eq!(a.state_key(), b.state_key());
         a.step(0);
         assert_ne!(a.state_key(), b.state_key());
+    }
+
+    #[test]
+    fn digest_distinguishes_states_and_matches_scratch() {
+        let p = two_thread_handoff();
+        let mut a = IdealState::new(&p);
+        let b = IdealState::new(&p);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.digest(), a.digest_from_scratch());
+        a.step(0);
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), a.digest_from_scratch());
+        a.step(1);
+        a.step(1);
+        assert_eq!(a.digest(), a.digest_from_scratch());
+    }
+
+    #[test]
+    fn digest_tracks_through_step_undo_pairs() {
+        let p = two_thread_handoff();
+        let mut s = IdealState::new(&p);
+        // Walk a schedule, checking incremental == from-scratch at every
+        // node, then unwind it all and check the digests retrace exactly.
+        let schedule = [1usize, 0, 0, 1];
+        let mut digests = vec![s.digest()];
+        let mut undos = Vec::new();
+        for &t in &schedule {
+            let (_, undo) = s.step_undoable(t);
+            undos.push(undo);
+            assert_eq!(s.digest(), s.digest_from_scratch());
+            digests.push(s.digest());
+        }
+        for undo in undos.into_iter().rev() {
+            s.undo(undo);
+            digests.pop();
+            assert_eq!(s.digest(), *digests.last().unwrap());
+            assert_eq!(s.digest(), s.digest_from_scratch());
+        }
+    }
+
+    #[test]
+    fn digest_is_invariant_under_identical_thread_permutation() {
+        // Two identical threads: advancing only the first or only the
+        // second must converge to the same digest (the digest keys on the
+        // identity class, not the index).
+        let mk = || Thread::new().fetch_add(Loc(0), Reg(0), 1).write(Loc(1), Reg(0));
+        let p = Program::new(vec![mk(), mk()]).unwrap();
+        let mut a = IdealState::new(&p);
+        let mut b = IdealState::new(&p);
+        a.step(0); // thread 0 does the fetch_add first
+        b.step(1); // mirror image: thread 1 does it
+        assert_eq!(a.digest(), b.digest(), "same-class threads commute");
+        // But distinguishable states still differ.
+        a.step(0);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_differs_across_distinct_thread_classes() {
+        // Two *different* threads in mirrored states must NOT collide:
+        // the class id pins which code each (pc, regs) belongs to.
+        let p = Program::new(vec![
+            Thread::new().write(Loc(0), 1),
+            Thread::new().write(Loc(1), 1),
+        ])
+        .unwrap();
+        let mut a = IdealState::new(&p);
+        let mut b = IdealState::new(&p);
+        a.step(0);
+        b.step(1);
+        assert_ne!(a.digest(), b.digest(), "different code, different digest");
+    }
+
+    #[test]
+    fn digest_sees_read_history_not_just_state() {
+        // Two paths to the same architectural state with different read
+        // histories: P1's sync read saw 0 on one path, 1 on the other,
+        // but a later overwrite re-converges registers and memory.
+        let p = Program::new(vec![
+            Thread::new().sync_write(Loc(9), 1),
+            Thread::new().sync_read(Loc(9), Reg(0)).mov(Reg(0), 7),
+        ])
+        .unwrap();
+        // Path A: P1 reads before P0's write (sees 0), then P0 writes.
+        let mut a = IdealState::new(&p);
+        a.step(1); // sync read -> 0
+        a.step(0); // sync write 1
+        a.step(1); // mov overwrites r0 with 7; P1 halts
+        // Path B: P0 writes first, P1 reads 1, mov overwrites.
+        let mut b = IdealState::new(&p);
+        b.step(0);
+        b.step(1);
+        b.step(1);
+        assert_eq!(a.state_key(), b.state_key(), "architectural states converge");
+        assert_ne!(a.digest(), b.digest(), "read histories must keep them apart");
     }
 }

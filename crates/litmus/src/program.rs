@@ -207,6 +207,23 @@ impl Instr {
         )
     }
 
+    /// The memory location this instruction accesses, if it is a memory
+    /// operation. Locations are static — the DSL has no indirect
+    /// addressing — which is what lets [`Program::locations`] enumerate
+    /// every cell a program can ever touch.
+    #[must_use]
+    pub fn memory_loc(&self) -> Option<Loc> {
+        match self {
+            Instr::Read { loc, .. }
+            | Instr::Write { loc, .. }
+            | Instr::SyncRead { loc, .. }
+            | Instr::SyncWrite { loc, .. }
+            | Instr::TestAndSet { loc, .. }
+            | Instr::FetchAdd { loc, .. } => Some(*loc),
+            _ => None,
+        }
+    }
+
     fn branch_target(&self) -> Option<usize> {
         match self {
             Instr::BranchEq { target, .. }
@@ -473,6 +490,49 @@ impl Program {
     #[must_use]
     pub fn initial_memory(&self) -> memory_model::Memory {
         self.init.iter().copied().collect()
+    }
+
+    /// Every memory location the program can touch, sorted and deduplicated.
+    ///
+    /// Addressing in the DSL is static (no computed locations), so the
+    /// union of instruction operands and `init` cells is exhaustive. The
+    /// explorer uses this as a dense index space for flat memory storage.
+    #[must_use]
+    pub fn locations(&self) -> Vec<Loc> {
+        let mut locs: Vec<Loc> = self
+            .threads
+            .iter()
+            .flat_map(|t| t.instrs.iter())
+            .filter_map(Instr::memory_loc)
+            .chain(self.init.iter().map(|&(loc, _)| loc))
+            .collect();
+        locs.sort_unstable();
+        locs.dedup();
+        locs
+    }
+
+    /// Groups threads by identical code: returns one class id per thread,
+    /// where two threads share a class iff their instruction lists are
+    /// equal. Classes are numbered by first occurrence, so the ids are
+    /// stable under program identity (not under thread reordering).
+    ///
+    /// Threads in the same class are interchangeable up to renaming, which
+    /// is what licenses the explorer's thread-permutation symmetry
+    /// reduction.
+    #[must_use]
+    pub fn thread_identity_classes(&self) -> Vec<u32> {
+        let mut reps: Vec<&Thread> = Vec::new();
+        self.threads
+            .iter()
+            .map(|t| {
+                if let Some(c) = reps.iter().position(|r| *r == t) {
+                    c as u32
+                } else {
+                    reps.push(t);
+                    (reps.len() - 1) as u32
+                }
+            })
+            .collect()
     }
 
     /// An upper bound on straight-line memory operations (loop-free); used

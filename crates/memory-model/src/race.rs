@@ -56,6 +56,12 @@ pub struct LocationState {
     /// `slots[class * procs + q]` = `P_q`'s last access of this location
     /// in `class` (see the `*_CLASS` constants).
     slots: Box<[Option<Access>]>,
+    /// XOR of one hash contribution per occupied slot, maintained
+    /// incrementally through [`LocationState::observe`] /
+    /// [`LocationState::undo`] — the undo-coupled hashing hook explorers
+    /// use to fold detector state into an O(1) state digest. Empty
+    /// history ⇒ 0.
+    digest: u64,
 }
 
 const READ_DATA_CLASS: usize = 0;
@@ -63,19 +69,50 @@ const READ_SYNC_CLASS: usize = 1;
 const WRITE_DATA_CLASS: usize = 2;
 const WRITE_SYNC_CLASS: usize = 3;
 
+/// The digest contribution of one occupied slot.
+fn slot_contrib(slot: usize, access: Access) -> u64 {
+    let (at, id) = access;
+    mix(mix(slot as u64 ^ 0xA076_1D64_78BD_642F) ^ (u64::from(at) << 32) ^ id.0)
+}
+
+use crate::vc::mix;
+
 /// A record reversing one [`LocationState::observe`] call (at most two
 /// displaced slots).
 #[derive(Debug)]
 pub struct LocationUndo {
     read: Option<(usize, Option<Access>)>,
     write: Option<(usize, Option<Access>)>,
+    prev_digest: u64,
 }
 
 impl LocationState {
     /// Creates an empty history for processors `P0 .. P(procs-1)`.
     #[must_use]
     pub fn new(procs: usize) -> Self {
-        LocationState { procs, slots: vec![None; 4 * procs].into_boxed_slice() }
+        LocationState {
+            procs,
+            slots: vec![None; 4 * procs].into_boxed_slice(),
+            digest: 0,
+        }
+    }
+
+    /// The incrementally maintained slot digest (0 for an empty history).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Recomputes the digest from the slots alone — the independent oracle
+    /// the digest-maintenance tests compare [`LocationState::digest`]
+    /// against.
+    #[must_use]
+    pub fn digest_from_scratch(&self) -> u64 {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|a| slot_contrib(i, a)))
+            .fold(0, |acc, c| acc ^ c)
     }
 
     /// The fixed memory footprint of one location's history, in bytes —
@@ -156,20 +193,30 @@ impl LocationState {
 
         // Record this access with the epoch after the caller's tick.
         let stamp = clock[p] + 1;
-        let mut undo = LocationUndo { read: None, write: None };
+        let mut undo =
+            LocationUndo { read: None, write: None, prev_digest: self.digest };
         if op.kind.is_read() {
             let class = if cur_sync { READ_SYNC_CLASS } else { READ_DATA_CLASS };
             let slot = class * procs + p;
             undo.read = Some((slot, self.slots[slot]));
-            self.slots[slot] = Some((stamp, op.id));
+            self.set_slot(slot, (stamp, op.id));
         }
         if op.kind.is_write() {
             let class = if cur_sync { WRITE_SYNC_CLASS } else { WRITE_DATA_CLASS };
             let slot = class * procs + p;
             undo.write = Some((slot, self.slots[slot]));
-            self.slots[slot] = Some((stamp, op.id));
+            self.set_slot(slot, (stamp, op.id));
         }
         undo
+    }
+
+    /// Overwrites one slot, keeping the XOR digest exact.
+    fn set_slot(&mut self, slot: usize, access: Access) {
+        if let Some(old) = self.slots[slot] {
+            self.digest ^= slot_contrib(slot, old);
+        }
+        self.digest ^= slot_contrib(slot, access);
+        self.slots[slot] = Some(access);
     }
 
     /// Reverses the [`LocationState::observe`] call that produced `undo`
@@ -181,6 +228,7 @@ impl LocationState {
         if let Some((slot, prev)) = undo.write {
             self.slots[slot] = prev;
         }
+        self.digest = undo.prev_digest;
     }
 }
 
@@ -196,6 +244,32 @@ pub struct ObserveUndo {
     /// `Some(displaced)` when the operation released (published a clock).
     prev_sync_clock: Option<Option<VectorClock>>,
     races_len: usize,
+    prev_digest: u64,
+}
+
+/// Per-component digest seeds — distinct lanes so clocks, published sync
+/// clocks, and location histories cannot cancel across kinds.
+const PROC_LANE: u64 = 0x8EBC_6AF0_9C88_C6E3;
+const SYNC_LANE: u64 = 0x5895_17C8_B541_D2E5;
+const HIST_LANE: u64 = 0x6D31_BEB5_CC9A_A915;
+
+fn proc_contrib(p: usize, clock: &VectorClock) -> u64 {
+    mix(p as u64 ^ clock.fingerprint(PROC_LANE))
+}
+
+fn sync_contrib(loc: Loc, clock: &VectorClock) -> u64 {
+    mix(u64::from(loc.0) ^ clock.fingerprint(SYNC_LANE))
+}
+
+/// Empty histories contribute 0, so a `history` entry created and then
+/// rolled back to empty is indistinguishable from one never created —
+/// undo leaves the empty shell in the map.
+fn hist_contrib(loc: Loc, digest: u64) -> u64 {
+    if digest == 0 {
+        0
+    } else {
+        mix(mix(HIST_LANE ^ u64::from(loc.0)) ^ digest)
+    }
 }
 
 /// An online detector of DRF0 violations.
@@ -223,6 +297,14 @@ pub struct RaceDetector {
     history: HashMap<Loc, LocationState>,
     races: Vec<Race>,
     mode: SyncMode,
+    /// Incrementally maintained XOR-digest of the detector state:
+    /// `⊕ proc_contrib(p, clock[p]) ⊕ sync_contrib(loc, published)
+    /// ⊕ hist_contrib(loc, history-digest)` over all processors, published
+    /// sync clocks, and non-empty location histories. Kept in lock-step by
+    /// [`RaceDetector::observe_undoable`] / [`RaceDetector::undo`] so
+    /// explorers can fold detector state into a visited-set key in O(1)
+    /// extra work per transition.
+    digest: u64,
 }
 
 impl RaceDetector {
@@ -240,12 +322,18 @@ impl RaceDetector {
     /// so-ordered).
     #[must_use]
     pub fn with_mode(num_procs: usize, mode: SyncMode) -> Self {
+        let proc_clock = vec![VectorClock::new(num_procs); num_procs];
+        let digest = proc_clock
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (p, c)| acc ^ proc_contrib(p, c));
         RaceDetector {
-            proc_clock: vec![VectorClock::new(num_procs); num_procs],
+            proc_clock,
             sync_clock: HashMap::new(),
             history: HashMap::new(),
             races: Vec::new(),
             mode,
+            digest,
         }
     }
 
@@ -277,6 +365,12 @@ impl RaceDetector {
         assert!(p < procs, "processor {} out of range", op.proc);
         let prev_clock = self.proc_clock[p].clone();
         let races_len = self.races.len();
+        let prev_digest = self.digest;
+
+        // Detach the contributions about to be mutated; re-attach the
+        // updated values below. `undo` restores `prev_digest` wholesale, so
+        // this bookkeeping only has to be right in the forward direction.
+        self.digest ^= proc_contrib(p, &self.proc_clock[p]);
 
         // A synchronization operation acquires the happens-before knowledge
         // published by every earlier synchronization on the same location
@@ -290,22 +384,41 @@ impl RaceDetector {
 
         let hist =
             self.history.entry(op.loc).or_insert_with(|| LocationState::new(procs));
+        let hist_before = hist.digest();
         let loc_undo =
             hist.observe(op, p, self.proc_clock[p].as_slice(), &mut self.races);
+        let hist_after = hist.digest();
+        self.digest ^=
+            hist_contrib(op.loc, hist_before) ^ hist_contrib(op.loc, hist_after);
 
         self.proc_clock[p].tick(p);
+        self.digest ^= proc_contrib(p, &self.proc_clock[p]);
         let releases = op.kind.is_sync()
             && match self.mode {
                 SyncMode::Drf0 => true,
                 SyncMode::ReleaseWrites => op.kind.is_write(),
             };
         let prev_sync_clock = if releases {
-            Some(self.sync_clock.insert(op.loc, self.proc_clock[p].clone()))
+            self.digest ^= sync_contrib(op.loc, &self.proc_clock[p]);
+            let displaced =
+                self.sync_clock.insert(op.loc, self.proc_clock[p].clone());
+            if let Some(old) = &displaced {
+                self.digest ^= sync_contrib(op.loc, old);
+            }
+            Some(displaced)
         } else {
             None
         };
 
-        ObserveUndo { p, loc: op.loc, prev_clock, loc_undo, prev_sync_clock, races_len }
+        ObserveUndo {
+            p,
+            loc: op.loc,
+            prev_clock,
+            loc_undo,
+            prev_sync_clock,
+            races_len,
+            prev_digest,
+        }
     }
 
     /// Reverses the observation that produced `undo`. Undo records must be
@@ -327,6 +440,41 @@ impl RaceDetector {
             .get_mut(&undo.loc)
             .expect("observation touched this location's history")
             .undo(undo.loc_undo);
+        self.digest = undo.prev_digest;
+    }
+
+    /// The incrementally maintained digest of the detector state.
+    ///
+    /// Two detectors with equal processor clocks, published sync clocks,
+    /// and location histories (races and mode excluded) have equal digests;
+    /// unequal states collide with probability ~2⁻⁶⁴ per pair. Maintained in
+    /// O(1) extra work by [`RaceDetector::observe_undoable`] and restored
+    /// exactly by [`RaceDetector::undo`] — explorers fold it into visited-set
+    /// keys without walking the detector.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Recomputes [`RaceDetector::state_digest`] from scratch by walking the
+    /// full detector state. Exists to validate the incremental maintenance
+    /// in tests and audits; O(procs² + locations).
+    #[must_use]
+    pub fn state_digest_from_scratch(&self) -> u64 {
+        let mut d = self
+            .proc_clock
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (p, c)| acc ^ proc_contrib(p, c));
+        for (loc, vc) in &self.sync_clock {
+            d ^= sync_contrib(*loc, vc);
+        }
+        for (loc, hist) in &self.history {
+            // Empty histories contribute 0 by construction, so entries left
+            // behind by undo (created, then rolled back to empty) cancel.
+            d ^= hist_contrib(*loc, hist.digest_from_scratch());
+        }
+        d
     }
 
     /// All races reported so far.
@@ -623,5 +771,69 @@ mod tests {
             crate::SyncMode::ReleaseWrites
         ));
         assert_eq!(races_of(&exec, crate::SyncMode::ReleaseWrites).len(), 1);
+    }
+
+    #[test]
+    fn state_digest_matches_scratch_through_observe_and_undo() {
+        // Exercises every digest path: data accesses (history slots), sync
+        // hand-off (acquire + publish), and a second release on the same
+        // location (displacing an already-published clock).
+        let script = [
+            w(0, 0, 0),
+            s(1, 0, 9),
+            sr(2, 1, 9),
+            r(3, 1, 0),
+            s(4, 1, 9), // displaces P0's published clock on loc 9
+            w(5, 2, 1),
+        ];
+        let mut det = RaceDetector::new(3);
+        assert_eq!(det.state_digest(), det.state_digest_from_scratch());
+        let mut undos = Vec::new();
+        let mut trail = vec![det.state_digest()];
+        for op in &script {
+            undos.push(det.observe_undoable(op));
+            assert_eq!(
+                det.state_digest(),
+                det.state_digest_from_scratch(),
+                "incremental digest diverged after {op:?}"
+            );
+            trail.push(det.state_digest());
+        }
+        while let Some(undo) = undos.pop() {
+            det.undo(undo);
+            trail.pop();
+            assert_eq!(det.state_digest(), *trail.last().unwrap());
+            assert_eq!(det.state_digest(), det.state_digest_from_scratch());
+        }
+    }
+
+    #[test]
+    fn state_digest_separates_states_and_ignores_undone_entries() {
+        // Distinct states get distinct digests...
+        let mut a = RaceDetector::new(2);
+        let mut b = RaceDetector::new(2);
+        a.observe(&w(0, 0, 0));
+        b.observe(&w(0, 1, 0));
+        assert_ne!(a.state_digest(), b.state_digest(), "writer identity");
+
+        // ...and an observe/undo pair leaves the digest equal to a fresh
+        // detector's even though `history` retains an empty shell entry
+        // for the touched location (empty histories contribute 0).
+        let mut det = RaceDetector::new(2);
+        let fresh = RaceDetector::new(2).state_digest();
+        let undo = det.observe_undoable(&s(0, 0, 9));
+        det.undo(undo);
+        assert_eq!(det.state_digest(), fresh);
+        assert_eq!(det.state_digest(), det.state_digest_from_scratch());
+    }
+
+    #[test]
+    fn location_state_digest_is_maintained_incrementally() {
+        let mut det = RaceDetector::new(2);
+        for op in [w(0, 0, 0), r(1, 1, 0), w(2, 1, 0), r(3, 0, 0)] {
+            det.observe(&op);
+            let hist = &det.history[&Loc(0)];
+            assert_eq!(hist.digest(), hist.digest_from_scratch());
+        }
     }
 }
