@@ -15,10 +15,21 @@
 //! optional wall-clock budget, which truncates the range
 //! scheduling-dependently; summaries then say so
 //! ([`CampaignSummary::truncated`]).
+//!
+//! **Remote verdicts:** with [`OracleConfig::remote`] set, the driver
+//! first prefetches the whole corpus's DRF0 verdicts over one pipelined
+//! `wo-serve/2` batch connection (deduplicated by program text) and hands
+//! workers the answer map; per-seed round trips only happen for prefetch
+//! misses, when batching is disabled ([`OracleConfig::remote_batch`]), or
+//! after a client failure — and every rung of that ladder returns the same
+//! verdicts, so summaries stay byte-identical across wire paths.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use litmus::explore::Drf0Verdict;
 
 use litmus::explore::drf0_verdict;
 use litmus::serialize::{to_litmus, Expectation};
@@ -121,6 +132,56 @@ impl CampaignSummary {
     }
 }
 
+/// The largest seed range the batch prefetch will materialize up front.
+/// Wall-clock-budgeted sweeps over effectively unbounded ranges keep the
+/// per-seed remote path instead.
+const MAX_PREFETCH_SEEDS: u64 = 1 << 16;
+
+/// Prefetches the corpus's DRF0 verdicts over one pipelined `wo-serve/2`
+/// connection: generate every program in the range (cheap and
+/// deterministic), deduplicate by program text, stream the whole corpus as
+/// batch queries, and hand workers the answer map. `None` — and therefore
+/// the unchanged per-seed remote-then-local ladder — on any client
+/// failure, an unbounded range, or when batching is disabled.
+fn prefetch_remote_verdicts(
+    cfg: &CampaignConfig,
+) -> Option<Arc<HashMap<String, Drf0Verdict>>> {
+    use wo_serve::client::{BatchClient, ClientConfig};
+
+    let addr = cfg.oracle.remote.as_deref()?;
+    if !cfg.oracle.remote_batch {
+        return None;
+    }
+    let span = cfg.seed_end.saturating_sub(cfg.seed_start);
+    if span == 0 || span > MAX_PREFETCH_SEEDS {
+        return None;
+    }
+
+    let mut seen = HashSet::new();
+    let mut texts = Vec::new();
+    let mut requests = Vec::new();
+    for seed in cfg.seed_start..cfg.seed_end {
+        let text = generate(seed, &cfg.gen).program.to_string();
+        if seen.insert(text.clone()) {
+            requests.push(crate::oracle::drf0_request(text.clone(), &cfg.oracle.explore));
+            texts.push(text);
+        }
+    }
+
+    let mut client = BatchClient::new(ClientConfig::new(addr));
+    let responses = client.query_batch(&requests).ok()?;
+    let mut map = HashMap::with_capacity(texts.len());
+    for (text, response) in texts.into_iter().zip(&responses) {
+        // Non-verdict answers (per-item shed, budget rejection, …) are
+        // simply absent from the map; those seeds take the per-seed
+        // ladder like any prefetch miss.
+        if let Some(verdict) = crate::oracle::verdict_from_response(response) {
+            map.insert(text, verdict);
+        }
+    }
+    Some(Arc::new(map))
+}
+
 /// Runs a campaign. See the module docs for the determinism contract.
 #[must_use]
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
@@ -132,6 +193,15 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
     let cursor = AtomicU64::new(cfg.seed_start);
     let deadline = cfg.max_seconds.map(|s| Instant::now() + Duration::from_secs(s));
     let started = Instant::now();
+
+    // Batch prefetch counts toward the sweep clock and the wall-clock
+    // budget: it is the same verdict work, just moved onto one pipelined
+    // connection instead of a round trip per seed.
+    let mut oracle = cfg.oracle.clone();
+    if oracle.prefetched.is_none() {
+        oracle.prefetched = prefetch_remote_verdicts(cfg);
+    }
+    let oracle = &oracle;
 
     let mut records: Vec<SeedRecord> = Vec::new();
     let mut truncated = false;
@@ -154,7 +224,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignSummary {
                             break;
                         }
                         let gp = generate(seed, &cfg.gen);
-                        let verdict = check_seed(&gp, &cfg.oracle);
+                        let verdict = check_seed(&gp, oracle);
                         local.push(SeedRecord {
                             seed,
                             name: gp.name(),
@@ -431,6 +501,57 @@ mod tests {
             starved.budget_exceeded,
             generous.budget_exceeded
         );
+    }
+
+    /// The wire path must be invisible in the summary: local verdicts,
+    /// per-seed v1 round trips, and the pipelined batch prefetch all
+    /// produce identical per-family tables and tallies. The batched run
+    /// must actually have used batch frames (the server's depth histogram
+    /// says so), not silently fallen back.
+    #[test]
+    fn remote_summaries_match_local_ones_on_both_wire_paths() {
+        use wo_serve::client::{ClientConfig, ServeClient};
+        use wo_serve::protocol::{QueryKind, Request, Response};
+        use wo_serve::server::{Server, ServerConfig};
+
+        let handle = Server::spawn(ServerConfig::default()).expect("spawn server");
+        let addr = handle.addr().to_string();
+
+        let local = run_campaign(&small_cfg(12));
+
+        let mut v1_cfg = small_cfg(12);
+        v1_cfg.oracle.remote = Some(addr.clone());
+        v1_cfg.oracle.remote_batch = false;
+        let v1 = run_campaign(&v1_cfg);
+
+        let mut batched_cfg = small_cfg(12);
+        batched_cfg.oracle.remote = Some(addr.clone());
+        let batched = run_campaign(&batched_cfg);
+
+        for (name, summary) in [("v1", &v1), ("batched", &batched)] {
+            assert_eq!(summary.per_family, local.per_family, "{name} per-family table");
+            assert_eq!(summary.seeds_run, local.seeds_run, "{name} seeds_run");
+            assert_eq!(summary.passes, local.passes, "{name} passes");
+            assert_eq!(
+                summary.budget_exceeded, local.budget_exceeded,
+                "{name} budget_exceeded"
+            );
+            assert_eq!(
+                summary.failures.iter().map(|f| f.record.seed).collect::<Vec<_>>(),
+                local.failures.iter().map(|f| f.record.seed).collect::<Vec<_>>(),
+                "{name} failing seeds"
+            );
+        }
+
+        let mut stats_client = ServeClient::new(ClientConfig::new(addr));
+        match stats_client.query(&Request::new(QueryKind::Stats, "")).unwrap() {
+            Response::Stats(stats) => assert!(
+                stats.batch_depth.iter().sum::<u64>() >= 1,
+                "the batched campaign never sent a batch frame: {stats:?}"
+            ),
+            other => panic!("unexpected {other:?}"),
+        }
+        handle.shutdown();
     }
 
     #[test]

@@ -32,7 +32,8 @@
 //! catch this and shrink it to a tiny repro — that is the end-to-end test
 //! that the whole apparatus actually detects oracle-level defects.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use litmus::explore::{
     drf0_verdict, sc_outcomes, Drf0Verdict, ExploreConfig, IncompleteReason,
@@ -66,6 +67,18 @@ pub struct OracleConfig {
     /// to computing the verdict locally, so a flaky or absent daemon can
     /// slow a campaign down but never change its verdicts.
     pub remote: Option<String>,
+    /// Fetch remote verdicts over one pipelined `wo-serve/2` batch
+    /// connection (the campaign driver prefetches the whole corpus before
+    /// the sweep) instead of a round trip per seed. The batch and v1 paths
+    /// send byte-identical requests, so this flag changes wire traffic,
+    /// never verdicts. Ignored without [`OracleConfig::remote`].
+    pub remote_batch: bool,
+    /// Verdicts already fetched for this corpus, keyed by program text.
+    /// Filled by the campaign driver's batch prefetch; consulted before
+    /// any per-seed network round trip. Misses (e.g. shrink candidates,
+    /// which are not in the generated corpus) fall through to the
+    /// per-seed remote-then-local ladder.
+    pub prefetched: Option<Arc<HashMap<String, Drf0Verdict>>>,
 }
 
 impl Default for OracleConfig {
@@ -79,6 +92,8 @@ impl Default for OracleConfig {
             fault_seeds: 1,
             inject_prune_bug: false,
             remote: None,
+            remote_batch: true,
+            prefetched: None,
         }
     }
 }
@@ -219,47 +234,79 @@ pub fn check_seed(gp: &GenProgram, cfg: &OracleConfig) -> SeedVerdict {
     }
 }
 
-/// The DRF0 verdict for label soundness: remote when a daemon is
-/// configured and reachable, local otherwise. Both paths answer the same
-/// question with the same budgets, so the fallback never changes a
+/// The DRF0 verdict for label soundness: prefetched when the campaign's
+/// batch prefetch already answered this program, remote when a daemon is
+/// configured and reachable, local otherwise. All three paths answer the
+/// same question with the same budgets, so the ladder never changes a
 /// campaign's verdicts — only where the exploration ran.
 fn dynamic_verdict(program: &litmus::Program, cfg: &OracleConfig) -> Drf0Verdict {
+    let mut text = None;
+    if let Some(map) = &cfg.prefetched {
+        let rendered = program.to_string();
+        if let Some(verdict) = map.get(&rendered) {
+            return *verdict;
+        }
+        text = Some(rendered);
+    }
     if let Some(addr) = &cfg.remote {
-        if let Some(verdict) = remote_drf0_verdict(addr, program, &cfg.explore) {
+        let text = text.unwrap_or_else(|| program.to_string());
+        if let Some(verdict) = remote_drf0_verdict(addr, text, &cfg.explore) {
             return verdict;
         }
     }
     drf0_verdict(program, &cfg.explore)
 }
 
-/// Asks a wo-serve daemon for the DRF0 verdict. `None` on any client
-/// failure or unexpected response shape — the caller falls back to local.
-fn remote_drf0_verdict(
-    addr: &str,
-    program: &litmus::Program,
+/// Builds the wire request for one DRF0 verdict. The batch prefetch and
+/// the per-seed v1 path both go through here, so their requests — and
+/// therefore the daemon's answers — are byte-identical.
+pub(crate) fn drf0_request(
+    program_text: String,
     explore: &ExploreConfig,
-) -> Option<Drf0Verdict> {
-    use wo_serve::client::{ClientConfig, ServeClient};
-    use wo_serve::protocol::{QueryKind, Request, Response, Verdict};
-
-    let mut request = Request::new(QueryKind::Drf0, program.to_string());
+) -> wo_serve::protocol::Request {
+    use wo_serve::protocol::{QueryKind, Request};
+    let mut request = Request::new(QueryKind::Drf0, program_text);
     request.max_total_steps = Some(explore.max_total_steps);
     request.max_ops_per_execution = Some(explore.max_ops_per_execution);
     // Budgets only, no wall-clock deadline: keeps remote verdicts as
     // deterministic as local ones.
     request.deadline_ms = Some(0);
-    let mut client = ServeClient::new(ClientConfig::new(addr));
-    match client.query(&request).ok()? {
+    request
+}
+
+/// Maps a daemon response back to a [`Drf0Verdict`]. `None` for any
+/// non-verdict shape (errors included) — the caller falls back.
+pub(crate) fn verdict_from_response(
+    response: &wo_serve::protocol::Response,
+) -> Option<Drf0Verdict> {
+    use wo_serve::protocol::{Response, Verdict};
+    match response {
         Response::Verdict { verdict, .. } => Some(match verdict {
             Verdict::Racy => Drf0Verdict::Racy,
             Verdict::Drf0 => Drf0Verdict::Drf0,
             Verdict::Unknown { reason } => Drf0Verdict::BudgetExceeded(
-                wo_serve::reason_from_token(&reason)
+                wo_serve::reason_from_token(reason)
                     .unwrap_or(IncompleteReason::MaxTotalSteps),
             ),
         }),
         _ => None,
     }
+}
+
+/// Asks a wo-serve daemon for one DRF0 verdict over the v1 protocol.
+/// `None` on any client failure or unexpected response shape — the caller
+/// falls back to local.
+fn remote_drf0_verdict(
+    addr: &str,
+    program_text: String,
+    explore: &ExploreConfig,
+) -> Option<Drf0Verdict> {
+    use wo_serve::client::{ClientConfig, ServeClient};
+
+    let request = drf0_request(program_text, explore);
+    let mut client = ServeClient::new(ClientConfig::new(addr));
+    let response = client.query(&request).ok()?;
+    verdict_from_response(&response)
 }
 
 /// The Definition 2 sweep for a DRF0-labeled program, run as a

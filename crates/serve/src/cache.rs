@@ -23,13 +23,27 @@
 //! The leader holds a [`LeaderGuard`]; if it unwinds (worker panic) the
 //! guard's `Drop` publishes a failure and clears the marker, so waiters
 //! get a structured `Internal` error instead of hanging forever.
+//!
+//! # Sharding
+//!
+//! The map is split into [`SHARD_COUNT`] independently locked shards,
+//! selected by the FNV-1a hash of the canonical key. Batch mode probes a
+//! whole frame's keys in parallel; under one global lock those probes
+//! serialize and the lock handoffs dominate the (sub-microsecond) hit
+//! path. Correctness is untouched: a key always maps to one shard, so
+//! leader/follower coalescing still sees a single authoritative slot.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use crate::canon::fnv1a;
 use crate::protocol::RaceCoord;
+
+/// How many independently locked shards the cache map is split into.
+/// A power of two so shard selection is a mask of the key hash.
+pub const SHARD_COUNT: usize = 16;
 
 /// Which exploration family an answer belongs to. `Drf0` and `Races`
 /// queries share [`KindGroup::Explore`] — they are the same exploration,
@@ -198,10 +212,19 @@ pub struct CacheStats {
     pub replayed: AtomicU64,
 }
 
+/// One independently locked slice of the key space, with its own hit/miss
+/// counters for the stats query.
+#[derive(Default)]
+struct Shard {
+    slots: Mutex<HashMap<(KindGroup, String), Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
 /// The canonical-form verdict cache. All methods are `&self`; one
 /// instance is shared across every connection thread.
 pub struct VerdictCache {
-    slots: Mutex<HashMap<(KindGroup, String), Slot>>,
+    shards: Vec<Shard>,
     /// Counters for the stats query.
     pub stats: CacheStats,
 }
@@ -216,14 +239,26 @@ impl VerdictCache {
     /// An empty cache.
     #[must_use]
     pub fn new() -> Self {
-        VerdictCache { slots: Mutex::new(HashMap::new()), stats: CacheStats::default() }
+        VerdictCache {
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Shard {
+        &self.shards[(fnv1a(key.as_bytes()) as usize) & (SHARD_COUNT - 1)]
     }
 
     /// Number of cached (definitive) entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
-        slots.values().filter(|s| matches!(s, Slot::Done(_))).count()
+        self.shards
+            .iter()
+            .map(|shard| {
+                let slots = shard.slots.lock().unwrap_or_else(|e| e.into_inner());
+                slots.values().filter(|s| matches!(s, Slot::Done(_))).count()
+            })
+            .sum()
     }
 
     /// Whether no definitive entries are cached.
@@ -232,21 +267,40 @@ impl VerdictCache {
         self.len() == 0
     }
 
+    /// Number of shards (fixed at [`SHARD_COUNT`]).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard `(hits, misses)` counter snapshots, index = shard. A miss
+    /// is a lookup that found nothing cached — it led or joined.
+    #[must_use]
+    pub fn shard_hit_miss(&self) -> (Vec<u64>, Vec<u64>) {
+        let hits = self.shards.iter().map(|s| s.hits.load(Ordering::Relaxed)).collect();
+        let misses = self.shards.iter().map(|s| s.misses.load(Ordering::Relaxed)).collect();
+        (hits, misses)
+    }
+
     /// Looks up `key` under `group`, installing an in-flight marker on a
     /// miss (making the caller the leader).
     pub fn lookup(&self, group: KindGroup, key: &str) -> Lookup<'_> {
-        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let shard = self.shard(key);
+        let mut slots = shard.slots.lock().unwrap_or_else(|e| e.into_inner());
         match slots.get(&(group, key.to_string())) {
             Some(Slot::Done(ans)) => {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 Lookup::Hit(Arc::clone(ans))
             }
             Some(Slot::InFlight(flight)) => {
                 self.stats.joins.fetch_add(1, Ordering::Relaxed);
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 Lookup::Join(Arc::clone(flight))
             }
             None => {
                 self.stats.leads.fetch_add(1, Ordering::Relaxed);
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 let flight = Arc::new(Flight::new());
                 slots.insert((group, key.to_string()), Slot::InFlight(Arc::clone(&flight)));
                 Lookup::Lead(LeaderGuard {
@@ -267,29 +321,37 @@ impl VerdictCache {
         if !answer.is_definitive() {
             return;
         }
-        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let shard = self.shard(&key);
+        let mut slots = shard.slots.lock().unwrap_or_else(|e| e.into_inner());
         slots.insert((group, key), Slot::Done(Arc::new(answer)));
         self.stats.replayed.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot of every definitive entry, for journal compaction.
+    /// Snapshot of every definitive entry, for journal compaction
+    /// (shard-order; order within a shard is the map's).
     #[must_use]
     pub fn definitive_entries(&self) -> Vec<(KindGroup, String, Arc<CachedAnswer>)> {
-        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
-        slots
+        self.shards
             .iter()
-            .filter_map(|((group, key), slot)| match slot {
-                Slot::Done(ans) => Some((*group, key.clone(), Arc::clone(ans))),
-                Slot::InFlight(_) => None,
+            .flat_map(|shard| {
+                let slots = shard.slots.lock().unwrap_or_else(|e| e.into_inner());
+                slots
+                    .iter()
+                    .filter_map(|((group, key), slot)| match slot {
+                        Slot::Done(ans) => Some((*group, key.clone(), Arc::clone(ans))),
+                        Slot::InFlight(_) => None,
+                    })
+                    .collect::<Vec<_>>()
             })
             .collect()
     }
 
     fn resolve(&self, group: KindGroup, key: &str, flight: &Flight, answer: Option<CachedAnswer>) {
+        let shard = self.shard(key);
         let outcome = match answer {
             Some(answer) => {
                 let shared = Arc::new(answer);
-                let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+                let mut slots = shard.slots.lock().unwrap_or_else(|e| e.into_inner());
                 if shared.is_definitive() {
                     slots.insert((group, key.to_string()), Slot::Done(Arc::clone(&shared)));
                 } else {
@@ -299,7 +361,7 @@ impl VerdictCache {
                 FlightOutcome::Answered(shared)
             }
             None => {
-                let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+                let mut slots = shard.slots.lock().unwrap_or_else(|e| e.into_inner());
                 slots.remove(&(group, key.to_string()));
                 drop(slots);
                 FlightOutcome::Failed
@@ -329,7 +391,8 @@ impl LeaderGuard<'_> {
         self.resolved = true;
         let shared = Arc::new(answer);
         let outcome = {
-            let mut slots = self.cache.slots.lock().unwrap_or_else(|e| e.into_inner());
+            let shard = self.cache.shard(&self.key);
+            let mut slots = shard.slots.lock().unwrap_or_else(|e| e.into_inner());
             if shared.is_definitive() {
                 slots.insert(
                     (self.group, self.key.clone()),
@@ -498,6 +561,31 @@ mod tests {
         assert!(outcome.is_none(), "deadline must bound the wait");
         assert!(start.elapsed() >= Duration::from_millis(25));
         // _guard drops here; its Drop publishes Failed harmlessly.
+    }
+
+    #[test]
+    fn shards_partition_keys_and_count_hits_and_misses() {
+        let cache = VerdictCache::new();
+        let keys: Vec<String> = (0..64).map(|i| format!("prog-{i}")).collect();
+        for key in &keys {
+            let Lookup::Lead(guard) = cache.lookup(KindGroup::Explore, key) else {
+                panic!("cold lookup must lead");
+            };
+            guard.complete(racy_answer(1));
+        }
+        for key in &keys {
+            assert!(matches!(cache.lookup(KindGroup::Explore, key), Lookup::Hit(_)));
+        }
+        assert_eq!(cache.len(), keys.len());
+        let (hits, misses) = cache.shard_hit_miss();
+        assert_eq!(hits.len(), SHARD_COUNT);
+        assert_eq!(misses.len(), SHARD_COUNT);
+        assert_eq!(hits.iter().sum::<u64>(), keys.len() as u64);
+        assert_eq!(misses.iter().sum::<u64>(), keys.len() as u64);
+        assert!(
+            misses.iter().filter(|&&m| m > 0).count() > 1,
+            "64 distinct keys all hashed into one shard"
+        );
     }
 
     #[test]

@@ -105,35 +105,54 @@ fn values_opaque(p: &Program) -> bool {
 }
 
 /// First-occurrence relabelling state for one permutation attempt.
+///
+/// Maps are association vectors, not hash maps: a litmus program touches
+/// a handful of locations and constants, a linear probe of a short vector
+/// beats hashing, and the canonical search rebuilds this state once per
+/// permutation — up to 120 times per query on the server's hot path.
 struct Relabeller {
-    loc_map: HashMap<u32, u32>,
-    loc_unmap: Vec<u32>,
-    val_map: HashMap<Value, Value>,
+    /// `(submitted, canonical)` location pairs in first-occurrence order,
+    /// so the canonical id is the insertion index and `loc_unmap` is just
+    /// the submitted column.
+    loc_map: Vec<(u32, u32)>,
+    val_map: Vec<(Value, Value)>,
     next_val: Value,
     relabel_values: bool,
 }
 
 impl Relabeller {
     fn new(relabel_values: bool) -> Self {
-        let mut val_map = HashMap::new();
-        val_map.insert(0, 0);
-        val_map.insert(1, 1);
         Relabeller {
-            loc_map: HashMap::new(),
-            loc_unmap: Vec::new(),
-            val_map,
+            loc_map: Vec::new(),
+            val_map: vec![(0, 0), (1, 1)],
             next_val: 2,
             relabel_values,
         }
     }
 
+    /// Returns to the freshly-constructed state, keeping allocations —
+    /// the canonical search resets once per permutation.
+    fn reset(&mut self) {
+        self.loc_map.clear();
+        self.val_map.clear();
+        self.val_map.extend([(0, 0), (1, 1)]);
+        self.next_val = 2;
+    }
+
+    fn lookup_loc(&self, loc: Loc) -> Option<Loc> {
+        self.loc_map.iter().find_map(|&(from, to)| (from == loc.0).then_some(Loc(to)))
+    }
+
+    fn loc_unmap(&self) -> Vec<u32> {
+        self.loc_map.iter().map(|&(from, _)| from).collect()
+    }
+
     fn loc(&mut self, loc: Loc) -> Loc {
-        if let Some(&id) = self.loc_map.get(&loc.0) {
-            return Loc(id);
+        if let Some(mapped) = self.lookup_loc(loc) {
+            return mapped;
         }
         let id = self.loc_map.len() as u32;
-        self.loc_map.insert(loc.0, id);
-        self.loc_unmap.push(loc.0);
+        self.loc_map.push((loc.0, id));
         Loc(id)
     }
 
@@ -141,12 +160,12 @@ impl Relabeller {
         if !self.relabel_values {
             return v;
         }
-        if let Some(&mapped) = self.val_map.get(&v) {
+        if let Some(&(_, mapped)) = self.val_map.iter().find(|&&(from, _)| from == v) {
             return mapped;
         }
         let mapped = self.next_val;
         self.next_val += 1;
-        self.val_map.insert(v, mapped);
+        self.val_map.push((v, mapped));
         mapped
     }
 
@@ -217,8 +236,8 @@ fn relabel(p: &Program, perm: &[usize], relabel_values: bool) -> (Program, Vec<u
     let mut seen: Vec<(Loc, Value)> = Vec::new();
     let mut unseen: Vec<(Loc, Value)> = Vec::new();
     for &(loc, v) in p.init() {
-        match r.loc_map.get(&loc.0) {
-            Some(&id) => seen.push((Loc(id), v)),
+        match r.lookup_loc(loc) {
+            Some(id) => seen.push((id, v)),
             None => unseen.push((loc, v)),
         }
     }
@@ -233,7 +252,21 @@ fn relabel(p: &Program, perm: &[usize], relabel_values: bool) -> (Program, Vec<u
     let program = Program::new(threads)
         .expect("relabelling preserves branch targets and registers")
         .with_init(init);
-    (program, r.loc_unmap)
+    (program, r.loc_unmap())
+}
+
+/// Advances `perm` to its lexicographic successor in place, returning
+/// `false` (leaving the array sorted descending) when it was already the
+/// last permutation. Visits the same order as [`permutations`] without
+/// allocating the whole set.
+fn next_permutation(perm: &mut [usize]) -> bool {
+    let Some(i) = perm.windows(2).rposition(|w| w[0] < w[1]) else {
+        return false;
+    };
+    let j = perm.iter().rposition(|&v| v > perm[i]).expect("successor exists past pivot");
+    perm.swap(i, j);
+    perm[i + 1..].reverse();
+    true
 }
 
 /// All permutations of `0..n` in lexicographic order (n ≤
@@ -262,11 +295,132 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
     out
 }
 
+/// A `fmt::Write` sink that appends a candidate rendering to `buf` while
+/// comparing it against the current best text, failing the write (which
+/// aborts the rendering *and* the relabelling feeding it) as soon as the
+/// candidate is known to be lexicographically greater.
+struct CompareSink<'a> {
+    best: &'a str,
+    buf: &'a mut String,
+    /// Set once the candidate proves strictly smaller than `best`; from
+    /// then on bytes are appended without comparison.
+    smaller: bool,
+}
+
+impl std::fmt::Write for CompareSink<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        if !self.smaller {
+            let done = self.buf.len().min(self.best.len());
+            let rest = &self.best.as_bytes()[done..];
+            let sb = s.as_bytes();
+            let n = rest.len().min(sb.len());
+            match sb[..n].cmp(&rest[..n]) {
+                std::cmp::Ordering::Greater => return Err(std::fmt::Error),
+                std::cmp::Ordering::Less => self.smaller = true,
+                std::cmp::Ordering::Equal => {
+                    // Equal on the overlap but extending past the best
+                    // text: the best is a proper prefix, so it is smaller.
+                    if sb.len() > rest.len() {
+                        return Err(std::fmt::Error);
+                    }
+                }
+            }
+        }
+        self.buf.push_str(s);
+        Ok(())
+    }
+}
+
+/// Relabels and renders `p` under `perm` in one fused streaming pass,
+/// comparing against `best` as bytes are produced. Returns whether the
+/// candidate is strictly smaller (`None` means the comparison aborted:
+/// the candidate is greater). The rendering mirrors `Program`'s
+/// `Display` for init-free programs — `canonicalize` asserts the match
+/// in debug builds.
+fn render_candidate(
+    p: &Program,
+    perm: &[usize],
+    r: &mut Relabeller,
+    best: &str,
+    buf: &mut String,
+) -> Option<bool> {
+    use std::fmt::Write as _;
+    buf.clear();
+    r.reset();
+    // An empty best means "no candidate yet": skip comparison entirely
+    // (a program never renders to the empty string).
+    let mut sink = CompareSink { best, buf, smaller: best.is_empty() };
+    for (t, &orig) in perm.iter().enumerate() {
+        if writeln!(sink, "P{t}:").is_err() {
+            return None;
+        }
+        for (i, &instr) in p.threads()[orig].instrs().iter().enumerate() {
+            let instr = r.instr(instr);
+            if writeln!(sink, "  {i:>3}: {instr}").is_err() {
+                return None;
+            }
+        }
+    }
+    Some(sink.smaller || sink.buf.len() < best.len())
+}
+
 /// Computes the canonical form of `p`. Pure: structurally equal programs
 /// (and all their recognised renamings) yield byte-identical `text`.
 #[must_use]
 pub fn canonicalize(p: &Program) -> CanonicalForm {
     let relabel_values = values_opaque(p);
+    // The init line renders first but depends on the full relabelling, so
+    // only init-free programs take the streaming path. (Init cells come
+    // from explicit `with_init` construction; wire submissions are
+    // init-free unless the submitter wrote one.)
+    if !p.init().is_empty() {
+        return canonicalize_full(p, relabel_values);
+    }
+    // Streaming search: each permutation is relabelled and rendered
+    // byte-by-byte against the best text so far, and a losing candidate
+    // stops at its first greater byte — usually within the first couple
+    // of instructions. Only the winner is rebuilt as a `Program`. On a
+    // 4-thread program this does ~1 full relabel + 23 aborted prefixes
+    // instead of 24 relabel + build + render + compare rounds.
+    // Permutations step in place in the same lexicographic order
+    // `permutations` produces, so the winner on ties is unchanged.
+    let n = p.num_threads();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best_text = String::new();
+    let mut best_perm: Vec<usize> = perm.clone();
+    let mut scratch = String::new();
+    let mut r = Relabeller::new(relabel_values);
+    loop {
+        if render_candidate(p, &perm, &mut r, &best_text, &mut scratch) == Some(true) {
+            std::mem::swap(&mut best_text, &mut scratch);
+            best_perm.clone_from(&perm);
+        }
+        if n > MAX_PERM_THREADS || !next_permutation(&mut perm) {
+            break;
+        }
+    }
+    let (program, loc_unmap) = relabel(p, &best_perm, relabel_values);
+    debug_assert_eq!(
+        best_text,
+        program.to_string(),
+        "streamed rendering diverged from Display"
+    );
+    let hash = fnv1a(best_text.as_bytes());
+    CanonicalForm {
+        program,
+        text: best_text,
+        hash,
+        thread_unmap: best_perm,
+        loc_unmap,
+        values_relabelled: relabel_values,
+    }
+}
+
+/// The unfused canonical search: relabel, build, and render every
+/// permutation, keep the lexicographically smallest text. Kept for
+/// programs with init cells, whose first rendered line needs the full
+/// relabelling.
+fn canonicalize_full(p: &Program, relabel_values: bool) -> CanonicalForm {
     let mut best: Option<(String, Program, Vec<u32>, Vec<usize>)> = None;
     for perm in permutations(p.num_threads()) {
         let (candidate, loc_unmap) = relabel(p, &perm, relabel_values);

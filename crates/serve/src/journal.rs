@@ -147,6 +147,40 @@ impl Journal {
         Ok(self.snapshot_every > 0 && self.appends_since_compaction >= self.snapshot_every)
     }
 
+    /// Appends a whole batch of definitive answers with **one** buffered
+    /// write and **one** flush — the per-append flush is the journal's
+    /// dominant cost, and a batch frame can legitimately produce hundreds
+    /// of fresh verdicts. Non-definitive answers are skipped exactly as
+    /// [`Journal::append`] skips them.
+    ///
+    /// Returns `true` when the caller should compact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors. On error nothing past the last durable
+    /// flush is guaranteed — the same contract as a torn single append.
+    pub fn append_batch<'a>(
+        &mut self,
+        records: impl IntoIterator<Item = &'a JournalRecord>,
+    ) -> io::Result<bool> {
+        let mut buf = Vec::new();
+        let mut appended = 0usize;
+        for record in records {
+            if !record.answer.is_definitive() {
+                continue;
+            }
+            buf.extend_from_slice(&encode_record(record));
+            appended += 1;
+        }
+        if appended == 0 {
+            return Ok(false);
+        }
+        self.file.write_all(&buf)?;
+        self.file.flush()?;
+        self.appends_since_compaction += appended;
+        Ok(self.snapshot_every > 0 && self.appends_since_compaction >= self.snapshot_every)
+    }
+
     /// Rewrites the log to exactly `records` (the live definitive set)
     /// via write-to-temp + atomic rename, then resets the append counter.
     ///
@@ -448,6 +482,38 @@ mod tests {
         drop(j);
         let (_j, replayed, _) = Journal::open(&dir, 2).unwrap();
         assert_eq!(replayed, live);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_batch_is_one_flush_and_replays_identically() {
+        let dir = tmpdir("batch");
+        let recs = vec![
+            racy_record("batch-a\nbody\n"),
+            sc_record("batch-b\nbody\n"),
+            racy_record("batch-c\nbody\n"),
+        ];
+        let degraded = JournalRecord {
+            group: KindGroup::Explore,
+            key: "batch-d\n".into(),
+            answer: CachedAnswer::Explore {
+                racy: false,
+                races: vec![],
+                steps: 5,
+                definitive: false,
+                reason: Some("deadline".into()),
+            },
+        };
+        {
+            let (mut j, _, _) = Journal::open(&dir, 3).unwrap();
+            let mut all: Vec<&JournalRecord> = recs.iter().collect();
+            all.push(&degraded);
+            assert!(j.append_batch(all).unwrap(), "3 appends reach the interval of 3");
+            assert!(!j.append_batch(std::iter::empty()).unwrap());
+        }
+        let (_j, replayed, report) = Journal::open(&dir, 3).unwrap();
+        assert_eq!(replayed, recs, "definitive records replay in order; degraded skipped");
+        assert_eq!(report.truncated_bytes, 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -34,16 +34,59 @@
 //! Everything is decoded defensively: unknown keys are ignored (forward
 //! compatibility), malformed numbers and truncated payloads produce
 //! structured errors, and nothing in this module panics on wire input.
+//!
+//! # Batch mode (`wo-serve/2`)
+//!
+//! A v2 *batch frame* pipelines many submissions over one connection: the
+//! outer frame is the same `[u32][payload]` shape, but the payload is a
+//! short text header followed by length-prefixed **items**:
+//!
+//! ```text
+//! wo-serve/2 batch
+//! items=3
+//! <blank>
+//! [u32 item len][item bytes]  × 3
+//! ```
+//!
+//! Each item carries a client-assigned `id` (unique per connection) on its
+//! first line and is otherwise a v1 payload embedded verbatim
+//! ([`BatchItem::Query`]) or a trace-ingest submission
+//! ([`BatchItem::TraceOpen`] / [`BatchItem::TraceSeg`] /
+//! [`BatchItem::TraceFinish`]). The server answers with *result frames* —
+//! `wo-serve/2 result <id>` followed by the embedded v1 response payload
+//! verbatim — **in completion order, not submission order**; the client
+//! reorders by id. Embedding v1 payloads untouched is what makes the
+//! byte-equality contract checkable: a batched verdict stream, reordered
+//! by id, is byte-for-byte the per-request stream.
+//!
+//! The outer batch frame gets its own (larger) size cap; every item is
+//! still held to the **v1 per-frame cap**, and admission control applies
+//! per item — a batch buys pipelining, never a way around the limits.
 
 use std::fmt;
 use std::io::{self, Read, Write};
 
+use memory_model::{Loc, OpId, Operation, ProcId};
+
 /// Protocol magic + version prefix on every payload.
 pub const PROTOCOL_VERSION: &str = "wo-serve/1";
+
+/// Version prefix on batch-mode payloads (items and result frames).
+pub const PROTOCOL_VERSION_2: &str = "wo-serve/2";
 
 /// Default cap on a frame payload (1 MiB) — far above any realistic
 /// litmus program, far below a memory-exhaustion attack.
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Default cap on an *outer* batch frame (16 MiB). Items inside are still
+/// individually held to the v1 per-frame cap.
+pub const DEFAULT_MAX_BATCH_FRAME_BYTES: usize = 16 << 20;
+
+/// Default cap on items per batch frame.
+pub const DEFAULT_MAX_BATCH_ITEMS: usize = 1024;
+
+/// First line of every batch frame payload.
+pub const BATCH_MAGIC: &str = "wo-serve/2 batch";
 
 // ---------------------------------------------------------------------
 // Framing
@@ -57,8 +100,14 @@ pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     let len = u32::try_from(payload.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(payload)?;
+    // One write per frame: header + payload as separate writes would put
+    // two small segments on the wire, and Nagle holding the second until
+    // the first is acknowledged stalls every pipelined result by a
+    // delayed-ACK interval.
+    let mut frame = Vec::with_capacity(payload.len() + 4);
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
     w.flush()
 }
 
@@ -426,8 +475,25 @@ impl ErrorCode {
     }
 }
 
+/// Number of batch-depth histogram buckets in [`ServerStats::batch_depth`].
+pub const BATCH_DEPTH_BUCKETS: usize = 6;
+
+/// The histogram bucket an items-per-batch count falls into. Buckets:
+/// `1`, `2–7`, `8–31`, `32–127`, `128–511`, `512+`.
+#[must_use]
+pub fn batch_depth_bucket(items: usize) -> usize {
+    match items {
+        0..=1 => 0,
+        2..=7 => 1,
+        8..=31 => 2,
+        32..=127 => 3,
+        128..=511 => 4,
+        _ => 5,
+    }
+}
+
 /// Server counters reported by [`QueryKind::Stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServerStats {
     /// Query responses served (any kind, any outcome).
     pub served: u64,
@@ -445,6 +511,20 @@ pub struct ServerStats {
     pub journal_replayed: u64,
     /// Whether shed-load mode is currently active.
     pub shedding: bool,
+    /// Batch frames handled, bucketed by items per batch
+    /// ([`batch_depth_bucket`]).
+    pub batch_depth: [u64; BATCH_DEPTH_BUCKETS],
+    /// Cache lookups answered from each shard's map (index = shard).
+    pub shard_hits: Vec<u64>,
+    /// Cache lookups that missed each shard's map — the lookup led or
+    /// joined an exploration (index = shard).
+    pub shard_misses: Vec<u64>,
+    /// Batch items answered by another item of the *same batch* (same
+    /// canonical key, one exploration shared across the frame).
+    pub coalesced_in_batch: u64,
+    /// Batch items individually rejected (per-item size cap or per-item
+    /// admission) while the rest of their frame was served.
+    pub shed_items: u64,
 }
 
 /// A decoded response.
@@ -479,6 +559,13 @@ pub enum Response {
     Pong,
     /// Answer to [`QueryKind::Stats`].
     Stats(ServerStats),
+    /// Answer to a [`BatchItem::TraceFinish`]: the streaming checker's
+    /// canonical report text (multi-line, carried verbatim as the body).
+    Trace {
+        /// `TraceReport::canonical_text()` output — the byte-comparable
+        /// form shared with the `wo_trace` CLI.
+        report: String,
+    },
     /// A structured failure.
     Error {
         /// Machine-readable class.
@@ -503,12 +590,7 @@ impl Response {
                 out.push_str(&format!("steps={steps}\n"));
                 out.push_str(&format!("cache={}\n", cache.as_str()));
                 out.push_str(&format!("races={}\n", races.len()));
-                for r in races {
-                    out.push_str(&format!(
-                        "race={} {} {} {} {}\n",
-                        r.first_thread, r.first_seq, r.second_thread, r.second_seq, r.loc
-                    ));
-                }
+                push_race_lines(&mut out, races);
             }
             Response::Sc { outcomes, complete, reason, steps, cache } => {
                 out.push_str(&format!("{PROTOCOL_VERSION} ok sc\n"));
@@ -533,6 +615,16 @@ impl Response {
                 out.push_str(&format!("degraded={}\n", s.degraded));
                 out.push_str(&format!("journal_replayed={}\n", s.journal_replayed));
                 out.push_str(&format!("shedding={}\n", s.shedding));
+                out.push_str(&format!("batch_depth={}\n", encode_u64_list(&s.batch_depth)));
+                out.push_str(&format!("shard_hits={}\n", encode_u64_list(&s.shard_hits)));
+                out.push_str(&format!("shard_misses={}\n", encode_u64_list(&s.shard_misses)));
+                out.push_str(&format!("coalesced_in_batch={}\n", s.coalesced_in_batch));
+                out.push_str(&format!("shed_items={}\n", s.shed_items));
+            }
+            Response::Trace { report } => {
+                out.push_str(&format!("{PROTOCOL_VERSION} ok trace\n"));
+                out.push('\n');
+                out.push_str(report);
             }
             Response::Error { code, message } => {
                 out.push_str(&format!("{PROTOCOL_VERSION} error {}\n", code.as_str()));
@@ -550,8 +642,10 @@ impl Response {
     /// panics on wire input.
     pub fn decode(payload: &[u8]) -> Result<Self, String> {
         let text = std::str::from_utf8(payload).map_err(|e| format!("not UTF-8: {e}"))?;
-        let mut lines = text.lines();
-        let first = lines.next().ok_or("empty payload")?;
+        let (first, rest) = text.split_once('\n').unwrap_or((text, ""));
+        if first.is_empty() {
+            return Err("empty payload".into());
+        }
         let mut parts = first.split_whitespace();
         let version = parts.next().ok_or("missing protocol version")?;
         if version != PROTOCOL_VERSION {
@@ -560,19 +654,35 @@ impl Response {
         let status = parts.next().ok_or("missing status")?;
         let tag = parts.next().ok_or("missing response tag")?;
 
+        if status == "ok" && tag == "trace" {
+            // The report body is multi-line and carried verbatim after the
+            // blank line — it is not key=value shaped.
+            let report = rest.strip_prefix('\n').ok_or("trace response missing blank line")?;
+            return Ok(Response::Trace { report: report.to_string() });
+        }
+
         let mut headers: Vec<(&str, &str)> = Vec::new();
         let mut races: Vec<RaceCoord> = Vec::new();
-        for line in lines {
+        for line in rest.lines() {
             if line.is_empty() {
+                continue;
+            }
+            // Race lines dominate heavily racy responses; take them
+            // before the generic header split.
+            if let Some(value) = line.strip_prefix("race=") {
+                races.push(parse_race(value)?);
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
                 return Err(format!("malformed response line {line:?}"));
             };
-            if key == "race" {
-                races.push(parse_race(value)?);
-            } else {
-                headers.push((key, value));
+            headers.push((key, value));
+            // The race count header precedes the race block; size the
+            // vector once instead of growing it through reallocations.
+            if key == "races" {
+                if let Ok(n) = value.parse::<usize>() {
+                    races.reserve(n.min(1 << 20));
+                }
             }
         }
         let get = |key: &str| headers.iter().find(|(k, _)| *k == key).map(|&(_, v)| v);
@@ -617,16 +727,33 @@ impl Response {
                     .ok_or("bad cache status")?,
             }),
             ("ok", "pong") => Ok(Response::Pong),
-            ("ok", "stats") => Ok(Response::Stats(ServerStats {
-                served: get_u64("served")?,
-                cache_hits: get_u64("cache_hits")?,
-                coalesced: get_u64("coalesced")?,
-                explored: get_u64("explored")?,
-                overloaded: get_u64("overloaded")?,
-                degraded: get_u64("degraded")?,
-                journal_replayed: get_u64("journal_replayed")?,
-                shedding: get("shedding") == Some("true"),
-            })),
+            ("ok", "stats") => {
+                let mut batch_depth = [0u64; BATCH_DEPTH_BUCKETS];
+                if let Some(raw) = get("batch_depth") {
+                    let buckets = parse_u64_list(raw)?;
+                    if buckets.len() != BATCH_DEPTH_BUCKETS {
+                        return Err(format!("bad batch_depth bucket count {}", buckets.len()));
+                    }
+                    batch_depth.copy_from_slice(&buckets);
+                }
+                Ok(Response::Stats(ServerStats {
+                    served: get_u64("served")?,
+                    cache_hits: get_u64("cache_hits")?,
+                    coalesced: get_u64("coalesced")?,
+                    explored: get_u64("explored")?,
+                    overloaded: get_u64("overloaded")?,
+                    degraded: get_u64("degraded")?,
+                    journal_replayed: get_u64("journal_replayed")?,
+                    shedding: get("shedding") == Some("true"),
+                    batch_depth,
+                    shard_hits: parse_u64_list(get("shard_hits").unwrap_or(""))?,
+                    shard_misses: parse_u64_list(get("shard_misses").unwrap_or(""))?,
+                    coalesced_in_batch: get("coalesced_in_batch")
+                        .map_or(Ok(0), |v| v.parse().map_err(|_| "bad coalesced_in_batch"))?,
+                    shed_items: get("shed_items")
+                        .map_or(Ok(0), |v| v.parse().map_err(|_| "bad shed_items"))?,
+                }))
+            }
             ("error", code) => Ok(Response::Error {
                 code: ErrorCode::from_str(code)
                     .ok_or_else(|| format!("unknown error code {code:?}"))?,
@@ -637,20 +764,90 @@ impl Response {
     }
 }
 
+/// Appends one `race=` line per race to `out`. Race lists run to
+/// thousands of entries on heavily racy programs; `format!` per line (an
+/// allocation each) is the dominant cost of encoding such a payload, so
+/// each line is assembled in a stack buffer and appended in one push.
+/// Shared by [`Response::encode`] and [`encode_batch_race_block`].
+fn push_race_lines(out: &mut String, races: &[RaceCoord]) {
+    out.reserve(races.len() * 32);
+    let mut line = [0u8; 64];
+    for r in races {
+        line[..5].copy_from_slice(b"race=");
+        let mut at = 5;
+        for (i, v) in [r.first_thread, r.first_seq, r.second_thread, r.second_seq, r.loc]
+            .into_iter()
+            .enumerate()
+        {
+            if i > 0 {
+                line[at] = b' ';
+                at += 1;
+            }
+            at += write_u32(&mut line[at..], v);
+        }
+        line[at] = b'\n';
+        at += 1;
+        // The buffer holds only ASCII.
+        out.push_str(std::str::from_utf8(&line[..at]).expect("race line is ASCII"));
+    }
+}
+
+/// Writes `v` in decimal at the start of `buf`, returning the digit
+/// count. Hot on race lists (thousands of lines per response).
+fn write_u32(buf: &mut [u8], v: u32) -> usize {
+    let mut tmp = [0u8; 10];
+    let mut i = tmp.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    let n = tmp.len() - i;
+    buf[..n].copy_from_slice(&tmp[i..]);
+    n
+}
+
 fn parse_race(value: &str) -> Result<RaceCoord, String> {
-    let fields: Vec<&str> = value.split_whitespace().collect();
-    if fields.len() != 5 {
+    // A hand-rolled byte scanner: race lines dominate decode time on
+    // heavily racy programs, where `split` + `str::parse` per field (and
+    // especially a `Vec` of the fields) costs more than the parse itself.
+    let bytes = value.as_bytes();
+    let mut at = 0usize;
+    let mut fields = [0u32; 5];
+    for (fi, field) in fields.iter_mut().enumerate() {
+        if fi > 0 {
+            if at >= bytes.len() || bytes[at] != b' ' {
+                return Err(format!("malformed race line {value:?}"));
+            }
+            at += 1;
+        }
+        let start = at;
+        let mut v: u32 = 0;
+        while at < bytes.len() && bytes[at].is_ascii_digit() {
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(u32::from(bytes[at] - b'0')))
+                .ok_or_else(|| format!("bad race field in {value:?}"))?;
+            at += 1;
+        }
+        if at == start {
+            return Err(format!("malformed race line {value:?}"));
+        }
+        *field = v;
+    }
+    if at != bytes.len() {
         return Err(format!("malformed race line {value:?}"));
     }
-    let num = |s: &str| -> Result<u32, String> {
-        s.parse().map_err(|_| format!("bad race field {s:?}"))
-    };
     Ok(RaceCoord {
-        first_thread: num(fields[0])?,
-        first_seq: num(fields[1])?,
-        second_thread: num(fields[2])?,
-        second_seq: num(fields[3])?,
-        loc: num(fields[4])?,
+        first_thread: fields[0],
+        first_seq: fields[1],
+        second_thread: fields[2],
+        second_seq: fields[3],
+        loc: fields[4],
     })
 }
 
@@ -658,6 +855,585 @@ fn parse_race(value: &str) -> Result<RaceCoord, String> {
 /// reason/message can't smuggle extra protocol lines.
 fn sanitize(s: &str) -> String {
     s.replace(['\n', '\r'], " ")
+}
+
+fn encode_u64_list(values: &[u64]) -> String {
+    values.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+}
+
+fn parse_u64_list(raw: &str) -> Result<Vec<u64>, String> {
+    if raw.is_empty() {
+        return Ok(Vec::new());
+    }
+    raw.split(',')
+        .map(|s| s.parse().map_err(|_| format!("bad list element {s:?}")))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Batch mode (wo-serve/2)
+// ---------------------------------------------------------------------
+
+/// One tagged submission inside a batch frame. Every item carries a
+/// client-assigned `id`, echoed on its result frame so out-of-order
+/// results can be matched back up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchItem {
+    /// A v1 query ([`Request`]) embedded verbatim — same semantics, same
+    /// response bytes, pipelined.
+    Query {
+        /// Client-assigned tag, unique per connection.
+        id: u64,
+        /// The embedded v1 request.
+        request: Request,
+    },
+    /// Opens a streaming trace check on this connection (one at a time per
+    /// connection). Acknowledged with `Pong`.
+    TraceOpen {
+        /// Client-assigned tag.
+        id: u64,
+        /// Check under release-writes synchronization instead of DRF0.
+        release_writes: bool,
+    },
+    /// One execution segment of the open trace check: `ops` in completion
+    /// order over `procs` processors. **Not acknowledged on success** —
+    /// only errors produce a result frame, so segments pipeline at TCP
+    /// speed and backpressure is the socket window.
+    TraceSeg {
+        /// Client-assigned tag (used only in error results).
+        id: u64,
+        /// Number of processors in this segment.
+        procs: u16,
+        /// The segment's operations, completion order.
+        ops: Vec<Operation>,
+    },
+    /// Finishes the open trace check; answered with [`Response::Trace`].
+    TraceFinish {
+        /// Client-assigned tag.
+        id: u64,
+    },
+}
+
+const OP_HAS_READ: u8 = 0x40;
+const OP_HAS_WRITE: u8 = 0x80;
+const OP_KIND_MASK: u8 = 0x3f;
+
+fn op_kind_code(kind: memory_model::OpKind) -> u8 {
+    use memory_model::OpKind;
+    match kind {
+        OpKind::DataRead => 0,
+        OpKind::DataWrite => 1,
+        OpKind::SyncRead => 2,
+        OpKind::SyncWrite => 3,
+        OpKind::SyncRmw => 4,
+    }
+}
+
+fn op_kind_from_code(code: u8) -> Result<memory_model::OpKind, String> {
+    use memory_model::OpKind;
+    Ok(match code {
+        0 => OpKind::DataRead,
+        1 => OpKind::DataWrite,
+        2 => OpKind::SyncRead,
+        3 => OpKind::SyncWrite,
+        4 => OpKind::SyncRmw,
+        other => return Err(format!("unknown op kind code {other}")),
+    })
+}
+
+fn encode_op(op: &Operation, out: &mut Vec<u8>) {
+    let mut flags = op_kind_code(op.kind);
+    if op.read_value.is_some() {
+        flags |= OP_HAS_READ;
+    }
+    if op.write_value.is_some() {
+        flags |= OP_HAS_WRITE;
+    }
+    out.push(flags);
+    out.extend_from_slice(&op.proc.0.to_le_bytes());
+    out.extend_from_slice(&op.loc.0.to_le_bytes());
+    out.extend_from_slice(&op.id.0.to_le_bytes());
+    if let Some(v) = op.read_value {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    if let Some(v) = op.write_value {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn take<const N: usize>(bytes: &mut &[u8]) -> Result<[u8; N], String> {
+    let (head, rest) = bytes
+        .split_at_checked(N)
+        .ok_or_else(|| "truncated op record".to_string())?;
+    *bytes = rest;
+    Ok(head.try_into().expect("split_at_checked returned N bytes"))
+}
+
+fn decode_op(bytes: &mut &[u8]) -> Result<Operation, String> {
+    let [flags] = take::<1>(bytes)?;
+    let kind = op_kind_from_code(flags & OP_KIND_MASK)?;
+    let proc = ProcId(u16::from_le_bytes(take::<2>(bytes)?));
+    let loc = Loc(u32::from_le_bytes(take::<4>(bytes)?));
+    let id = OpId(u64::from_le_bytes(take::<8>(bytes)?));
+    let read_value = if flags & OP_HAS_READ != 0 {
+        Some(u64::from_le_bytes(take::<8>(bytes)?))
+    } else {
+        None
+    };
+    let write_value = if flags & OP_HAS_WRITE != 0 {
+        Some(u64::from_le_bytes(take::<8>(bytes)?))
+    } else {
+        None
+    };
+    Ok(Operation { id, proc, kind, loc, read_value, write_value })
+}
+
+impl BatchItem {
+    /// The item's client-assigned tag.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match *self {
+            BatchItem::Query { id, .. }
+            | BatchItem::TraceOpen { id, .. }
+            | BatchItem::TraceSeg { id, .. }
+            | BatchItem::TraceFinish { id } => id,
+        }
+    }
+
+    /// Encodes one item (the inner bytes of a batch sub-frame).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            BatchItem::Query { id, request } => {
+                let mut out = format!("{PROTOCOL_VERSION_2} q {id}\n").into_bytes();
+                out.extend_from_slice(&request.encode());
+                out
+            }
+            BatchItem::TraceOpen { id, release_writes } => {
+                let mode = if *release_writes { "release-writes" } else { "drf0" };
+                format!("{PROTOCOL_VERSION_2} trace_open {id}\nmode={mode}\n").into_bytes()
+            }
+            BatchItem::TraceSeg { id, procs, ops } => {
+                let mut out = format!(
+                    "{PROTOCOL_VERSION_2} trace_seg {id}\nprocs={procs}\nops={}\n\n",
+                    ops.len()
+                )
+                .into_bytes();
+                for op in ops {
+                    encode_op(op, &mut out);
+                }
+                out
+            }
+            BatchItem::TraceFinish { id } => {
+                format!("{PROTOCOL_VERSION_2} trace_finish {id}\n").into_bytes()
+            }
+        }
+    }
+
+    /// Decodes one item.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason on malformed input; never panics. When the
+    /// first line parsed far enough to carry an id, the error is still
+    /// attributable via [`peek_item_id`].
+    pub fn decode(item: &[u8]) -> Result<Self, String> {
+        let newline = item
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or("batch item missing first line")?;
+        let first = std::str::from_utf8(&item[..newline])
+            .map_err(|e| format!("batch item first line not UTF-8: {e}"))?;
+        let rest = &item[newline + 1..];
+        let mut parts = first.split_whitespace();
+        let version = parts.next().ok_or("missing protocol version")?;
+        if version != PROTOCOL_VERSION_2 {
+            return Err(format!("unsupported batch item version {version:?}"));
+        }
+        let tag = parts.next().ok_or("missing batch item tag")?;
+        let id: u64 = parts
+            .next()
+            .ok_or("missing batch item id")?
+            .parse()
+            .map_err(|_| "bad batch item id".to_string())?;
+        match tag {
+            "q" => Ok(BatchItem::Query { id, request: Request::decode(rest)? }),
+            "trace_open" => {
+                let text = std::str::from_utf8(rest)
+                    .map_err(|e| format!("trace_open headers not UTF-8: {e}"))?;
+                let mut release_writes = false;
+                for line in text.lines().filter(|l| !l.is_empty()) {
+                    let Some((key, value)) = line.split_once('=') else {
+                        return Err(format!("malformed trace_open header {line:?}"));
+                    };
+                    if key == "mode" {
+                        release_writes = match value {
+                            "drf0" => false,
+                            "release-writes" => true,
+                            other => return Err(format!("unknown trace mode {other:?}")),
+                        };
+                    }
+                }
+                Ok(BatchItem::TraceOpen { id, release_writes })
+            }
+            "trace_seg" => {
+                // Text headers up to the blank line, then binary op records.
+                let header_end = rest
+                    .windows(2)
+                    .position(|w| w == b"\n\n")
+                    .ok_or("trace_seg missing blank line")?;
+                let headers = std::str::from_utf8(&rest[..header_end])
+                    .map_err(|e| format!("trace_seg headers not UTF-8: {e}"))?;
+                let mut procs: Option<u16> = None;
+                let mut count: Option<usize> = None;
+                for line in headers.lines() {
+                    let Some((key, value)) = line.split_once('=') else {
+                        return Err(format!("malformed trace_seg header {line:?}"));
+                    };
+                    match key {
+                        "procs" => {
+                            procs =
+                                Some(value.parse().map_err(|_| format!("bad procs {value:?}"))?);
+                        }
+                        "ops" => {
+                            count =
+                                Some(value.parse().map_err(|_| format!("bad ops {value:?}"))?);
+                        }
+                        _ => {}
+                    }
+                }
+                let procs = procs.ok_or("trace_seg missing procs")?;
+                let count = count.ok_or("trace_seg missing ops count")?;
+                let mut bytes = &rest[header_end + 2..];
+                // An op record is at least 15 bytes, so a hostile count is
+                // bounded by the (already capped) item length before any
+                // allocation happens.
+                if count > bytes.len() / 15 {
+                    return Err(format!("ops count {count} exceeds payload"));
+                }
+                let mut ops = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ops.push(decode_op(&mut bytes)?);
+                }
+                if !bytes.is_empty() {
+                    return Err(format!("{} trailing bytes after ops", bytes.len()));
+                }
+                Ok(BatchItem::TraceSeg { id, procs, ops })
+            }
+            "trace_finish" => Ok(BatchItem::TraceFinish { id }),
+            other => Err(format!("unknown batch item tag {other:?}")),
+        }
+    }
+}
+
+/// Extracts the client-assigned id from an item's first line without fully
+/// decoding it, so even a malformed item's error result can be tagged.
+#[must_use]
+pub fn peek_item_id(item: &[u8]) -> Option<u64> {
+    let newline = item.iter().position(|&b| b == b'\n')?;
+    let first = std::str::from_utf8(&item[..newline]).ok()?;
+    first.split_whitespace().nth(2)?.parse().ok()
+}
+
+/// Whether a frame payload is a v2 batch frame (vs a v1 request).
+#[must_use]
+pub fn is_batch_frame(payload: &[u8]) -> bool {
+    payload.starts_with(BATCH_MAGIC.as_bytes())
+        && matches!(payload.get(BATCH_MAGIC.len()), None | Some(b'\n'))
+}
+
+/// Assembles encoded items into one batch frame payload.
+///
+/// # Panics
+///
+/// If an item exceeds `u32::MAX` bytes (unreachable behind the per-item
+/// cap).
+#[must_use]
+pub fn encode_batch_frame(items: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = format!("{BATCH_MAGIC}\nitems={}\n\n", items.len()).into_bytes();
+    for item in items {
+        let len = u32::try_from(item.len()).expect("batch item exceeds u32::MAX bytes");
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(item);
+    }
+    out
+}
+
+/// Splits a batch frame payload into its item byte slices. Structural
+/// errors (bad magic, count mismatch, torn sub-frame, too many items) fail
+/// the whole frame; *semantic* per-item errors are the caller's business so
+/// they can be answered per item.
+///
+/// # Errors
+///
+/// A human-readable reason on malformed framing; never panics.
+pub fn split_batch_frame(payload: &[u8], max_items: usize) -> Result<Vec<&[u8]>, String> {
+    if !is_batch_frame(payload) {
+        return Err("not a batch frame".into());
+    }
+    let mut rest = &payload[BATCH_MAGIC.len() + 1..];
+    let newline =
+        rest.iter().position(|&b| b == b'\n').ok_or("batch frame missing items header")?;
+    let header = std::str::from_utf8(&rest[..newline])
+        .map_err(|e| format!("batch header not UTF-8: {e}"))?;
+    let count: usize = header
+        .strip_prefix("items=")
+        .ok_or_else(|| format!("expected items header, got {header:?}"))?
+        .parse()
+        .map_err(|_| format!("bad items count {header:?}"))?;
+    if count > max_items {
+        return Err(format!("batch of {count} items exceeds cap of {max_items}"));
+    }
+    rest = &rest[newline + 1..];
+    rest = rest.strip_prefix(b"\n").ok_or("batch frame missing blank line")?;
+    let mut items = Vec::with_capacity(count.min(rest.len() / 4));
+    for _ in 0..count {
+        let len_bytes: [u8; 4] = take::<4>(&mut rest).map_err(|_| "torn batch sub-frame")?;
+        let len = u32::from_be_bytes(len_bytes) as usize;
+        let (item, tail) = rest
+            .split_at_checked(len)
+            .ok_or_else(|| format!("batch sub-frame of {len} bytes overruns the frame"))?;
+        items.push(item);
+        rest = tail;
+    }
+    if !rest.is_empty() {
+        return Err(format!("{} trailing bytes after batch items", rest.len()));
+    }
+    Ok(items)
+}
+
+/// Encodes a result frame: the item's id plus the embedded v1 response
+/// payload **verbatim** (this is what makes batched streams byte-comparable
+/// to per-request streams).
+#[must_use]
+pub fn encode_batch_result(id: u64, response_payload: &[u8]) -> Vec<u8> {
+    let mut out = format!("{PROTOCOL_VERSION_2} result {id}\n").into_bytes();
+    out.extend_from_slice(response_payload);
+    out
+}
+
+/// Splits a result frame into `(id, embedded v1 response payload)`.
+///
+/// # Errors
+///
+/// A human-readable reason if the payload is not a v2 result frame — a v1
+/// server answers a batch frame with a plain v1 error, which is how the
+/// client discovers it must fall back.
+pub fn decode_batch_result(payload: &[u8]) -> Result<(u64, &[u8]), String> {
+    let newline =
+        payload.iter().position(|&b| b == b'\n').ok_or("result frame missing first line")?;
+    let first = std::str::from_utf8(&payload[..newline])
+        .map_err(|e| format!("result first line not UTF-8: {e}"))?;
+    let mut parts = first.split_whitespace();
+    let version = parts.next().ok_or("missing protocol version")?;
+    if version != PROTOCOL_VERSION_2 {
+        return Err(format!("not a v2 result frame ({version:?})"));
+    }
+    if parts.next() != Some("result") {
+        return Err(format!("expected result frame, got {first:?}"));
+    }
+    let id: u64 = parts
+        .next()
+        .ok_or("missing result id")?
+        .parse()
+        .map_err(|_| "bad result id".to_string())?;
+    Ok((id, &payload[newline + 1..]))
+}
+
+// ---------------------------------------------------------------------
+// Race-block result references (batch streams only)
+// ---------------------------------------------------------------------
+
+/// Race-set size at which a batched result stops inlining its race list
+/// and references a shared race block instead. Heavily racy programs
+/// carry thousands of races per verdict; a batch of renamed
+/// near-duplicates coalescing onto one canonical key would otherwise
+/// encode, ship, and re-parse the same canonical set once per item.
+pub const RACE_BLOCK_MIN_RACES: usize = 64;
+
+/// The tag of a v2 batch stream frame (`"result"`, `"races"`,
+/// `"resultref"`), or `None` for anything else — e.g. the bare v1
+/// response an old server answers a batch frame with.
+#[must_use]
+pub fn batch_frame_tag(payload: &[u8]) -> Option<&str> {
+    let newline = payload.iter().position(|&b| b == b'\n')?;
+    let first = std::str::from_utf8(&payload[..newline]).ok()?;
+    let mut parts = first.split_whitespace();
+    if parts.next()? != PROTOCOL_VERSION_2 {
+        return None;
+    }
+    parts.next()
+}
+
+/// Encodes a race block: the canonical-space race set that `resultref`
+/// frames later in the same batch response stream reference by id. The
+/// block id is the item id of the first result that references it, which
+/// is unique within the batch.
+#[must_use]
+pub fn encode_batch_race_block(block_id: u64, races: &[RaceCoord]) -> Vec<u8> {
+    let mut out = format!("{PROTOCOL_VERSION_2} races {block_id}\nraces={}\n", races.len());
+    push_race_lines(&mut out, races);
+    out.into_bytes()
+}
+
+/// Splits a race block frame into `(block_id, canonical races)`.
+///
+/// # Errors
+///
+/// A human-readable reason on anything that is not a well-formed race
+/// block frame; never panics on wire input.
+pub fn decode_batch_race_block(payload: &[u8]) -> Result<(u64, Vec<RaceCoord>), String> {
+    let text =
+        std::str::from_utf8(payload).map_err(|e| format!("race block not UTF-8: {e}"))?;
+    let (first, rest) = text.split_once('\n').ok_or("race block missing first line")?;
+    let mut parts = first.split_whitespace();
+    if parts.next() != Some(PROTOCOL_VERSION_2) || parts.next() != Some("races") {
+        return Err(format!("not a race block frame ({first:?})"));
+    }
+    let block_id: u64 = parts
+        .next()
+        .ok_or("missing race block id")?
+        .parse()
+        .map_err(|_| "bad race block id".to_string())?;
+    let mut count: Option<usize> = None;
+    let mut races = Vec::new();
+    for line in rest.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(value) = line.strip_prefix("race=") {
+            races.push(parse_race(value)?);
+        } else if let Some(value) = line.strip_prefix("races=") {
+            let n: usize =
+                value.parse().map_err(|_| format!("bad race count {value:?}"))?;
+            races.reserve(n.min(1 << 20));
+            count = Some(n);
+        } else {
+            return Err(format!("unexpected race block line {line:?}"));
+        }
+    }
+    if count != Some(races.len()) {
+        return Err(format!(
+            "race block carries {} races but declares {count:?}",
+            races.len()
+        ));
+    }
+    Ok((block_id, races))
+}
+
+/// A batched result that references a shared race block instead of
+/// inlining its (large) race list: everything the client needs to
+/// reconstruct the exact v1 [`Response::Verdict`] — verdict fields plus
+/// the submission's inverse renaming maps to translate the block's
+/// canonical races through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultRef {
+    /// The client-assigned item id this result answers.
+    pub id: u64,
+    /// Which race block (by id, within this batch) holds the races.
+    pub block_id: u64,
+    /// The verdict (`Racy` whenever the referenced block is non-empty).
+    pub verdict: Verdict,
+    /// States expanded by the exploration that produced the answer.
+    pub steps: u64,
+    /// How the cache participated for this item.
+    pub cache: CacheStatus,
+    /// Canonical thread index → submitted thread index.
+    pub thread_unmap: Vec<usize>,
+    /// Canonical location → submitted location.
+    pub loc_unmap: Vec<u32>,
+}
+
+/// Joins list values for the unmap headers of a `resultref` frame.
+fn encode_usize_list(values: &[usize]) -> String {
+    values.iter().map(usize::to_string).collect::<Vec<_>>().join(",")
+}
+
+/// Encodes a result-reference frame.
+#[must_use]
+pub fn encode_batch_result_ref(rref: &ResultRef) -> Vec<u8> {
+    let mut out = format!("{PROTOCOL_VERSION_2} resultref {} {}\n", rref.id, rref.block_id);
+    out.push_str(&format!("verdict={}\n", rref.verdict.encode()));
+    if let Verdict::Unknown { reason } = &rref.verdict {
+        out.push_str(&format!("reason={}\n", sanitize(reason)));
+    }
+    out.push_str(&format!("steps={}\n", rref.steps));
+    out.push_str(&format!("cache={}\n", rref.cache.as_str()));
+    out.push_str(&format!("unmap_threads={}\n", encode_usize_list(&rref.thread_unmap)));
+    out.push_str(&format!(
+        "unmap_locs={}\n",
+        rref.loc_unmap.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+    ));
+    out.into_bytes()
+}
+
+/// Decodes a result-reference frame.
+///
+/// # Errors
+///
+/// A human-readable reason on anything that is not a well-formed
+/// `resultref` frame; never panics on wire input.
+pub fn decode_batch_result_ref(payload: &[u8]) -> Result<ResultRef, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("resultref not UTF-8: {e}"))?;
+    let (first, rest) = text.split_once('\n').ok_or("resultref missing first line")?;
+    let mut parts = first.split_whitespace();
+    if parts.next() != Some(PROTOCOL_VERSION_2) || parts.next() != Some("resultref") {
+        return Err(format!("not a resultref frame ({first:?})"));
+    }
+    let id: u64 = parts
+        .next()
+        .ok_or("missing resultref id")?
+        .parse()
+        .map_err(|_| "bad resultref id".to_string())?;
+    let block_id: u64 = parts
+        .next()
+        .ok_or("missing resultref block id")?
+        .parse()
+        .map_err(|_| "bad resultref block id".to_string())?;
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    for line in rest.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("malformed resultref line {line:?}"));
+        };
+        headers.push((key, value));
+    }
+    let get = |key: &str| -> Result<&str, String> {
+        headers
+            .iter()
+            .find_map(|(k, v)| (*k == key).then_some(*v))
+            .ok_or_else(|| format!("resultref missing {key}"))
+    };
+    let verdict = match get("verdict")? {
+        "drf0" => Verdict::Drf0,
+        "racy" => Verdict::Racy,
+        "unknown" => Verdict::Unknown {
+            reason: get("reason").unwrap_or("unspecified").to_string(),
+        },
+        other => return Err(format!("unknown verdict {other:?}")),
+    };
+    let steps: u64 =
+        get("steps")?.parse().map_err(|_| "bad steps in resultref".to_string())?;
+    let cache = CacheStatus::from_str(get("cache")?)
+        .ok_or_else(|| format!("unknown cache status {:?}", get("cache").unwrap_or("")))?;
+    let parse_list = |value: &str| -> Result<Vec<u64>, String> {
+        if value.is_empty() {
+            return Ok(Vec::new());
+        }
+        value
+            .split(',')
+            .map(|v| v.parse::<u64>().map_err(|_| format!("bad unmap entry {v:?}")))
+            .collect()
+    };
+    let thread_unmap =
+        parse_list(get("unmap_threads")?)?.into_iter().map(|v| v as usize).collect();
+    let loc_unmap = parse_list(get("unmap_locs")?)?
+        .into_iter()
+        .map(|v| u32::try_from(v).map_err(|_| format!("unmap loc {v} out of range")))
+        .collect::<Result<Vec<u32>, String>>()?;
+    Ok(ResultRef { id, block_id, verdict, steps, cache, thread_unmap, loc_unmap })
 }
 
 #[cfg(test)]
@@ -769,7 +1545,13 @@ mod tests {
                 degraded: 1,
                 journal_replayed: 3,
                 shedding: true,
+                batch_depth: [1, 0, 2, 0, 0, 9],
+                shard_hits: vec![3, 0, 1],
+                shard_misses: vec![0, 2, 0],
+                coalesced_in_batch: 5,
+                shed_items: 2,
             }),
+            Response::Trace { report: "verdict: racy\nsegments: 2\nraces: 1\n".into() },
             Response::Error {
                 code: ErrorCode::Overloaded,
                 message: "queue full".into(),
@@ -810,5 +1592,173 @@ mod tests {
         assert!(ErrorCode::ShuttingDown.is_retryable());
         assert!(!ErrorCode::Parse.is_retryable());
         assert!(!ErrorCode::TooLarge.is_retryable());
+    }
+
+    fn sample_ops() -> Vec<Operation> {
+        vec![
+            Operation::data_write(OpId(1), ProcId(0), Loc(3), 7),
+            Operation::data_read(OpId(2), ProcId(1), Loc(3), 7),
+            Operation::sync_write(OpId(3), ProcId(0), Loc(9), 1),
+            Operation::sync_read(OpId(4), ProcId(1), Loc(9), 1),
+            Operation::sync_rmw(OpId(5), ProcId(2), Loc(9), 1, 2),
+        ]
+    }
+
+    #[test]
+    fn batch_items_roundtrip() {
+        let mut req = Request::new(QueryKind::Drf0, "P0:\n  W(m0) := 1\n");
+        req.deadline_ms = Some(0);
+        let items = vec![
+            BatchItem::Query { id: 0, request: req },
+            BatchItem::TraceOpen { id: 1, release_writes: true },
+            BatchItem::TraceOpen { id: 2, release_writes: false },
+            BatchItem::TraceSeg { id: 3, procs: 3, ops: sample_ops() },
+            BatchItem::TraceSeg { id: 4, procs: 1, ops: vec![] },
+            BatchItem::TraceFinish { id: u64::MAX },
+        ];
+        for item in &items {
+            let bytes = item.encode();
+            assert_eq!(&BatchItem::decode(&bytes).unwrap(), item, "{item:?}");
+            assert_eq!(peek_item_id(&bytes), Some(item.id()));
+        }
+    }
+
+    #[test]
+    fn query_item_embeds_the_v1_request_verbatim() {
+        let req = Request::new(QueryKind::Sc, "P0:\n  0: r0 := R(m0)\n");
+        let bytes = BatchItem::Query { id: 42, request: req.clone() }.encode();
+        let newline = bytes.iter().position(|&b| b == b'\n').unwrap();
+        assert_eq!(&bytes[newline + 1..], &req.encode()[..]);
+    }
+
+    #[test]
+    fn batch_frames_roundtrip_and_reject_structural_damage() {
+        let encoded: Vec<Vec<u8>> = vec![
+            BatchItem::TraceFinish { id: 1 }.encode(),
+            BatchItem::Query { id: 2, request: Request::new(QueryKind::Ping, "") }.encode(),
+        ];
+        let frame = encode_batch_frame(&encoded);
+        assert!(is_batch_frame(&frame));
+        assert!(!is_batch_frame(b"wo-serve/1 drf0\n\n"));
+        assert!(!is_batch_frame(b"wo-serve/2 batchx\n"));
+        let split = split_batch_frame(&frame, 16).unwrap();
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[0], &encoded[0][..]);
+        assert_eq!(split[1], &encoded[1][..]);
+
+        // Item cap.
+        assert!(split_batch_frame(&frame, 1).is_err());
+        // Count mismatch: header promises one more item than the frame has.
+        let mut lying = format!("{BATCH_MAGIC}\nitems=3\n\n").into_bytes();
+        lying.extend_from_slice(&frame[frame.len() - (encoded[0].len() + encoded[1].len() + 8)..]);
+        assert!(split_batch_frame(&lying, 16).is_err(), "declared 3, carried 2");
+        for cut in [frame.len() - 1, frame.len() - 5] {
+            assert!(split_batch_frame(&frame[..cut], 16).is_err(), "torn at {cut}");
+        }
+        let mut trailing = frame.clone();
+        trailing.push(0);
+        assert!(split_batch_frame(&trailing, 16).is_err(), "trailing bytes");
+        assert!(split_batch_frame(b"wo-serve/2 batch\nitems=zz\n\n", 16).is_err());
+        assert!(split_batch_frame(b"wo-serve/2 batch\nitems=1\n", 16).is_err());
+    }
+
+    #[test]
+    fn malformed_batch_items_error_not_panic() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b"wo-serve/2 q\n",
+            b"wo-serve/2 q abc\nwo-serve/1 ping\n\n",
+            b"wo-serve/1 q 3\nwo-serve/1 ping\n\n",
+            b"wo-serve/2 bogus 3\n",
+            b"wo-serve/2 trace_open 1\nmode=tso\n",
+            b"wo-serve/2 trace_seg 1\nprocs=2\n\n",
+            b"wo-serve/2 trace_seg 1\nprocs=2\nops=9999\n\n\x00",
+            b"wo-serve/2 trace_seg 1\nprocs=2\nops=1\n\n\x05\x00\x00\x00\x00\x00\x00",
+        ];
+        for case in cases {
+            assert!(BatchItem::decode(case).is_err(), "{case:?}");
+        }
+        // Trailing garbage after a well-formed op is rejected.
+        let mut seg = BatchItem::TraceSeg { id: 1, procs: 2, ops: sample_ops() }.encode();
+        seg.push(0xAA);
+        assert!(BatchItem::decode(&seg).is_err());
+    }
+
+    #[test]
+    fn result_frames_roundtrip_and_v1_responses_are_distinguishable() {
+        let resp = Response::Verdict {
+            verdict: Verdict::Drf0,
+            races: vec![],
+            steps: 12,
+            cache: CacheStatus::Hit,
+        };
+        let payload = resp.encode();
+        let framed = encode_batch_result(9, &payload);
+        let (id, inner) = decode_batch_result(&framed).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(inner, &payload[..], "embedded response bytes are verbatim");
+        assert_eq!(Response::decode(inner).unwrap(), resp);
+
+        // A v1 server's plain error response is not a result frame — that
+        // mismatch is the client's fallback signal.
+        let v1 = Response::Error { code: ErrorCode::Malformed, message: "nope".into() }.encode();
+        assert!(decode_batch_result(&v1).is_err());
+    }
+
+    #[test]
+    fn trace_response_preserves_multiline_report_verbatim() {
+        let report = "verdict: drf0\nmode: drf0\nsegments: 3\nevents: 120\n";
+        let r = Response::Trace { report: report.into() };
+        match Response::decode(&r.encode()).unwrap() {
+            Response::Trace { report: got } => assert_eq!(got, report),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_depth_buckets_partition_the_axis() {
+        assert_eq!(batch_depth_bucket(0), 0);
+        assert_eq!(batch_depth_bucket(1), 0);
+        assert_eq!(batch_depth_bucket(2), 1);
+        assert_eq!(batch_depth_bucket(7), 1);
+        assert_eq!(batch_depth_bucket(8), 2);
+        assert_eq!(batch_depth_bucket(127), 3);
+        assert_eq!(batch_depth_bucket(256), 4);
+        assert_eq!(batch_depth_bucket(512), 5);
+        assert_eq!(batch_depth_bucket(usize::MAX), 5);
+    }
+
+    /// Pins the stats wire schema: the exact header keys, in order.
+    /// Extending the stats payload is fine — but it must be deliberate,
+    /// append-only, and reflected here, because old clients skip unknown
+    /// keys while old servers cannot retroactively produce new ones.
+    #[test]
+    fn stats_wire_schema_is_pinned() {
+        let payload = Response::Stats(ServerStats::default()).encode();
+        let text = String::from_utf8(payload).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("wo-serve/1 ok stats"));
+        let keys: Vec<&str> = lines
+            .take_while(|l| !l.is_empty())
+            .map(|l| l.split_once('=').expect("key=value header").0)
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                "served",
+                "cache_hits",
+                "coalesced",
+                "explored",
+                "overloaded",
+                "degraded",
+                "journal_replayed",
+                "shedding",
+                "batch_depth",
+                "shard_hits",
+                "shard_misses",
+                "coalesced_in_batch",
+                "shed_items",
+            ]
+        );
     }
 }

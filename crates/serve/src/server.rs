@@ -16,7 +16,8 @@
 //! Cache hits bypass admission control entirely: a saturated server keeps
 //! answering everything it already knows.
 
-use std::io;
+use std::collections::HashMap;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -25,15 +26,21 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use litmus::explore::ExploreConfig;
+use memory_model::SyncMode;
+use memsim::pool::run_with_worker;
+use wo_trace::{CheckerConfig, StreamChecker};
 
 use crate::cache::{CachedAnswer, FlightOutcome, KindGroup, Lookup, VerdictCache};
-use crate::canon::canonicalize;
+use crate::canon::{canonicalize, CanonicalForm};
 use crate::journal::{Journal, JournalRecord};
 use crate::protocol::{
-    read_frame, write_frame, CacheStatus, ErrorCode, QueryKind, Request, Response,
-    ServerStats, Verdict, DEFAULT_MAX_FRAME_BYTES,
+    batch_depth_bucket, encode_batch_race_block, encode_batch_result, encode_batch_result_ref,
+    is_batch_frame, peek_item_id, read_frame, split_batch_frame, write_frame, BatchItem,
+    CacheStatus, ErrorCode, QueryKind, Request, Response, ResultRef, ServerStats, Verdict,
+    BATCH_DEPTH_BUCKETS, DEFAULT_MAX_BATCH_FRAME_BYTES, DEFAULT_MAX_BATCH_ITEMS,
+    DEFAULT_MAX_FRAME_BYTES, RACE_BLOCK_MIN_RACES,
 };
-use crate::{answer_to_response, compute_answer, kind_group};
+use crate::{answer_to_response, compute_answer, explore_verdict, kind_group};
 
 /// Tuning knobs for [`Server::spawn`].
 #[derive(Debug, Clone)]
@@ -60,6 +67,15 @@ pub struct ServerConfig {
     pub journal_dir: Option<PathBuf>,
     /// Compact the journal every this many appends (0 = never).
     pub snapshot_every: usize,
+    /// Outer `wo-serve/2` batch-frame payload cap. Each decoded item
+    /// inside a batch is still held to `max_frame_bytes` individually.
+    pub max_batch_frame_bytes: usize,
+    /// Items allowed per batch frame; larger batches are rejected whole
+    /// (the client chunks).
+    pub max_batch_items: usize,
+    /// Worker threads for batch decode/canonicalize/probe parallelism
+    /// (0 = available parallelism, 1 = serial).
+    pub pool_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +90,9 @@ impl Default for ServerConfig {
             explore: ExploreConfig::default(),
             journal_dir: None,
             snapshot_every: 64,
+            max_batch_frame_bytes: DEFAULT_MAX_BATCH_FRAME_BYTES,
+            max_batch_items: DEFAULT_MAX_BATCH_ITEMS,
+            pool_threads: 0,
         }
     }
 }
@@ -191,6 +210,9 @@ struct ServeCounters {
     overloaded: AtomicU64,
     degraded: AtomicU64,
     journal_replayed: AtomicU64,
+    batch_depth: [AtomicU64; BATCH_DEPTH_BUCKETS],
+    coalesced_in_batch: AtomicU64,
+    shed_items: AtomicU64,
 }
 
 struct Shared {
@@ -295,15 +317,23 @@ const READ_POLL: Duration = Duration::from_millis(100);
 
 fn serve_connection(shared: &Shared, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    // Results stream back-to-back on a pipelined connection; letting
+    // Nagle batch them against delayed ACKs would serialize the whole
+    // stream at one delayed-ACK interval per frame.
+    let _ = stream.set_nodelay(true);
     let mut reader = match stream.try_clone() {
         Ok(r) => r,
         Err(_) => return,
     };
-    let mut writer = stream;
+    // Batch resolution streams results from pool workers, so writes go
+    // through a mutex. v1 responses take the same (uncontended) path.
+    let writer = Mutex::new(stream);
+    let mut trace = TraceSession::default();
+    let read_cap = shared.cfg.max_frame_bytes.max(shared.cfg.max_batch_frame_bytes);
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
-            let _ = write_frame(
-                &mut writer,
+            let _ = write_locked(
+                &writer,
                 &Response::Error {
                     code: ErrorCode::ShuttingDown,
                     message: "server draining".into(),
@@ -312,7 +342,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
             );
             return;
         }
-        let payload = match read_frame(&mut reader, shared.cfg.max_frame_bytes) {
+        let payload = match read_frame(&mut reader, read_cap) {
             Ok(Some(payload)) => payload,
             Ok(None) => return, // clean close
             Err(e)
@@ -324,8 +354,8 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Oversized frame: answer honestly, then drop the
                 // connection (the stream offset is unrecoverable).
-                let _ = write_frame(
-                    &mut writer,
+                let _ = write_locked(
+                    &writer,
                     &Response::Error { code: ErrorCode::TooLarge, message: e.to_string() }
                         .encode(),
                 );
@@ -333,6 +363,30 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
             }
             Err(_) => return, // torn frame / connection error
         };
+        if is_batch_frame(&payload) {
+            if handle_batch(shared, &writer, &payload, &mut trace).is_err() {
+                return;
+            }
+            continue;
+        }
+        // Only batch frames get the larger allowance; a v1 frame over the
+        // v1 cap is answered honestly and the connection dropped, exactly
+        // as if `read_frame` had rejected it.
+        if payload.len() > shared.cfg.max_frame_bytes {
+            let _ = write_locked(
+                &writer,
+                &Response::Error {
+                    code: ErrorCode::TooLarge,
+                    message: format!(
+                        "frame of {} bytes exceeds cap of {} bytes",
+                        payload.len(),
+                        shared.cfg.max_frame_bytes
+                    ),
+                }
+                .encode(),
+            );
+            return;
+        }
         // Defense in depth for the zero-panics contract: an unexpected
         // panic anywhere in request handling becomes a structured
         // Internal error on this one request (the LeaderGuard's Drop has
@@ -345,10 +399,15 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
             message: "request handler panicked".into(),
         });
         shared.counters.served.fetch_add(1, Ordering::Relaxed);
-        if write_frame(&mut writer, &response.encode()).is_err() {
+        if write_locked(&writer, &response.encode()).is_err() {
             return;
         }
     }
+}
+
+fn write_locked(writer: &Mutex<TcpStream>, payload: &[u8]) -> io::Result<()> {
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    write_frame(&mut *w, payload)
 }
 
 fn handle_payload(shared: &Shared, payload: &[u8]) -> Response {
@@ -366,6 +425,11 @@ fn handle_payload(shared: &Shared, payload: &[u8]) -> Response {
 }
 
 fn snapshot_stats(shared: &Shared) -> ServerStats {
+    let (shard_hits, shard_misses) = shared.cache.shard_hit_miss();
+    let mut batch_depth = [0u64; BATCH_DEPTH_BUCKETS];
+    for (slot, counter) in batch_depth.iter_mut().zip(&shared.counters.batch_depth) {
+        *slot = counter.load(Ordering::Relaxed);
+    }
     ServerStats {
         served: shared.counters.served.load(Ordering::Relaxed),
         cache_hits: shared.cache.stats.hits.load(Ordering::Relaxed),
@@ -375,6 +439,11 @@ fn snapshot_stats(shared: &Shared) -> ServerStats {
         degraded: shared.counters.degraded.load(Ordering::Relaxed),
         journal_replayed: shared.counters.journal_replayed.load(Ordering::Relaxed),
         shedding: shared.gate.shedding(),
+        batch_depth,
+        shard_hits,
+        shard_misses,
+        coalesced_in_batch: shared.counters.coalesced_in_batch.load(Ordering::Relaxed),
+        shed_items: shared.counters.shed_items.load(Ordering::Relaxed),
     }
 }
 
@@ -399,6 +468,20 @@ fn deadline_degraded(kind: QueryKind) -> Response {
     }
 }
 
+/// Effective wall-clock budget: client's ask clamped to the ceiling,
+/// falling back to the server default. An explicit 0 opts out of
+/// wall-clock deadlines entirely (step budgets only) — that is what
+/// keeps remote verdicts as deterministic as local ones.
+fn effective_deadline(shared: &Shared, requested: Option<u64>) -> Option<Instant> {
+    let deadline_ms = match requested {
+        Some(0) => None,
+        Some(ms) => Some(ms.min(shared.cfg.max_deadline_ms)),
+        None if shared.cfg.default_deadline_ms > 0 => Some(shared.cfg.default_deadline_ms),
+        None => None,
+    };
+    deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms))
+}
+
 fn handle_query(shared: &Shared, request: &Request) -> Response {
     let Some(group) = kind_group(request.kind) else {
         return Response::Error {
@@ -413,17 +496,7 @@ fn handle_query(shared: &Shared, request: &Request) -> Response {
         }
     };
 
-    // Effective wall-clock budget: client's ask clamped to the ceiling,
-    // falling back to the server default. An explicit 0 opts out of
-    // wall-clock deadlines entirely (step budgets only) — that is what
-    // keeps remote verdicts as deterministic as local ones.
-    let deadline_ms = match request.deadline_ms {
-        Some(0) => None,
-        Some(ms) => Some(ms.min(shared.cfg.max_deadline_ms)),
-        None if shared.cfg.default_deadline_ms > 0 => Some(shared.cfg.default_deadline_ms),
-        None => None,
-    };
-    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let deadline = effective_deadline(shared, request.deadline_ms);
 
     let form = canonicalize(&program);
 
@@ -498,18 +571,590 @@ fn persist(shared: &Shared, group: KindGroup, key: &str, answer: &CachedAnswer) 
     let Some(j) = journal.as_mut() else { return };
     let record = JournalRecord { group, key: key.to_string(), answer: answer.clone() };
     if let Ok(true) = j.append(&record) {
-        let live: Vec<JournalRecord> = shared
-            .cache
-            .definitive_entries()
-            .into_iter()
-            .map(|(group, key, ans)| JournalRecord {
-                group,
-                key,
-                answer: (*ans).clone(),
-            })
-            .collect();
-        let _ = j.compact(live.iter());
+        compact_now(shared, j);
     }
+}
+
+/// Journals a whole batch's definitive answers with one write + one
+/// flush, compacting at most once. Same non-fatal failure policy as
+/// [`persist`].
+fn persist_batch(shared: &Shared, records: &[JournalRecord]) {
+    if records.is_empty() {
+        return;
+    }
+    let mut journal = shared.journal.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(j) = journal.as_mut() else { return };
+    if let Ok(true) = j.append_batch(records.iter()) {
+        compact_now(shared, j);
+    }
+}
+
+fn compact_now(shared: &Shared, j: &mut Journal) {
+    let live: Vec<JournalRecord> = shared
+        .cache
+        .definitive_entries()
+        .into_iter()
+        .map(|(group, key, ans)| JournalRecord {
+            group,
+            key,
+            answer: (*ans).clone(),
+        })
+        .collect();
+    let _ = j.compact(live.iter());
+}
+
+// ---------------------------------------------------------------------
+// Batch mode (wo-serve/2)
+// ---------------------------------------------------------------------
+
+/// Per-connection streaming trace check state. `None` until a
+/// `trace_open` item arrives; an ingest error poisons it back to `None`.
+#[derive(Default)]
+struct TraceSession {
+    checker: Option<StreamChecker>,
+}
+
+/// What phase A (parallel decode + canonicalize) made of one batch item.
+enum Prepared {
+    /// Already answerable: decode errors, per-item cap violations,
+    /// ping/stats. Responded to in submission order.
+    Immediate(u64, Response),
+    /// A trace item, decoded; applied sequentially in submission order
+    /// (the checker is per-connection stream state).
+    Trace(BatchItem),
+    /// A verdict query, parsed and canonicalized, awaiting resolution.
+    Query {
+        id: u64,
+        kind: QueryKind,
+        group: KindGroup,
+        deadline_ms: Option<u64>,
+        max_total_steps: Option<usize>,
+        max_ops_per_execution: Option<usize>,
+        form: CanonicalForm,
+    },
+}
+
+/// Query items sharing one canonical key: resolved once, answered for
+/// every item. `item_idxs[0]` is the first submission and provides the
+/// deadline and budgets for the shared exploration.
+struct KeyWork {
+    group: KindGroup,
+    key: String,
+    item_idxs: Vec<usize>,
+}
+
+/// Appends one tagged, length-prefixed result frame to `out`. The
+/// `served` counter ticks per result, as it does per response on the v1
+/// path. Results are buffered per resolution step and flushed in one
+/// write: a write syscall per result would wake the blocked client on
+/// every small segment, and on a machine where the reader and writer
+/// share a core that ping-pongs the scheduler once per item.
+fn push_result(shared: &Shared, out: &mut Vec<u8>, id: u64, response: &Response) {
+    push_result_payload(shared, out, id, &response.encode());
+}
+
+/// [`push_result`] for an already-encoded response payload, so one
+/// encoding can answer every batch item that shares it.
+fn push_result_payload(shared: &Shared, out: &mut Vec<u8>, id: u64, response_payload: &[u8]) {
+    shared.counters.served.fetch_add(1, Ordering::Relaxed);
+    push_frame(out, &encode_batch_result(id, response_payload));
+}
+
+/// Appends one length-prefixed frame payload to an output buffer.
+fn push_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).expect("frame under 4 GiB");
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Writes every buffered result frame in one locked write and empties
+/// the buffer. A no-op on an empty buffer.
+fn flush_results(writer: &Mutex<TcpStream>, out: &mut Vec<u8>) -> io::Result<()> {
+    if out.is_empty() {
+        return Ok(());
+    }
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    let res = w.write_all(out).and_then(|()| w.flush());
+    drop(w);
+    out.clear();
+    res
+}
+
+/// Emits one tagged result frame immediately.
+fn send_result(
+    shared: &Shared,
+    writer: &Mutex<TcpStream>,
+    id: u64,
+    response: &Response,
+) -> io::Result<()> {
+    let mut out = Vec::new();
+    push_result(shared, &mut out, id, response);
+    flush_results(writer, &mut out)
+}
+
+/// Decodes one batch item and does all per-item work that needs no
+/// shared state: cap check, decode, parse, canonicalize. Runs on the
+/// pool, so everything here is the parallel part of the hot path.
+fn prepare_item(shared: &Shared, item: &[u8]) -> Prepared {
+    let fallback_id = peek_item_id(item).unwrap_or(u64::MAX);
+    // The per-item cap is the v1 frame cap: a batch must not smuggle in
+    // an item no v1 frame could carry.
+    if item.len() > shared.cfg.max_frame_bytes {
+        shared.counters.shed_items.fetch_add(1, Ordering::Relaxed);
+        return Prepared::Immediate(
+            fallback_id,
+            Response::Error {
+                code: ErrorCode::TooLarge,
+                message: format!(
+                    "item of {} bytes exceeds per-item cap of {} bytes",
+                    item.len(),
+                    shared.cfg.max_frame_bytes
+                ),
+            },
+        );
+    }
+    let item = match BatchItem::decode(item) {
+        Ok(item) => item,
+        Err(reason) => {
+            return Prepared::Immediate(
+                fallback_id,
+                Response::Error { code: ErrorCode::Malformed, message: reason },
+            )
+        }
+    };
+    let BatchItem::Query { id, request } = item else {
+        return Prepared::Trace(item);
+    };
+    match request.kind {
+        QueryKind::Ping => Prepared::Immediate(id, Response::Pong),
+        QueryKind::Stats => Prepared::Immediate(id, Response::Stats(snapshot_stats(shared))),
+        kind => {
+            let Some(group) = kind_group(kind) else {
+                return Prepared::Immediate(
+                    id,
+                    Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: "query kind carries no body".into(),
+                    },
+                );
+            };
+            match litmus::parse::parse_program(&request.program) {
+                Err(e) => Prepared::Immediate(
+                    id,
+                    Response::Error { code: ErrorCode::Parse, message: e.to_string() },
+                ),
+                Ok(program) => Prepared::Query {
+                    id,
+                    kind,
+                    group,
+                    deadline_ms: request.deadline_ms,
+                    max_total_steps: request.max_total_steps,
+                    max_ops_per_execution: request.max_ops_per_execution,
+                    form: canonicalize(&program),
+                },
+            }
+        }
+    }
+}
+
+/// Applies one trace item to the connection's stream checker. Successful
+/// segments send nothing (backpressure is the socket window); everything
+/// else answers with a tagged result.
+fn handle_trace_item(
+    shared: &Shared,
+    writer: &Mutex<TcpStream>,
+    trace: &mut TraceSession,
+    item: &BatchItem,
+) -> io::Result<()> {
+    match item {
+        BatchItem::TraceOpen { id, release_writes } => {
+            let mode =
+                if *release_writes { SyncMode::ReleaseWrites } else { SyncMode::Drf0 };
+            // Only `mode` affects the race set; thread count is a server
+            // tuning knob, so reports stay equal to any local run.
+            trace.checker = Some(StreamChecker::new(CheckerConfig {
+                mode,
+                threads: shared.cfg.pool_threads,
+                ..CheckerConfig::default()
+            }));
+            send_result(shared, writer, *id, &Response::Pong)
+        }
+        BatchItem::TraceSeg { id, procs, ops } => {
+            let Some(checker) = trace.checker.as_mut() else {
+                return send_result(
+                    shared,
+                    writer,
+                    *id,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: "trace_seg without an open trace check".into(),
+                    },
+                );
+            };
+            checker.begin_segment(*procs);
+            for op in ops {
+                if let Err(e) = checker.ingest(op) {
+                    // A malformed trace poisons the stream: the partial
+                    // checker is dropped and later items error cleanly.
+                    trace.checker = None;
+                    return send_result(
+                        shared,
+                        writer,
+                        *id,
+                        &Response::Error { code: ErrorCode::Parse, message: e.to_string() },
+                    );
+                }
+            }
+            checker.end_segment();
+            Ok(())
+        }
+        BatchItem::TraceFinish { id } => {
+            let Some(checker) = trace.checker.take() else {
+                return send_result(
+                    shared,
+                    writer,
+                    *id,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: "trace_finish without an open trace check".into(),
+                    },
+                );
+            };
+            let report = checker.finish();
+            send_result(
+                shared,
+                writer,
+                *id,
+                &Response::Trace { report: report.canonical_text() },
+            )
+        }
+        BatchItem::Query { .. } => Ok(()), // routed to resolve_key, never here
+    }
+}
+
+/// Resolves one canonical key for every batch item that mapped to it and
+/// streams their tagged results. Returns the journal record when a fresh
+/// definitive answer should be persisted (journaling is batched by the
+/// caller). Write errors are swallowed: the connection is already dead
+/// and the read loop notices on its next turn.
+fn resolve_key(
+    shared: &Shared,
+    writer: &Mutex<TcpStream>,
+    prepared: &[Prepared],
+    work: &KeyWork,
+) -> Option<JournalRecord> {
+    let query = |idx: usize| -> (&u64, &QueryKind, &CanonicalForm) {
+        match &prepared[idx] {
+            Prepared::Query { id, kind, form, .. } => (id, kind, form),
+            _ => unreachable!("KeyWork indexes only Query items"),
+        }
+    };
+    // Results for the whole key accumulate here and go out in one write
+    // (nothing is buffered before a blocking wait, so streaming latency
+    // is unaffected: the flush happens as soon as the key has answers).
+    //
+    // All the key's items share one answer, and items whose submissions
+    // were renamings with the same inverse maps get byte-identical
+    // responses — translate and encode once per distinct
+    // (kind, unmaps, status) and reuse the bytes. On heavily racy
+    // programs a response carries thousands of race lines, so this memo
+    // is the difference between one encode per key and one per item.
+    type MemoEntry = (QueryKind, CacheStatus, Vec<usize>, Vec<u32>, Vec<u8>);
+    let mut memo: Vec<MemoEntry> = Vec::new();
+    // Once a key's answer is known to carry a large race set, its
+    // canonical races go out once as a race block and every item answers
+    // with a small reference frame carrying its own inverse maps; the
+    // client reconstructs the identical response via the same
+    // `translate_races` the full path uses. Without this, a batch of
+    // renamed near-duplicates of a heavily racy program re-encodes (and
+    // the client re-parses) thousands of identical race lines per item.
+    let mut race_block: Option<u64> = None;
+    let mut respond = |out: &mut Vec<u8>, idx: usize, answer: &CachedAnswer, status: CacheStatus| {
+        let (id, kind, form) = query(idx);
+        if !answer.is_definitive() {
+            shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        if let CachedAnswer::Explore { racy, races, steps, definitive, reason } = answer {
+            if races.len() >= RACE_BLOCK_MIN_RACES
+                && matches!(kind, QueryKind::Drf0 | QueryKind::Races)
+            {
+                let block_id = *race_block.get_or_insert_with(|| {
+                    push_frame(out, &encode_batch_race_block(*id, races));
+                    *id
+                });
+                let rref = ResultRef {
+                    id: *id,
+                    block_id,
+                    verdict: explore_verdict(*racy, *definitive, reason.as_deref()),
+                    steps: *steps,
+                    cache: status,
+                    thread_unmap: form.thread_unmap.clone(),
+                    loc_unmap: form.loc_unmap.clone(),
+                };
+                shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                push_frame(out, &encode_batch_result_ref(&rref));
+                return;
+            }
+        }
+        // The memo only pays off when responses are large (inline race
+        // lists) — race-free and Sc responses are a few short lines, and
+        // for renamed near-duplicate traffic the unmaps all differ, so
+        // probing would be pure overhead.
+        let large = matches!(answer, CachedAnswer::Explore { races, .. } if !races.is_empty());
+        if !large {
+            push_result_payload(
+                shared,
+                out,
+                *id,
+                &answer_to_response(*kind, answer, form, status).encode(),
+            );
+            return;
+        }
+        let pos = memo
+            .iter()
+            .position(|(k, s, tu, lu, _)| {
+                *k == *kind
+                    && *s == status
+                    && *tu == form.thread_unmap
+                    && *lu == form.loc_unmap
+            })
+            .unwrap_or_else(|| {
+                memo.push((
+                    *kind,
+                    status,
+                    form.thread_unmap.clone(),
+                    form.loc_unmap.clone(),
+                    answer_to_response(*kind, answer, form, status).encode(),
+                ));
+                memo.len() - 1
+            });
+        push_result_payload(shared, out, *id, &memo[pos].4);
+    };
+    let error_all = |out: &mut Vec<u8>, code: ErrorCode, message: &str| {
+        for &idx in &work.item_idxs {
+            let (id, _, _) = query(idx);
+            push_result(shared, out, *id, &Response::Error { code, message: message.into() });
+        }
+    };
+    let degrade_all = |out: &mut Vec<u8>| {
+        for &idx in &work.item_idxs {
+            let (id, kind, _) = query(idx);
+            shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            push_result(shared, out, *id, &deadline_degraded(*kind));
+        }
+    };
+
+    // The first submission of the key leads: its deadline and budgets
+    // govern the shared exploration, exactly as the v1 coalescing path
+    // lets the in-flight leader's budgets govern what joiners receive.
+    let leader = work.item_idxs[0];
+    let (deadline_ms, max_total_steps, max_ops_per_execution) = match &prepared[leader] {
+        Prepared::Query { deadline_ms, max_total_steps, max_ops_per_execution, .. } => {
+            (*deadline_ms, *max_total_steps, *max_ops_per_execution)
+        }
+        _ => unreachable!("KeyWork indexes only Query items"),
+    };
+    let deadline = effective_deadline(shared, deadline_ms);
+
+    let mut out = Vec::new();
+    let record = match shared.cache.lookup(work.group, &work.key) {
+        Lookup::Hit(answer) => {
+            for &idx in &work.item_idxs {
+                respond(&mut out, idx, &answer, CacheStatus::Hit);
+            }
+            None
+        }
+        Lookup::Join(flight) => match flight.wait(deadline) {
+            Some(FlightOutcome::Answered(answer)) => {
+                for &idx in &work.item_idxs {
+                    respond(&mut out, idx, &answer, CacheStatus::Coalesced);
+                }
+                None
+            }
+            Some(FlightOutcome::Failed) => {
+                error_all(&mut out, ErrorCode::Internal, "exploration worker lost");
+                None
+            }
+            None => {
+                degrade_all(&mut out);
+                None
+            }
+        },
+        Lookup::Lead(guard) => match shared.gate.admit(deadline) {
+            Admission::Rejected => {
+                drop(guard);
+                let n = work.item_idxs.len() as u64;
+                shared.counters.overloaded.fetch_add(n, Ordering::Relaxed);
+                shared.counters.shed_items.fetch_add(n, Ordering::Relaxed);
+                error_all(&mut out, ErrorCode::Overloaded, "exploration queue full");
+                None
+            }
+            Admission::TimedOut => {
+                drop(guard);
+                degrade_all(&mut out);
+                None
+            }
+            Admission::Granted(permit) => {
+                let mut ecfg = shared.cfg.explore;
+                if let Some(steps) = max_total_steps {
+                    ecfg.max_total_steps = steps.min(shared.cfg.explore.max_total_steps);
+                }
+                if let Some(ops) = max_ops_per_execution {
+                    ecfg.max_ops_per_execution =
+                        ops.min(shared.cfg.explore.max_ops_per_execution);
+                }
+                ecfg.deadline = deadline;
+
+                let form_program = match &prepared[leader] {
+                    Prepared::Query { form, .. } => &form.program,
+                    _ => unreachable!("KeyWork indexes only Query items"),
+                };
+                let answer = compute_answer(work.group, form_program, &ecfg);
+                shared.counters.explored.fetch_add(1, Ordering::Relaxed);
+                let shared_answer = guard.complete(answer);
+                drop(permit);
+
+                let definitive = shared_answer.is_definitive();
+                for (pos, &idx) in work.item_idxs.iter().enumerate() {
+                    // The leader sees Miss; followers of a definitive
+                    // answer see Hit — byte-for-byte what a sequential
+                    // per-request client would have been told.
+                    let status = if pos == 0 || !definitive {
+                        CacheStatus::Miss
+                    } else {
+                        CacheStatus::Hit
+                    };
+                    respond(&mut out, idx, &shared_answer, status);
+                }
+                if work.item_idxs.len() > 1 {
+                    shared
+                        .counters
+                        .coalesced_in_batch
+                        .fetch_add(work.item_idxs.len() as u64 - 1, Ordering::Relaxed);
+                }
+                definitive.then(|| JournalRecord {
+                    group: work.group,
+                    key: work.key.clone(),
+                    answer: (*shared_answer).clone(),
+                })
+            }
+        },
+    };
+    let _ = flush_results(writer, &mut out);
+    record
+}
+
+/// The `wo-serve/2` batch pipeline: split the frame, prepare all items in
+/// parallel on the shared pool, apply trace items and coalesce queries
+/// per canonical key in submission order, then resolve every unique key
+/// in parallel, streaming tagged results as each completes. One journal
+/// append (and at most one compaction) covers the whole batch.
+fn handle_batch(
+    shared: &Shared,
+    writer: &Mutex<TcpStream>,
+    payload: &[u8],
+    trace: &mut TraceSession,
+) -> io::Result<()> {
+    let items = match split_batch_frame(payload, shared.cfg.max_batch_items) {
+        Ok(items) => items,
+        Err(reason) => {
+            // Structural damage to the frame itself: no item is
+            // attributable, so answer once (v1 framing) and drop the
+            // connection.
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            let _ = write_locked(
+                writer,
+                &Response::Error { code: ErrorCode::Malformed, message: reason }.encode(),
+            );
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "malformed batch frame"));
+        }
+    };
+    shared.counters.batch_depth[batch_depth_bucket(items.len())]
+        .fetch_add(1, Ordering::Relaxed);
+
+    // Phase A — parallel: per-item caps, decode, parse, canonicalize.
+    let prepared: Vec<Prepared> = run_with_worker(
+        items.len(),
+        shared.cfg.pool_threads,
+        || (),
+        |(), i| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                prepare_item(shared, items[i])
+            }))
+            .unwrap_or_else(|_| {
+                Prepared::Immediate(
+                    peek_item_id(items[i]).unwrap_or(u64::MAX),
+                    Response::Error {
+                        code: ErrorCode::Internal,
+                        message: "item handler panicked".into(),
+                    },
+                )
+            })
+        },
+    );
+
+    // Phase B — sequential, submission order: immediate results, trace
+    // stream application, and coalescing queries per canonical key.
+    let mut key_index: HashMap<(KindGroup, String), usize> = HashMap::new();
+    let mut keys: Vec<KeyWork> = Vec::new();
+    for (idx, prep) in prepared.iter().enumerate() {
+        match prep {
+            Prepared::Immediate(id, response) => {
+                send_result(shared, writer, *id, response)?;
+            }
+            Prepared::Trace(item) => {
+                handle_trace_item(shared, writer, trace, item)?;
+            }
+            Prepared::Query { group, form, .. } => {
+                let slot = *key_index
+                    .entry((*group, form.text.clone()))
+                    .or_insert_with(|| {
+                        keys.push(KeyWork {
+                            group: *group,
+                            key: form.text.clone(),
+                            item_idxs: Vec::new(),
+                        });
+                        keys.len() - 1
+                    });
+                keys[slot].item_idxs.push(idx);
+            }
+        }
+    }
+
+    // Phase C — parallel: one cache probe / exploration per unique key,
+    // results streamed out of order as keys complete.
+    let records: Vec<Option<JournalRecord>> = run_with_worker(
+        keys.len(),
+        shared.cfg.pool_threads,
+        || (),
+        |(), ki| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                resolve_key(shared, writer, &prepared, &keys[ki])
+            }))
+            .unwrap_or_else(|_| {
+                // The LeaderGuard's Drop already published Failed to any
+                // cross-connection joiners; answer this batch's items.
+                for &idx in &keys[ki].item_idxs {
+                    if let Prepared::Query { id, .. } = &prepared[idx] {
+                        let _ = send_result(
+                            shared,
+                            writer,
+                            *id,
+                            &Response::Error {
+                                code: ErrorCode::Internal,
+                                message: "exploration panicked".into(),
+                            },
+                        );
+                    }
+                }
+                None
+            })
+        },
+    );
+
+    let records: Vec<JournalRecord> = records.into_iter().flatten().collect();
+    persist_batch(shared, &records);
+    Ok(())
 }
 
 

@@ -28,10 +28,14 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::time::Duration;
 
+use std::time::Instant;
+
 use litmus::explore::ExploreConfig;
 use wo_fuzz::gen::{generate, GenConfig};
-use wo_serve::client::{ClientConfig, ServeClient};
-use wo_serve::protocol::{CacheStatus, ErrorCode, QueryKind, Request, Response};
+use wo_serve::client::{BatchClient, ClientConfig, ServeClient};
+use wo_serve::protocol::{
+    CacheStatus, ErrorCode, QueryKind, Request, Response, ServerStats,
+};
 
 const SEEDS: u64 = 200;
 const RESTART_AT: u64 = 100;
@@ -46,8 +50,16 @@ struct Daemon {
 
 impl Daemon {
     fn spawn(journal: &PathBuf) -> Daemon {
+        Daemon::spawn_at("127.0.0.1:0", journal)
+            .expect("daemon exited before announcing its address")
+    }
+
+    /// One spawn attempt at a pinned address. `None` when the daemon
+    /// exits before announcing — after a `kill -9` the old port can
+    /// linger briefly, so respawns retry this in a loop.
+    fn spawn_at(bind: &str, journal: &PathBuf) -> Option<Daemon> {
         let mut child = Command::new(env!("CARGO_BIN_EXE_wo_serve"))
-            .args(["--addr", "127.0.0.1:0", "--journal"])
+            .args(["--addr", bind, "--journal"])
             .arg(journal)
             .args(["--workers", "2", "--queue", "8", "--snapshot-every", "16"])
             .stdout(Stdio::piped())
@@ -57,12 +69,17 @@ impl Daemon {
         let stdout = child.stdout.take().expect("stdout piped");
         let mut lines = BufReader::new(stdout).lines();
         let addr = loop {
-            let line = lines
-                .next()
-                .expect("daemon exited before announcing its address")
-                .expect("readable stdout");
-            if let Some(addr) = line.strip_prefix("wo-serve listening on ") {
-                break addr.trim().to_string();
+            match lines.next() {
+                Some(Ok(line)) => {
+                    if let Some(addr) = line.strip_prefix("wo-serve listening on ") {
+                        break addr.trim().to_string();
+                    }
+                }
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return None;
+                }
             }
         };
         // Drain stderr on a side thread so the daemon can never block on
@@ -73,7 +90,7 @@ impl Daemon {
             let _ = stderr_pipe.read_to_string(&mut buf);
             buf
         });
-        Daemon { child, addr, stderr }
+        Some(Daemon { child, addr, stderr })
     }
 
     fn client(&self) -> ServeClient {
@@ -180,6 +197,22 @@ fn inject_faults(addr: &str) {
     }
 }
 
+/// One-shot stats probe on a fresh connection — no retries, so a dead or
+/// restarting daemon reads as `None` instead of blocking the caller.
+fn stats_at(addr: &str) -> Option<ServerStats> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    let mut writer = &stream;
+    wo_serve::protocol::write_frame(&mut writer, &Request::new(QueryKind::Stats, "").encode())
+        .ok()?;
+    let mut reader = &stream;
+    let frame = wo_serve::protocol::read_frame(&mut reader, 1 << 20).ok()??;
+    match Response::decode(&frame).ok()? {
+        Response::Stats(stats) => Some(stats),
+        _ => None,
+    }
+}
+
 fn assert_no_panics(tag: &str, stderr: &str) {
     assert!(
         !stderr.contains("panicked"),
@@ -271,6 +304,118 @@ fn campaign_survives_kills_restarts_and_malformed_input() {
 
     let stderr2 = daemon.kill_hard();
     assert_no_panics("phase-2", &stderr2);
+    let _ = std::fs::remove_dir_all(&journal);
+}
+
+/// `kill -9` in the middle of a pipelined batch: the retrying client
+/// resubmits **only unanswered items** to the restarted daemon, the merged
+/// verdict stream equals [`wo_serve::answer_locally`] item for item, and
+/// the restart does not journal duplicates (replayed keys are cache hits,
+/// never re-appended).
+#[test]
+fn batched_campaign_survives_a_mid_batch_kill() {
+    const ITEMS: u64 = 96;
+
+    let journal = std::env::temp_dir().join(format!(
+        "wo-serve-chaos-batch-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&journal);
+
+    let gen_cfg = GenConfig::default();
+    let ecfg = explore_cfg();
+    let programs: Vec<String> = (0..ITEMS)
+        .map(|seed| generate(seed, &gen_cfg).program.to_string())
+        .collect();
+    let expected: Vec<String> = programs
+        .iter()
+        .map(|text| digest(&wo_serve::answer_locally(QueryKind::Drf0, text, &ecfg)))
+        .collect();
+    let requests: Vec<Request> = programs.iter().map(|t| request_for(t)).collect();
+
+    let daemon = Daemon::spawn(&journal);
+    let addr = daemon.addr.clone();
+
+    let mut cfg = ClientConfig::new(addr.clone());
+    cfg.io_timeout = Duration::from_secs(120);
+    cfg.hedge_after = None;
+    cfg.max_attempts = 12; // must outlast the kill + rebind window
+    let mut client = BatchClient::new(cfg);
+    // Several chunks (so the kill lands mid-campaign), each small enough
+    // to fit the daemon's admission queue without shedding — resubmits in
+    // this test then come only from the kill.
+    client.max_batch_items = 8;
+
+    // The killer waits for the daemon's *second* batch frame — frames on
+    // one connection are handled sequentially, so by then chunk 1 is fully
+    // answered and journaled — SIGKILLs it mid-flight, and respawns it
+    // pinned to the same address and journal while the client is still
+    // retrying.
+    let (responses, stderr1, daemon2) = std::thread::scope(|scope| {
+        let killer = scope.spawn(|| {
+            loop {
+                let depth: u64 = stats_at(&addr)
+                    .map_or(0, |s| s.batch_depth.iter().sum());
+                if depth >= 2 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let stderr = daemon.kill_hard();
+            let give_up = Instant::now() + Duration::from_secs(30);
+            let daemon2 = loop {
+                if let Some(d) = Daemon::spawn_at(&addr, &journal) {
+                    break d;
+                }
+                assert!(Instant::now() < give_up, "could not rebind {addr}");
+                std::thread::sleep(Duration::from_millis(50));
+            };
+            (stderr, daemon2)
+        });
+        let responses = client.query_batch(&requests).expect("batched campaign");
+        let (stderr, daemon2) = killer.join().expect("killer thread");
+        (responses, stderr, daemon2)
+    });
+    assert_no_panics("pre-kill", &stderr1);
+
+    // Merged stream equivalence, item for item, despite the murder.
+    assert_eq!(responses.len(), expected.len());
+    for (i, (response, want)) in responses.iter().zip(&expected).enumerate() {
+        assert_eq!(&digest(response), want, "item {i}: verdict diverged across kill -9");
+    }
+
+    // The kill landed mid-batch (something was resubmitted), and answered
+    // items were not: resubmissions stay well under the campaign size even
+    // counting the retries burned while the port rebinds.
+    assert!(client.resubmitted_items() > 0, "kill -9 landed after the batch completed");
+    assert!(
+        client.resubmitted_items() < ITEMS,
+        "client resubmitted more than the unanswered tail: {} of {ITEMS}",
+        client.resubmitted_items()
+    );
+    assert_eq!(client.sent_items() - client.resubmitted_items(), ITEMS);
+
+    // The restart replayed the first daemon's journal.
+    let stats = stats_at(&daemon2.addr).expect("stats after restart");
+    assert!(stats.journal_replayed > 0, "restart replayed nothing: {stats:?}");
+
+    let stderr2 = daemon2.kill_hard();
+    assert_no_panics("post-kill", &stderr2);
+
+    // No duplicates journaled: one record per (group, canonical key)
+    // across both daemon lifetimes.
+    let (_, records, _) =
+        wo_serve::journal::Journal::open(&journal, 16).expect("reopen journal");
+    assert!(!records.is_empty(), "the campaign journaled nothing");
+    let mut seen = std::collections::HashSet::new();
+    for record in &records {
+        assert!(
+            seen.insert((record.group, record.key.clone())),
+            "duplicate journal record after restart for key:\n{}",
+            record.key
+        );
+    }
+
     let _ = std::fs::remove_dir_all(&journal);
 }
 

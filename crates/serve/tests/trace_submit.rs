@@ -1,0 +1,89 @@
+//! Differential test: `trace_submit` over the wire against the local
+//! streaming checker, on the fuzz-generated corpus.
+//!
+//! For every generated program, every kept execution is streamed to a
+//! live daemon as one `trace_seg` and the finished report's canonical
+//! text must **exactly equal** a local [`wo_trace::StreamChecker`] fed
+//! the same segments — the same contract the `wo_trace` CLI satisfies,
+//! so remote race sets equal CLI output byte for byte. Both sync modes
+//! are exercised.
+//!
+//! Seeds default to 500; override with `WO_TRACE_DIFF_SEEDS` (CI smoke
+//! uses a smaller corpus).
+
+use std::time::Duration;
+
+use litmus::explore::{explore_dpor, ExploreConfig};
+use memory_model::SyncMode;
+use wo_fuzz::{generate, GenConfig};
+use wo_serve::client::{BatchClient, ClientConfig};
+use wo_serve::server::{Server, ServerConfig};
+use wo_trace::{CheckerConfig, StreamChecker};
+
+fn seeds() -> u64 {
+    std::env::var("WO_TRACE_DIFF_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500)
+}
+
+fn explore_cfg() -> ExploreConfig {
+    ExploreConfig {
+        max_ops_per_execution: 48,
+        max_executions: 64,
+        keep_executions: true,
+        sync_mode: SyncMode::Drf0,
+        ..ExploreConfig::default()
+    }
+}
+
+#[test]
+fn remote_trace_reports_equal_local_ones_on_the_corpus() {
+    let handle = Server::spawn(ServerConfig::default()).expect("spawn server");
+    let mut cfg = ClientConfig::new(handle.addr().to_string());
+    cfg.io_timeout = Duration::from_secs(60);
+    cfg.hedge_after = None;
+    // One pipelined connection carries every program's trace stream; the
+    // session resets at each trace_finish.
+    let mut client = BatchClient::new(cfg);
+
+    let gen_cfg = GenConfig::default();
+    let mut checked = 0u64;
+    let mut racy = 0u64;
+    for seed in 0..seeds() {
+        let program = generate(seed, &gen_cfg);
+        let report = explore_dpor(&program.program, &explore_cfg());
+        if report.executions.is_empty() {
+            continue;
+        }
+        let procs = u16::try_from(program.program.num_threads()).unwrap();
+        let release_writes = seed % 4 == 0;
+        let mode = if release_writes { SyncMode::ReleaseWrites } else { SyncMode::Drf0 };
+
+        let mut local = StreamChecker::new(CheckerConfig { mode, ..CheckerConfig::default() });
+        client.trace_open(release_writes).expect("trace_open");
+        for exec in &report.executions {
+            local.begin_segment(procs);
+            for op in exec.ops() {
+                local.ingest(op).unwrap();
+            }
+            local.end_segment();
+            client.trace_segment(procs, exec.ops()).expect("trace_segment");
+        }
+        let remote = client.trace_finish().expect("trace_finish");
+        let local = local.finish();
+        assert_eq!(
+            remote,
+            local.canonical_text(),
+            "seed {seed}: remote trace report diverged\nprogram:\n{}",
+            program.program
+        );
+        checked += 1;
+        if local.total_races > 0 {
+            racy += 1;
+        }
+    }
+    assert!(checked > 0, "the corpus generated no executions");
+    assert!(racy > 0, "the corpus never raced — differential power is zero");
+    handle.shutdown();
+}
