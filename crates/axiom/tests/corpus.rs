@@ -1,0 +1,111 @@
+//! The axiomatic engine against the operational explorer, program by
+//! program over the litmus corpus: verdicts must agree whenever both
+//! sides are definitive, and SC outcome sets must be *equal* whenever
+//! both sides are complete. This is the in-crate slice of the
+//! differential contract; `wo-fuzz` extends it to generated programs.
+
+use litmus::corpus;
+use litmus::explore::{drf0_verdict, sc_outcomes, Drf0Verdict, ExploreConfig};
+use litmus::Program;
+use wo_axiom::{analyze, decide_drf0, AxiomConfig, AxiomVerdict};
+
+fn axiom_cfg() -> AxiomConfig {
+    AxiomConfig { max_work: 50_000_000, ..AxiomConfig::default() }
+}
+
+fn explore_cfg() -> ExploreConfig {
+    ExploreConfig {
+        max_executions: 1_000_000,
+        max_total_steps: 100_000_000,
+        ..ExploreConfig::default()
+    }
+}
+
+/// Differential check for one program; returns whether the axiomatic
+/// side was definitive (so suites can assert coverage floors).
+fn check(name: &str, program: &Program) -> bool {
+    let ax = analyze(program, &axiom_cfg());
+    let op = drf0_verdict(program, &explore_cfg());
+    match (ax.verdict, op) {
+        (AxiomVerdict::Drf0, Drf0Verdict::Drf0) | (AxiomVerdict::Racy, Drf0Verdict::Racy) => {}
+        (AxiomVerdict::Unknown(_), _) | (_, Drf0Verdict::BudgetExceeded(_)) => {}
+        (a, o) => panic!("{name}: axiomatic {a} vs operational {o}"),
+    }
+    let sc = sc_outcomes(program, &explore_cfg());
+    if ax.complete && sc.complete {
+        assert_eq!(
+            ax.results, sc.results,
+            "{name}: SC outcome sets differ (axiomatic {} vs operational {})",
+            ax.results.len(),
+            sc.results.len()
+        );
+    }
+    // decide_drf0 must agree with analyze on the verdict whenever it is
+    // definitive (it may go Unknown earlier — it shares the work budget
+    // with no results to amortize — but must never flip a verdict).
+    let quick = decide_drf0(program, &axiom_cfg());
+    match (quick.verdict, ax.verdict) {
+        (AxiomVerdict::Racy, x) => assert_eq!(x, AxiomVerdict::Racy, "{name}"),
+        (AxiomVerdict::Drf0, x) => assert_eq!(x, AxiomVerdict::Drf0, "{name}"),
+        (AxiomVerdict::Unknown(_), _) => {}
+    }
+    !matches!(ax.verdict, AxiomVerdict::Unknown(_))
+}
+
+#[test]
+fn drf0_suite_agrees() {
+    let mut definitive = 0;
+    let suite = corpus::drf0_suite();
+    for (name, program) in &suite {
+        if check(name, program) {
+            definitive += 1;
+        }
+    }
+    // The axiomatic engine must actually decide most of the certified
+    // suite, not dodge it via Unknown.
+    assert!(
+        definitive * 10 >= suite.len() * 8,
+        "only {definitive}/{} definitive",
+        suite.len()
+    );
+}
+
+#[test]
+fn racy_suite_agrees() {
+    let mut definitive = 0;
+    let suite = corpus::racy_suite();
+    for (name, program) in &suite {
+        if check(name, program) {
+            definitive += 1;
+        }
+    }
+    assert!(
+        definitive * 10 >= suite.len() * 8,
+        "only {definitive}/{} definitive",
+        suite.len()
+    );
+}
+
+#[test]
+fn named_classics_are_exact() {
+    // Pin a few classics with their known verdicts so a regression names
+    // the program instead of a suite index.
+    let cases: Vec<(&str, Program, AxiomVerdict)> = vec![
+        ("fig1_dekker", corpus::fig1_dekker(), AxiomVerdict::Racy),
+        ("fig1_dekker_fenced", corpus::fig1_dekker_fenced(), AxiomVerdict::Racy),
+        ("message_passing_data", corpus::message_passing_data(), AxiomVerdict::Racy),
+        ("message_passing_sync", corpus::message_passing_sync(2), AxiomVerdict::Drf0),
+        ("iriw_sync", corpus::iriw_sync(), AxiomVerdict::Drf0),
+        ("sync_only_tas", corpus::sync_only_tas(), AxiomVerdict::Drf0),
+        ("spinlock_bounded", corpus::spinlock_bounded(2, 1, 2), AxiomVerdict::Drf0),
+        ("racy_counter", corpus::racy_counter(2), AxiomVerdict::Racy),
+    ];
+    for (name, program, want) in cases {
+        let ax = analyze(&program, &axiom_cfg());
+        assert_eq!(ax.verdict, want, "{name}");
+        let sc = sc_outcomes(&program, &explore_cfg());
+        assert!(ax.complete, "{name}: axiomatic run incomplete");
+        assert!(sc.complete, "{name}: operational run incomplete");
+        assert_eq!(ax.results, sc.results, "{name}: SC outcome sets differ");
+    }
+}

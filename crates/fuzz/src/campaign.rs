@@ -468,6 +468,69 @@ mod tests {
         }
     }
 
+    /// The axiomatic defect drill: plant the hb-check bug in the
+    /// relational engine's fast path, sweep seeds whose generated program
+    /// is a pure write/write race (the only shape the planted defect
+    /// mis-certifies), and demand the campaign catch the divergence and
+    /// shrink it to a tiny `.litmus` repro.
+    #[test]
+    fn injected_hb_bug_is_caught_and_shrunk_small() {
+        use litmus::Instr;
+
+        let gen_cfg = GenConfig::default();
+        // Pure-writer RacyPlain instances: no reads anywhere, so the only
+        // conflicts are write/write — exactly what the defect skips.
+        let candidates: Vec<u64> = (0..2000)
+            .filter(|&s| {
+                let gp = generate(s, &gen_cfg);
+                gp.phases == [Family::RacyPlain]
+                    && gp.program.threads().iter().all(|t| {
+                        t.instrs().iter().all(|i| !matches!(i, Instr::Read { .. }))
+                    })
+            })
+            .take(4)
+            .collect();
+        assert!(!candidates.is_empty(), "no pure-writer racy_plain seeds in 0..2000");
+
+        let mut caught = None;
+        for &seed in &candidates {
+            let mut cfg = CampaignConfig {
+                seed_start: seed,
+                seed_end: seed + 1,
+                threads: 1,
+                oracle: test_oracle(),
+                shrink_failures: true,
+                ..CampaignConfig::default()
+            };
+            cfg.oracle.inject_hb_bug = true;
+            let summary = run_campaign(&cfg);
+            if summary.failed() {
+                caught = Some(summary);
+                break;
+            }
+        }
+        let summary = caught.unwrap_or_else(|| {
+            panic!("injected hb bug not caught on any of {candidates:?}")
+        });
+        for f in &summary.failures {
+            assert!(
+                f.findings.iter().any(|s| s.contains("verdict divergence")),
+                "hb-bug failures are verdict divergences: {:?}",
+                f.findings
+            );
+        }
+        let best = summary
+            .failures
+            .iter()
+            .filter_map(|f| f.repro_ops)
+            .min()
+            .expect("failures were shrunk");
+        assert!(
+            best <= 4,
+            "minimized repro should be tiny (<= 4 static memory ops), got {best}"
+        );
+    }
+
     /// Budget-exhausted seeds must surface as explicit per-family unknown
     /// rows: every family's columns add up, the unknown columns sum to the
     /// campaign-wide `budget_exceeded`, and a starvation budget moves

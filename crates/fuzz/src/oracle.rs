@@ -60,6 +60,18 @@ pub struct OracleConfig {
     /// Replace the SC reference enumeration with the historical
     /// state-only-pruning bug (see module docs). Test/demo only.
     pub inject_prune_bug: bool,
+    /// Ask the `wo-axiom` relational engine for a second opinion on every
+    /// seed: DRF0 verdicts must match the operational explorer whenever
+    /// both are definitive, and SC outcome sets must be equal whenever
+    /// both enumerations complete. The axiomatic engine shares no code
+    /// with the interleaving explorer on the deciding path, so agreement
+    /// here is genuine cross-validation, not an echo.
+    pub axiom: bool,
+    /// Plant a defect in the axiomatic engine's Lemma 1 fast path (skip
+    /// the happens-before check on write/write conflict pairs), so the
+    /// campaign can prove the differential gate catches real axiomatic
+    /// bugs. Test/demo only.
+    pub inject_hb_bug: bool,
     /// Address of a wo-serve daemon to ask for DRF0 verdicts
     /// (`host:port`). The daemon's canonical-form cache makes repeated
     /// campaigns over overlapping corpora cheap; any client-side failure
@@ -91,6 +103,8 @@ impl Default for OracleConfig {
             },
             fault_seeds: 1,
             inject_prune_bug: false,
+            axiom: true,
+            inject_hb_bug: false,
             remote: None,
             remote_batch: true,
             prefetched: None,
@@ -123,6 +137,22 @@ pub enum FindingKind {
     Panic,
     /// The machine returned without completing all program threads.
     Incomplete,
+    /// The axiomatic engine and the operational explorer were both
+    /// definitive and disagreed on the DRF0 verdict.
+    AxiomVerdictDivergence {
+        /// The relational engine's verdict.
+        axiomatic: wo_axiom::AxiomVerdict,
+        /// The interleaving explorer's verdict.
+        operational: Drf0Verdict,
+    },
+    /// Both enumerations completed but produced different SC outcome
+    /// sets.
+    AxiomScSetDivergence {
+        /// Distinct results the axiomatic engine emitted.
+        axiomatic: usize,
+        /// Distinct results the operational enumeration found.
+        operational: usize,
+    },
 }
 
 impl std::fmt::Display for FindingKind {
@@ -140,6 +170,20 @@ impl std::fmt::Display for FindingKind {
             }
             FindingKind::Panic => write!(f, "machine panicked"),
             FindingKind::Incomplete => write!(f, "machine run incomplete"),
+            FindingKind::AxiomVerdictDivergence { axiomatic, operational } => {
+                write!(
+                    f,
+                    "axiomatic/operational verdict divergence: axiomatic {axiomatic}, \
+                     operational {operational}"
+                )
+            }
+            FindingKind::AxiomScSetDivergence { axiomatic, operational } => {
+                write!(
+                    f,
+                    "axiomatic/operational SC set divergence: axiomatic {axiomatic} \
+                     results, operational {operational}"
+                )
+            }
         }
     }
 }
@@ -228,10 +272,72 @@ pub fn check_seed(gp: &GenProgram, cfg: &OracleConfig) -> SeedVerdict {
         _ => {}
     }
 
+    // 2. Axiomatic second opinion: the relational engine must agree with
+    // the (definitive, at this point) operational verdict, and with the
+    // honest SC enumeration whenever both complete.
+    if cfg.axiom {
+        if let Some(finding) = axiom_cross_check(&gp.program, cfg, &dynamic) {
+            return SeedVerdict::Fail(vec![finding]);
+        }
+    }
+
     match gp.label {
         Label::Drf0 => check_drf0_program(gp, cfg),
         Label::Racy => racy_shakeout(gp),
     }
+}
+
+/// Compares the `wo-axiom` relational engine against the operational
+/// explorer on one program. `operational` is already definitive (budget
+/// exhaustion returned earlier). Only both-definitive verdicts and
+/// both-complete outcome sets are compared; an `Unknown` axiomatic run is
+/// never a finding — the engine is allowed to give up, just not to
+/// disagree.
+fn axiom_cross_check(
+    program: &Program,
+    cfg: &OracleConfig,
+    operational: &Drf0Verdict,
+) -> Option<Finding> {
+    use wo_axiom::{analyze, AxiomConfig, AxiomVerdict};
+
+    let acfg = AxiomConfig {
+        inject_hb_bug: cfg.inject_hb_bug,
+        ..AxiomConfig::from_explore(&cfg.explore)
+    };
+    let report = analyze(program, &acfg);
+    let diverged = matches!(
+        (report.verdict, operational),
+        (AxiomVerdict::Drf0, Drf0Verdict::Racy) | (AxiomVerdict::Racy, Drf0Verdict::Drf0)
+    );
+    if diverged {
+        return Some(Finding {
+            kind: FindingKind::AxiomVerdictDivergence {
+                axiomatic: report.verdict,
+                operational: *operational,
+            },
+            machine: None,
+            profile: None,
+            fault_seed: None,
+        });
+    }
+    if report.complete {
+        // Always against the honest enumeration: an injected prune bug is
+        // the reference-side specimen and must stay catchable by the
+        // Definition 2 containment check, not be intercepted here.
+        let honest = sc_outcomes(program, &cfg.explore);
+        if honest.complete && honest.results != report.results {
+            return Some(Finding {
+                kind: FindingKind::AxiomScSetDivergence {
+                    axiomatic: report.results.len(),
+                    operational: honest.results.len(),
+                },
+                machine: None,
+                profile: None,
+                fault_seed: None,
+            });
+        }
+    }
+    None
 }
 
 /// The DRF0 verdict for label soundness: prefetched when the campaign's
@@ -650,6 +756,37 @@ mod tests {
             }
         }
         assert!(passes > 0, "at least one seed should fully pass");
+    }
+
+    /// The planted axiomatic defect (skipping the hb check on write/write
+    /// conflict pairs in the Lemma 1 fast path) must flip a pure
+    /// two-writer race to a bogus Drf0 certificate — and the cross-check
+    /// must catch exactly that as a verdict divergence. Without the
+    /// injection the same program must produce no finding.
+    #[test]
+    fn injected_hb_bug_is_a_catchable_verdict_divergence() {
+        let p = Program::new(vec![
+            Thread::new().write(Loc(0), 1),
+            Thread::new().write(Loc(0), 2),
+        ])
+        .unwrap();
+        let cfg = OracleConfig::default();
+        assert_eq!(drf0_verdict(&p, &cfg.explore), Drf0Verdict::Racy);
+        assert!(
+            axiom_cross_check(&p, &cfg, &Drf0Verdict::Racy).is_none(),
+            "honest engine must agree the program is racy"
+        );
+
+        let buggy = OracleConfig { inject_hb_bug: true, ..cfg };
+        let finding = axiom_cross_check(&p, &buggy, &Drf0Verdict::Racy)
+            .expect("planted defect must surface as a divergence");
+        match finding.kind {
+            FindingKind::AxiomVerdictDivergence { axiomatic, operational } => {
+                assert_eq!(axiomatic, wo_axiom::AxiomVerdict::Drf0);
+                assert_eq!(operational, Drf0Verdict::Racy);
+            }
+            other => panic!("wrong finding class: {other}"),
+        }
     }
 
     #[test]

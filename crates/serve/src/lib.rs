@@ -85,15 +85,35 @@ pub fn kind_group(kind: QueryKind) -> Option<KindGroup> {
     }
 }
 
-/// Runs the exploration for `group` on a (canonical) program and packages
+/// Runs the analysis for `group` on a (canonical) program and packages
 /// the outcome. This is the daemon's compute kernel and the chaos
 /// harness's reference oracle — byte-for-byte the same answers.
 ///
+/// The `wo-axiom` relational engine gets the first look (it decides DRF0
+/// corpus programs an order of magnitude faster than interleaving
+/// enumeration), with strict acceptance rules so the wire contract is
+/// unchanged:
+///
+/// * `Explore`: only a **certified `Drf0`** axiomatic answer is served
+///   (racy = false, empty race list — exactly what the explorer would
+///   say). A `Racy` axiomatic answer is *recomputed* operationally: the
+///   `Races` query kind shares this cache entry and promises the
+///   explorer's concrete race list, which the relational engine does not
+///   reproduce coordinate-for-coordinate.
+/// * `Sc`: only a **complete** axiomatic outcome set is served.
+/// * Any `Unknown`/incomplete axiomatic result falls back to the
+///   explorer, budgets intact — degradation reasons on the wire keep
+///   their explorer vocabulary.
+///
 /// Deterministic whenever `cfg.deadline` is `None`: identical inputs
 /// yield identical answers, which is what makes daemon-vs-local verdict
-/// diffing meaningful.
+/// diffing meaningful (the axiomatic engine is deterministic too, so the
+/// fast path preserves this).
 #[must_use]
 pub fn compute_answer(group: KindGroup, program: &Program, cfg: &ExploreConfig) -> CachedAnswer {
+    if let Some(answer) = axiom_answer(group, program, cfg) {
+        return answer;
+    }
     match group {
         KindGroup::Explore => {
             let report = explore_dpor(program, cfg);
@@ -137,6 +157,39 @@ pub fn compute_answer(group: KindGroup, program: &Program, cfg: &ExploreConfig) 
                 reason,
                 steps: report.steps as u64,
             }
+        }
+    }
+}
+
+/// The axiomatic first look for [`compute_answer`] (see its docs for the
+/// acceptance rules). `None` means "fall back to the explorer".
+fn axiom_answer(
+    group: KindGroup,
+    program: &Program,
+    cfg: &ExploreConfig,
+) -> Option<CachedAnswer> {
+    use wo_axiom::{analyze, decide_drf0, AxiomConfig, AxiomVerdict};
+
+    let acfg = AxiomConfig::from_explore(cfg);
+    match group {
+        KindGroup::Explore => {
+            let report = decide_drf0(program, &acfg);
+            (report.verdict == AxiomVerdict::Drf0).then(|| CachedAnswer::Explore {
+                racy: false,
+                races: Vec::new(),
+                steps: report.work,
+                definitive: true,
+                reason: None,
+            })
+        }
+        KindGroup::Sc => {
+            let report = analyze(program, &acfg);
+            report.complete.then_some(CachedAnswer::Sc {
+                outcomes: report.results.len() as u64,
+                complete: true,
+                reason: None,
+                steps: report.work,
+            })
         }
     }
 }

@@ -1,0 +1,203 @@
+//! The axiomatic front line through the daemon, end to end:
+//!
+//! * **Byte equality under batching** — `drf0` queries the relational
+//!   engine answers (plus racy ones it hands back to the explorer) must
+//!   produce a batched verdict stream byte-for-byte identical to the
+//!   sequential v1 stream, at every batch size in {1, 7, 256} and pool
+//!   width in {1, 4}. The fast path must be invisible in the bytes.
+//! * **Provenance** — for every race-free corpus program the response's
+//!   `steps` field equals the relational engine's `work` counter on the
+//!   canonical form, proving the verdict came from `wo_axiom` and not
+//!   from an interleaving enumeration that happened to agree.
+//! * **Journal replay** — axiom-derived verdicts are journaled like any
+//!   other definitive answer: after a restart they replay into the cache
+//!   and serve byte-identical hits without re-deciding anything.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use litmus::corpus;
+use litmus::explore::ExploreConfig;
+use wo_axiom::{decide_drf0, AxiomConfig, AxiomVerdict};
+use wo_serve::canon;
+use wo_serve::client::{BatchClient, ClientConfig, ServeClient};
+use wo_serve::protocol::{CacheStatus, QueryKind, Request, Response, Verdict};
+use wo_serve::server::{Server, ServerConfig, ServerHandle};
+
+/// The explore budget every server in this file runs — mirrored on the
+/// test side so `AxiomConfig::from_explore` sees exactly what the
+/// daemon's first look sees.
+fn explore_cfg() -> ExploreConfig {
+    ExploreConfig {
+        max_ops_per_execution: 48,
+        max_executions: 64,
+        ..ExploreConfig::default()
+    }
+}
+
+fn server_with(pool_threads: usize, journal: Option<PathBuf>) -> ServerHandle {
+    let cfg = ServerConfig {
+        explore: explore_cfg(),
+        pool_threads,
+        journal_dir: journal,
+        ..ServerConfig::default()
+    };
+    Server::spawn(cfg).expect("spawn server")
+}
+
+fn client_cfg(handle: &ServerHandle) -> ClientConfig {
+    let mut cfg = ClientConfig::new(handle.addr().to_string());
+    cfg.io_timeout = Duration::from_secs(60);
+    cfg.hedge_after = None;
+    cfg
+}
+
+/// Corpus `drf0` requests — the population the axiomatic front line
+/// absorbs — interleaved with racy ones that exercise the operational
+/// fallback, plus duplicates so batches coalesce. `deadline_ms = 0` opts
+/// out of wall-clock deadlines; byte equality needs determinism.
+fn workload() -> Vec<Request> {
+    let mut requests = Vec::new();
+    for (_, program) in corpus::drf0_suite() {
+        let mut request = Request::new(QueryKind::Drf0, program.to_string());
+        request.deadline_ms = Some(0);
+        requests.push(request);
+    }
+    for (_, program) in corpus::racy_suite() {
+        let mut request = Request::new(QueryKind::Drf0, program.to_string());
+        request.deadline_ms = Some(0);
+        requests.push(request);
+    }
+    let dups: Vec<Request> = requests.iter().step_by(3).cloned().collect();
+    requests.extend(dups);
+    requests
+}
+
+#[test]
+fn axiom_answered_drf0_batches_are_byte_equal_to_v1() {
+    let requests = workload();
+    let acfg = AxiomConfig::from_explore(&explore_cfg());
+
+    // Reference stream: sequential per-request v1 queries on a fresh
+    // server, checked for provenance as they stream.
+    let mut axiom_misses = 0usize;
+    let reference: Vec<Vec<u8>> = {
+        let handle = server_with(1, None);
+        let mut client = ServeClient::new(client_cfg(&handle));
+        let bytes: Vec<Vec<u8>> = requests
+            .iter()
+            .map(|r| match client.query(r) {
+                Ok(response) => {
+                    // Every miss the relational engine certified Drf0
+                    // must carry its work counter as `steps` — the
+                    // explorer's step count would differ.
+                    if let Response::Verdict {
+                        verdict: Verdict::Drf0,
+                        steps,
+                        cache: CacheStatus::Miss,
+                        ..
+                    } = &response
+                    {
+                        let program = canon::canonicalize(
+                            &litmus::parse::parse_program(&r.program).unwrap(),
+                        )
+                        .program;
+                        let report = decide_drf0(&program, &acfg);
+                        assert_eq!(report.verdict, AxiomVerdict::Drf0);
+                        assert_eq!(
+                            *steps, report.work,
+                            "drf0 answer did not come from the axiomatic engine"
+                        );
+                        axiom_misses += 1;
+                    }
+                    response.encode()
+                }
+                Err(e) => panic!("v1 reference query failed: {e}"),
+            })
+            .collect();
+        handle.shutdown();
+        bytes
+    };
+    assert!(axiom_misses >= 4, "workload must contain axiomatically certified programs");
+
+    for pool_threads in [1usize, 4] {
+        for batch_size in [1usize, 7, 256] {
+            let handle = server_with(pool_threads, None);
+            let mut client = BatchClient::new(client_cfg(&handle));
+            client.max_batch_items = batch_size;
+            let responses = client.query_batch(&requests).expect("batched query");
+            assert_eq!(responses.len(), reference.len());
+            for (i, (response, expected)) in responses.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    &response.encode(),
+                    expected,
+                    "request {i} diverged at batch_size={batch_size} pool_threads={pool_threads}"
+                );
+            }
+            handle.shutdown();
+        }
+    }
+}
+
+#[test]
+fn axiom_verdicts_replay_from_the_journal_byte_identically() {
+    let dir = std::env::temp_dir()
+        .join(format!("wo-serve-axiom-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let acfg = AxiomConfig::from_explore(&explore_cfg());
+
+    // Warm a journaled server with every axiomatically certifiable corpus
+    // program and keep the cache-hit bytes as the reference.
+    let mut programs: Vec<String> = Vec::new();
+    let mut hits: Vec<Vec<u8>> = Vec::new();
+    let first = server_with(1, Some(dir.clone()));
+    let mut client = ServeClient::new(client_cfg(&first));
+    for (name, program) in corpus::drf0_suite() {
+        let canonical = canon::canonicalize(&program).program;
+        if decide_drf0(&canonical, &acfg).verdict != AxiomVerdict::Drf0 {
+            continue;
+        }
+        let mut request = Request::new(QueryKind::Drf0, program.to_string());
+        request.deadline_ms = Some(0);
+        match client.query(&request).expect("warm query") {
+            Response::Verdict { verdict: Verdict::Drf0, cache: CacheStatus::Miss, .. } => {}
+            other => panic!("{name}: unexpected {other:?}"),
+        }
+        match client.query(&request).expect("warm hit") {
+            response @ Response::Verdict {
+                verdict: Verdict::Drf0,
+                cache: CacheStatus::Hit,
+                ..
+            } => hits.push(response.encode()),
+            other => panic!("{name}: unexpected {other:?}"),
+        }
+        programs.push(request.program.clone());
+    }
+    assert!(!programs.is_empty(), "no corpus program was axiomatically certifiable");
+    assert_eq!(first.replayed(), 0);
+    first.shutdown();
+
+    // Restart on the same journal: every axiom-derived verdict replays
+    // into the cache and serves the exact same bytes as a hit, with no
+    // recomputation (steps stays the replayed answer's, not a fresh
+    // decider's — byte equality covers it).
+    let second = server_with(1, Some(dir.clone()));
+    assert_eq!(
+        second.replayed() as usize,
+        programs.len(),
+        "every axiom-derived definitive verdict replays"
+    );
+    let mut client = ServeClient::new(client_cfg(&second));
+    for (program, expected) in programs.iter().zip(&hits) {
+        let mut request = Request::new(QueryKind::Drf0, program.clone());
+        request.deadline_ms = Some(0);
+        let response = client.query(&request).expect("replayed query");
+        match &response {
+            Response::Verdict { cache: CacheStatus::Hit, .. } => {}
+            other => panic!("journal did not warm the cache: {other:?}"),
+        }
+        assert_eq!(&response.encode(), expected, "replayed bytes diverged");
+    }
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
